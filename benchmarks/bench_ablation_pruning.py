@@ -1,0 +1,52 @@
+"""Ablation A1 — does the optimality-condition pruning of the search domain help?
+
+The ATE's defining design choice (Section 6.2) is restricting the search to
+the Table-1 domain derived from ``x·y = R·z``.  This ablation runs the same
+cost-model-guided tuner with and without the pruning on one AlexNet layer and
+compares convergence speed and final quality.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import emit
+from repro.analysis import ResultTable, render_table
+from repro.core.autotune import AutoTuningEngine
+from repro.nets import alexnet
+
+BUDGET = 80
+
+
+def run_ablation(spec):
+    params = alexnet().layer("conv3").params()
+    table = ResultTable(
+        f"Ablation — optimality-condition pruning (AlexNet conv3, {spec.name})",
+        columns=["variant", "space_size", "best_gflops", "meas_to_95pct", "meas_to_99pct"],
+    )
+    results = {}
+    for variant, pruned in (("ATE (pruned domain)", True), ("ATE w/o pruning", False)):
+        engine = AutoTuningEngine(
+            params, spec, "direct", max_measurements=BUDGET, seed=17, pruned=pruned
+        )
+        res = engine.tune()
+        results[variant] = res
+        table.add_row(
+            variant=variant,
+            space_size=res.space_size,
+            best_gflops=res.best_gflops,
+            meas_to_95pct=res.measurements_to_reach(0.95),
+            meas_to_99pct=res.measurements_to_reach(0.99),
+        )
+    return table, results
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_optimality_pruning(benchmark, gpu_v100):
+    table, results = benchmark.pedantic(run_ablation, args=(gpu_v100,), rounds=1, iterations=1)
+    emit(render_table(table, precision=2))
+    pruned = results["ATE (pruned domain)"]
+    unpruned = results["ATE w/o pruning"]
+    # Pruning shrinks the space and must not hurt final quality.
+    assert pruned.space_size < unpruned.space_size
+    assert pruned.best_gflops >= 0.9 * unpruned.best_gflops

@@ -1,0 +1,56 @@
+"""Figure 12 — end-to-end CNN inference: tuned dataflows vs cuDNN.
+
+SqueezeNet, VGG-19, ResNet-18, ResNet-34 and Inception-v3 on the V100 model;
+total convolution time of the paper's dataflow (per-layer best template with
+the optimality-condition tile) against the cuDNN dispatcher.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import emit
+from repro.analysis import ResultTable, render_table
+from repro.nets import ModelRunner, get_model
+
+MODELS = ("squeezenet", "vgg19", "resnet18", "resnet34", "inception_v3")
+PAPER_SPEEDUPS = {
+    "SqueezeNet": 2.67,
+    "Vgg-19": 1.09,
+    "ResNet-18": 1.02,
+    "ResNet-34": 1.09,
+    "Inception-v3": 1.23,
+}
+
+
+def run_figure12(spec):
+    runner = ModelRunner(spec, mode="analytic")
+    table = ResultTable(
+        f"Figure 12 — end-to-end convolution inference time on {spec.name}",
+        columns=["model", "ours_ms", "cudnn_ms", "speedup", "paper_speedup"],
+    )
+    for name in MODELS:
+        model = get_model(name)
+        timing = runner.time_model(model)
+        table.add_row(
+            model=model.name,
+            ours_ms=timing.ours_seconds * 1e3,
+            cudnn_ms=timing.cudnn_seconds * 1e3,
+            speedup=timing.speedup,
+            paper_speedup=PAPER_SPEEDUPS[model.name],
+        )
+    return table
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12_end_to_end_models(benchmark, gpu_v100):
+    table = benchmark.pedantic(run_figure12, args=(gpu_v100,), rounds=1, iterations=1)
+    emit(render_table(table, precision=2))
+    speedups = table.column("speedup")
+    # Shape check: never slower than cuDNN end-to-end, and SqueezeNet /
+    # Inception-v3 (many small/1x1 layers) gain more than the ResNets, as in
+    # the paper.
+    assert all(s >= 0.95 for s in speedups)
+    rows = {r["model"]: r["speedup"] for r in table.rows}
+    assert rows["Inception-v3"] >= rows["ResNet-34"] - 0.05
+    assert rows["SqueezeNet"] >= rows["ResNet-18"] - 0.05

@@ -1,0 +1,76 @@
+"""Figure 13 — sensitivity to the GPU architecture.
+
+Four workloads (``Cin = 512``, ``Cout = 128``, 3x3 kernels): direct conv at
+28x28 stride 1, direct conv at 112x112 stride 1 and stride 2, Winograd at
+112x112 — on the 1080Ti, Titan X and gfx906 models.  Reported quantity:
+floating-point efficiency (GFLOP/s) of (a) the dataflow with the auto-tuning
+engine, (b) a TVM-style tuned configuration, (c) the cuDNN/MIOpen baseline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import emit
+from repro.analysis import ResultTable, render_table
+from repro.conv import ConvParams
+from repro.core.autotune import AutoTuningEngine, TVMStyleTuner
+from repro.gpusim import GFX906, GTX_1080TI, TITAN_X, CudnnLibrary
+
+GPUS = (GTX_1080TI, TITAN_X, GFX906)
+BUDGET = 48
+
+WORKLOADS = [
+    ("direct 28x28 s1", ConvParams.square(28, 512, 128, kernel=3, stride=1, padding=1), "direct"),
+    ("direct 112x112 s1", ConvParams.square(112, 512, 128, kernel=3, stride=1, padding=1), "direct"),
+    ("direct 112x112 s2", ConvParams.square(112, 512, 128, kernel=3, stride=2, padding=1), "direct"),
+    ("winograd 112x112 s1", ConvParams.square(112, 512, 128, kernel=3, stride=1, padding=1), "winograd"),
+]
+
+
+def run_figure13():
+    table = ResultTable(
+        "Figure 13 — GFLOP/s across GPU architectures (Cin=512, Cout=128, 3x3)",
+        columns=["workload", "gpu", "ours_gflops", "tvm_gflops", "library_gflops",
+                 "ours/library", "ours/tvm"],
+    )
+    for name, params, algorithm in WORKLOADS:
+        for spec in GPUS:
+            ate = AutoTuningEngine(params, spec, algorithm, max_measurements=BUDGET, seed=13).tune()
+            tvm = TVMStyleTuner(params, spec, algorithm, max_measurements=BUDGET, seed=13).tune()
+            lib = CudnnLibrary(spec)
+            if algorithm == "winograd":
+                library = lib.run_winograd(params)
+            else:
+                library = lib.run_direct(params)
+            table.add_row(
+                workload=name,
+                gpu=spec.name,
+                ours_gflops=ate.best_gflops,
+                tvm_gflops=tvm.best_gflops,
+                library_gflops=library.gflops,
+                **{
+                    "ours/library": ate.best_gflops / max(1e-9, library.gflops),
+                    "ours/tvm": ate.best_gflops / max(1e-9, tvm.best_gflops),
+                },
+            )
+    return table
+
+
+@pytest.mark.benchmark(group="fig13")
+def test_fig13_architecture_sensitivity(benchmark):
+    table = benchmark.pedantic(run_figure13, rounds=1, iterations=1)
+    emit(render_table(table, precision=2))
+    ours_vs_lib = table.column("ours/library")
+    ours_vs_tvm = table.column("ours/tvm")
+    emit(
+        f"Mean ours/library: {sum(ours_vs_lib)/len(ours_vs_lib):.2f}x; "
+        f"mean ours/TVM-style: {sum(ours_vs_tvm)/len(ours_vs_tvm):.2f}x "
+        "(paper: up to 2.86x over the library, 1.01–1.27x over TVM)"
+    )
+    # Shape: the tuned dataflow is on average faster than the library and on
+    # par with the TVM-style tuner on every architecture (individual cells can
+    # fluctuate with the small measurement budget).
+    assert sum(ours_vs_lib) / len(ours_vs_lib) > 1.0
+    assert sum(ours_vs_tvm) / len(ours_vs_tvm) > 0.95
+    assert all(r > 0.45 for r in ours_vs_tvm)

@@ -1,0 +1,101 @@
+"""Theory validation — lower bounds vs pebble-game measurements and dataflows.
+
+Not a numbered table in the paper, but the consistency experiment behind
+Theorems 4.12 / 4.20 and Section 5's near-optimality claim (experiment E7 in
+DESIGN.md):
+
+* on small convolution DAGs, the I/O measured for legal red-blue pebble game
+  executions is never below the composite lower bound;
+* on realistic layer shapes, the dataflow's closed-form I/O volume stays
+  within a bounded factor of the lower bound, and the factor shrinks as the
+  optimality condition is satisfied more exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import emit
+from repro.analysis import ResultTable, render_table
+from repro.conv import ConvParams
+from repro.core.bounds import (
+    direct_conv_io_lower_bound,
+    winograd_io_lower_bound,
+)
+from repro.core.dataflow import DirectDataflow, WinogradDataflow
+from repro.pebble import direct_conv_dag, simulate_topological
+
+SMALL = [
+    ConvParams.square(4, 2, 2, kernel=3, stride=1),
+    ConvParams.square(5, 2, 3, kernel=2, stride=1),
+    ConvParams.square(6, 3, 2, kernel=3, stride=2),
+]
+
+LAYERS = [
+    ConvParams.square(56, 256, 128, kernel=3, stride=1, padding=1),
+    ConvParams.square(112, 64, 64, kernel=3, stride=1, padding=1),
+    ConvParams.square(14, 256, 1024, kernel=3, stride=1, padding=1),
+]
+
+
+def run_pebble_vs_bound():
+    table = ResultTable(
+        "Pebble-game I/O vs composite lower bound (small direct-conv DAGs)",
+        columns=["problem", "S", "measured_Q", "lower_bound", "measured/bound"],
+    )
+    for params in SMALL:
+        dag = direct_conv_dag(params)
+        for capacity in (16, 32):
+            measured = simulate_topological(dag, capacity=capacity).io_operations
+            bound = direct_conv_io_lower_bound(params, capacity)
+            table.add_row(
+                problem=params.describe(),
+                S=capacity,
+                measured_Q=measured,
+                lower_bound=bound,
+                **{"measured/bound": measured / bound if bound else float("inf")},
+            )
+    return table
+
+
+def run_dataflow_vs_bound():
+    table = ResultTable(
+        "Dataflow I/O volume vs lower bound (realistic layers, S = 12288 floats)",
+        columns=["layer", "algorithm", "dataflow_io", "lower_bound", "ratio"],
+    )
+    s = 12288
+    for params in LAYERS:
+        df = DirectDataflow(params, s)
+        lower = direct_conv_io_lower_bound(params, s)
+        table.add_row(
+            layer=params.describe(),
+            algorithm="direct",
+            dataflow_io=df.io_volume().total,
+            lower_bound=lower,
+            ratio=df.io_volume().total / lower,
+        )
+        wf = WinogradDataflow(params, s, e=2)
+        wlower = winograd_io_lower_bound(params, 2, s)
+        table.add_row(
+            layer=params.describe(),
+            algorithm="winograd",
+            dataflow_io=wf.io_volume().total,
+            lower_bound=wlower,
+            ratio=wf.io_volume().total / wlower,
+        )
+    return table
+
+
+@pytest.mark.benchmark(group="theory")
+def test_theory_pebble_game_vs_bound(benchmark):
+    table = benchmark.pedantic(run_pebble_vs_bound, rounds=1, iterations=1)
+    emit(render_table(table, precision=2))
+    assert all(row["measured/bound"] >= 1.0 for row in table.rows)
+
+
+@pytest.mark.benchmark(group="theory")
+def test_theory_dataflow_vs_bound(benchmark):
+    table = benchmark.pedantic(run_dataflow_vs_bound, rounds=1, iterations=1)
+    emit(render_table(table, precision=2))
+    ratios = table.column("ratio")
+    assert all(1.0 <= r <= 64.0 for r in ratios)

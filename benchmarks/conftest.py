@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper (see DESIGN.md
+§4) and prints its rows with the analysis helpers so that
+``pytest benchmarks/ --benchmark-only -s`` (or the captured ``bench_output.txt``)
+contains the reproduced numbers alongside pytest-benchmark's timing table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpusim import GTX_1080TI, V100
+
+
+def emit(text: str) -> None:
+    """Print a report block, padded so it stays readable inside pytest output."""
+    print("\n" + text + "\n")
+
+
+@pytest.fixture(scope="session")
+def gpu_1080ti():
+    return GTX_1080TI
+
+
+@pytest.fixture(scope="session")
+def gpu_v100():
+    return V100
+
+
+@pytest.fixture(scope="session")
+def per_block_elements(gpu_1080ti):
+    """Fast-memory budget per thread block (two resident blocks per SM)."""
+    return gpu_1080ti.shared_mem_per_sm // gpu_1080ti.dtype_size // 2

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""End-to-end CNN inference comparison (Figure 12 in miniature).
+
+Estimates the total convolution time of ResNet-18 and SqueezeNet on two
+simulated GPUs, using the paper's per-layer dataflow against the cuDNN
+dispatcher.
+
+Run with:  python examples/end_to_end_resnet.py
+"""
+
+from repro.analysis import render_rows
+from repro.gpusim import GTX_1080TI, V100
+from repro.nets import ModelRunner, get_model
+
+
+def main() -> None:
+    rows = []
+    for spec in (V100, GTX_1080TI):
+        runner = ModelRunner(spec, mode="analytic")
+        for model_name in ("resnet18", "squeezenet"):
+            timing = runner.time_model(get_model(model_name))
+            rows.append({
+                "GPU": spec.name,
+                "model": timing.model,
+                "ours (ms)": round(timing.ours_seconds * 1e3, 3),
+                "cuDNN (ms)": round(timing.cudnn_seconds * 1e3, 3),
+                "speedup": round(timing.speedup, 2),
+            })
+    print(render_rows(["GPU", "model", "ours (ms)", "cuDNN (ms)", "speedup"], rows))
+
+    # Per-layer breakdown of the most-improved model on the V100.
+    runner = ModelRunner(V100, mode="analytic")
+    timing = runner.time_model(get_model("squeezenet"))
+    print("\nPer-layer breakdown (SqueezeNet on V100):")
+    layer_rows = [
+        {
+            "layer": t.layer.name,
+            "algorithm": t.algorithm,
+            "ours (us)": round(t.ours_seconds * 1e6, 1),
+            "cuDNN (us)": round(t.cudnn_seconds * 1e6, 1),
+            "speedup": round(t.speedup, 2),
+        }
+        for t in timing.layers
+    ]
+    print(render_rows(["layer", "algorithm", "ours (us)", "cuDNN (us)", "speedup"], layer_rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Lower-bound analysis: pebble game measurements vs the composite theory.
+
+Builds the explicit DAG of small direct convolutions (Figure 4 of the paper),
+plays the red–blue pebble game with different fast-memory sizes and schedules,
+and compares the measured I/O against Theorem 4.12's lower bound and against
+the dataflow's closed-form volume.
+
+Run with:  python examples/lower_bound_analysis.py
+"""
+
+from repro.analysis import render_rows
+from repro.conv import ConvParams
+from repro.core.bounds import DirectConvBound, direct_conv_io_lower_bound
+from repro.core.dataflow import DirectDataflow
+from repro.pebble import direct_conv_dag, greedy_schedule, play_schedule, simulate_topological
+
+
+def small_dag_study() -> None:
+    print("== Red-blue pebble game vs Theorem 4.12 (small DAGs) ==\n")
+    rows = []
+    for params in (
+        ConvParams.square(4, 2, 2, kernel=3, stride=1),
+        ConvParams.square(5, 2, 3, kernel=2, stride=1),
+        ConvParams.square(6, 3, 2, kernel=3, stride=2),
+    ):
+        dag = direct_conv_dag(params)
+        for capacity in (16, 32, 64):
+            topo = simulate_topological(dag, capacity=capacity)
+            greedy = play_schedule(dag, capacity, schedule=greedy_schedule(dag, capacity))
+            bound = direct_conv_io_lower_bound(params, capacity)
+            rows.append({
+                "problem": params.describe(),
+                "S": capacity,
+                "Q topo": topo.io_operations,
+                "Q greedy": greedy.io_operations,
+                "lower bound": round(bound, 1),
+                "greedy/bound": round(greedy.io_operations / bound, 2) if bound else float("inf"),
+            })
+    print(render_rows(["problem", "S", "Q topo", "Q greedy", "lower bound", "greedy/bound"], rows))
+
+
+def layer_study() -> None:
+    print("\n== Dataflow I/O vs lower bound on a real layer ==\n")
+    params = ConvParams.square(56, in_channels=256, out_channels=128, kernel=3, stride=1, padding=1)
+    bound = DirectConvBound(params)
+    rows = []
+    for s in (2048, 8192, 32768):
+        df = DirectDataflow(params, s)
+        rows.append({
+            "S (elements)": s,
+            "tile": df.tile.describe(),
+            "lower bound": round(bound.io_lower_bound(s)),
+            "dataflow I/O": round(df.io_volume().total),
+            "ratio": round(df.io_volume().total / bound.io_lower_bound(s), 2),
+        })
+    print(render_rows(["S (elements)", "tile", "lower bound", "dataflow I/O", "ratio"], rows))
+    print("\nBoth columns fall as 1/sqrt(S); the bounded ratio is the paper's "
+          "near-optimality claim for the output-stationary dataflow.")
+
+
+if __name__ == "__main__":
+    small_dag_study()
+    layer_study()

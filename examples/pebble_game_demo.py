@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Red–blue pebble game demo: DAGs, schedules, eviction policies, S-partitions.
+
+Run with:  python examples/pebble_game_demo.py
+"""
+
+from repro.analysis import render_rows
+from repro.conv import ConvParams
+from repro.pebble import (
+    direct_conv_dag,
+    greedy_s_partition,
+    greedy_schedule,
+    matmul_dag,
+    play_schedule,
+    simulate_topological,
+    winograd_dag,
+)
+
+
+def main() -> None:
+    params = ConvParams.square(4, in_channels=2, out_channels=2, kernel=3, stride=1)
+    dag = direct_conv_dag(params)
+    print("Direct convolution DAG:", dag.summary(), "\n")
+
+    rows = []
+    for capacity in (12, 16, 32, 64):
+        topo_belady = simulate_topological(dag, capacity=capacity, eviction="belady")
+        topo_lru = simulate_topological(dag, capacity=capacity, eviction="lru")
+        greedy = play_schedule(dag, capacity, schedule=greedy_schedule(dag, capacity))
+        partition = greedy_s_partition(dag, capacity)
+        rows.append({
+            "S": capacity,
+            "Q topo/belady": topo_belady.io_operations,
+            "Q topo/lru": topo_lru.io_operations,
+            "Q greedy": greedy.io_operations,
+            "S-partition blocks": partition.num_blocks,
+            "max block": partition.max_block_size(),
+        })
+    print(render_rows(
+        ["S", "Q topo/belady", "Q topo/lru", "Q greedy", "S-partition blocks", "max block"], rows
+    ))
+
+    wparams = ConvParams.square(5, in_channels=2, out_channels=2, kernel=2, stride=1)
+    wdag = winograd_dag(wparams, e=2)
+    print("\nWinograd DAG:", wdag.summary())
+    print("Winograd Q at S=48:", simulate_topological(wdag, capacity=48).describe())
+
+    mdag = matmul_dag(6, 6, 6)
+    print("\nMatmul DAG:", mdag.summary())
+    print("Matmul Q at S=16:", simulate_topological(mdag, capacity=16).describe())
+
+
+if __name__ == "__main__":
+    main()

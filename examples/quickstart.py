@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Quickstart: convolutions, I/O lower bounds and the auto-tuner in ~60 lines.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.analysis import render_rows
+from repro.conv import ConvParams, direct_conv2d, random_operands, winograd_conv2d, max_abs_error
+from repro.core.bounds import direct_conv_io_lower_bound, winograd_io_lower_bound
+from repro.core.dataflow import DirectDataflow, WinogradDataflow
+from repro.core.autotune import AutoTuningEngine
+from repro.gpusim import V100, CudnnLibrary
+
+
+def main() -> None:
+    # 1. Describe a convolution layer (ResNet-style 3x3, stride 1).
+    params = ConvParams.square(28, in_channels=128, out_channels=128, kernel=3, stride=1, padding=1)
+    print("Layer:", params.describe())
+
+    # 2. Run the numerical algorithms and check they agree.
+    x, w = random_operands(params, seed=0)
+    reference = direct_conv2d(x, w, params)
+    winograd = winograd_conv2d(x, w, params, e=2)
+    print(f"Winograd vs direct max abs error: {max_abs_error(reference, winograd):.2e}")
+
+    # 3. I/O lower bounds and the near-optimal dataflow volumes (Sections 4-5).
+    fast_memory = 12288  # fp32 elements of shared memory per thread block
+    rows = []
+    rows.append({
+        "algorithm": "direct",
+        "lower bound (elements)": direct_conv_io_lower_bound(params, fast_memory),
+        "dataflow I/O (elements)": DirectDataflow(params, fast_memory).io_volume().total,
+    })
+    rows.append({
+        "algorithm": "winograd F(2x2,3x3)",
+        "lower bound (elements)": winograd_io_lower_bound(params, 2, fast_memory),
+        "dataflow I/O (elements)": WinogradDataflow(params, fast_memory, e=2).io_volume().total,
+    })
+    print()
+    print(render_rows(["algorithm", "lower bound (elements)", "dataflow I/O (elements)"], rows))
+
+    # 4. Auto-tune the direct-convolution template on the simulated V100 and
+    #    compare against the cuDNN baseline (Section 6).
+    engine = AutoTuningEngine(params, V100, algorithm="direct", max_measurements=64, seed=0)
+    result = engine.tune()
+    cudnn = CudnnLibrary(V100).run_best(params)
+    print()
+    print(f"ATE best configuration : {result.best_config.describe()}")
+    print(f"ATE best runtime       : {result.best_time * 1e3:.3f} ms ({result.best_gflops:.0f} GFLOP/s)")
+    print(f"cuDNN baseline         : {cudnn.time_seconds * 1e3:.3f} ms ({cudnn.gflops:.0f} GFLOP/s)")
+    print(f"Speedup over cuDNN     : {cudnn.time_seconds / result.best_time:.2f}x "
+          f"after {result.num_measurements} measurements "
+          f"(search space: {result.space_size:,} configurations)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Legacy setup shim.
+
+The offline environment has no `wheel` package, so PEP 660 editable installs
+fail; `python setup.py develop` (or `pip install -e . --no-build-isolation`)
+with this shim keeps `pip install -e .` working there.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,19 @@
+"""repro — reproduction of "I/O Lower Bounds for Auto-tuning of Convolutions in CNNs".
+
+The package is organised into:
+
+* :mod:`repro.conv`    — convolution algorithms (direct, im2col, Winograd).
+* :mod:`repro.pebble`  — red-blue pebble game DAG machinery.
+* :mod:`repro.core`    — the paper's contribution: composite I/O lower bounds,
+  near-I/O-optimal dataflows and the I/O-lower-bound-guided auto-tuner.
+* :mod:`repro.gpusim`  — analytical GPU memory-hierarchy simulator
+  (substitute for the paper's physical GPUs).
+* :mod:`repro.nets`    — CNN layer specifications (AlexNet, VGG, ResNet, ...).
+* :mod:`repro.analysis` — table/figure formatting used by the benchmark harness.
+"""
+
+__version__ = "1.0.0"
+
+from . import analysis, conv, core, gpusim, nets, pebble  # noqa: F401
+
+__all__ = ["analysis", "conv", "core", "gpusim", "nets", "pebble", "__version__"]

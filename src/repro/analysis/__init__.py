@@ -1,0 +1,17 @@
+"""Reporting helpers used by the benchmark harness and examples."""
+
+from .records import FigureData, ResultTable, Series
+from .tables import format_value, render_rows, render_table
+from .figures import render_figure, render_series, sparkline
+
+__all__ = [
+    "FigureData",
+    "ResultTable",
+    "Series",
+    "format_value",
+    "render_rows",
+    "render_table",
+    "render_figure",
+    "render_series",
+    "sparkline",
+]

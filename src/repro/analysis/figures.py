@@ -1,0 +1,57 @@
+"""Text rendering of figure data (ASCII line/bar summaries).
+
+The benchmark harness regenerates the paper's figures as data series; since
+no plotting library is available offline, this module renders them as compact
+ASCII summaries: one row per series with its final value and a sparkline-like
+bar so trends remain visible in terminal output and in the captured
+``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .records import FigureData, Series
+
+__all__ = ["sparkline", "render_series", "render_figure"]
+
+_BARS = " .:-=+*#%@"
+
+
+def sparkline(values: Sequence[float], width: int = 40) -> str:
+    """Render a sequence of values as a fixed-width character sparkline."""
+    values = [float(v) for v in values]
+    if not values:
+        return ""
+    if len(values) > width:
+        # Downsample by taking the max of each bucket (keeps peaks visible).
+        bucket = len(values) / width
+        values = [
+            max(values[int(i * bucket): max(int(i * bucket) + 1, int((i + 1) * bucket))])
+            for i in range(width)
+        ]
+    lo, hi = min(values), max(values)
+    if hi <= lo:
+        return _BARS[len(_BARS) // 2] * len(values)
+    out = []
+    for v in values:
+        idx = int((v - lo) / (hi - lo) * (len(_BARS) - 1))
+        out.append(_BARS[idx])
+    return "".join(out)
+
+
+def render_series(series: Series, width: int = 40) -> str:
+    if not series.y:
+        return f"{series.name}: (empty)"
+    return (
+        f"{series.name:>28s} | {sparkline(series.y, width)} | "
+        f"final={series.final():.4g}"
+    )
+
+
+def render_figure(figure: FigureData, width: int = 40) -> str:
+    lines: List[str] = [figure.title, "=" * min(len(figure.title), 79)]
+    lines.append(f"x: {figure.xlabel}    y: {figure.ylabel}")
+    for s in figure.series:
+        lines.append(render_series(s, width=width))
+    return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""Lightweight result records shared by the benchmark harness.
+
+Benchmarks produce rows (dictionaries) and series (x/y sequences); this
+module gives them a tiny, dependency-free structure so every harness prints
+its table or figure the same way and the tests can assert on the shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+__all__ = ["ResultTable", "Series", "FigureData"]
+
+
+@dataclass
+class ResultTable:
+    """An ordered collection of homogeneous result rows."""
+
+    title: str
+    columns: Sequence[str]
+    rows: List[Mapping[str, object]] = field(default_factory=list)
+
+    def add_row(self, **values: object) -> None:
+        missing = [c for c in self.columns if c not in values]
+        if missing:
+            raise ValueError(f"row is missing columns {missing}")
+        self.rows.append(dict(values))
+
+    def column(self, name: str) -> List[object]:
+        if name not in self.columns:
+            raise KeyError(f"unknown column {name!r}")
+        return [row[name] for row in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+@dataclass
+class Series:
+    """One named line of a figure: parallel x and y sequences."""
+
+    name: str
+    x: List[float] = field(default_factory=list)
+    y: List[float] = field(default_factory=list)
+
+    def append(self, x: float, y: float) -> None:
+        self.x.append(float(x))
+        self.y.append(float(y))
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+    def final(self) -> float:
+        if not self.y:
+            raise ValueError(f"series {self.name!r} is empty")
+        return self.y[-1]
+
+
+@dataclass
+class FigureData:
+    """A figure: a title, axis labels and a list of series."""
+
+    title: str
+    xlabel: str
+    ylabel: str
+    series: List[Series] = field(default_factory=list)
+
+    def add_series(self, series: Series) -> None:
+        self.series.append(series)
+
+    def get(self, name: str) -> Series:
+        for s in self.series:
+            if s.name == name:
+                return s
+        raise KeyError(f"figure {self.title!r} has no series {name!r}")

@@ -1,0 +1,56 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The benchmarks print the same rows the paper's tables/figures report; this
+module turns :class:`~repro.analysis.records.ResultTable` instances (or raw
+row dictionaries) into aligned monospace tables so ``pytest -s`` and the
+example scripts produce readable output without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from .records import ResultTable
+
+__all__ = ["format_value", "render_rows", "render_table"]
+
+
+def format_value(value: object, precision: int = 3) -> str:
+    """Human-friendly formatting of one cell."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, int):
+        return f"{value:,}"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.{precision}e}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_rows(
+    columns: Sequence[str],
+    rows: Iterable[Mapping[str, object]],
+    precision: int = 3,
+) -> str:
+    """Render rows as an aligned monospace table with a header."""
+    rendered = [[format_value(r.get(c, ""), precision) for c in columns] for r in rows]
+    widths = [len(c) for c in columns]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    header = " | ".join(c.ljust(w) for c, w in zip(columns, widths))
+    lines = [header, sep]
+    for row in rendered:
+        lines.append(" | ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_table(table: ResultTable, precision: int = 3) -> str:
+    """Render a :class:`ResultTable` including its title."""
+    body = render_rows(table.columns, table.rows, precision=precision)
+    underline = "=" * min(len(table.title), 79)
+    return f"{table.title}\n{underline}\n{body}"

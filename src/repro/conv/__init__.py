@@ -1,0 +1,46 @@
+"""Convolution algorithm substrate.
+
+This package contains the numerical convolution algorithms the paper's
+evaluation exercises (direct, im2col+GEMM, Winograd ``F(e x e, r x r)``),
+the Cook–Toom construction of the Winograd transforms, and the shared
+problem-description value objects.
+"""
+
+from .tensor import ConvParams, Layout, divisors, output_extent
+from .direct import direct_conv2d, direct_conv2d_naive
+from .im2col import im2col, im2col_conv2d, im2col_buffer_elements
+from .winograd_transforms import WinogradTransforms, cook_toom_1d, winograd_transforms
+from .winograd import WinogradPlan, plan_winograd, winograd_conv2d, winograd_flops
+from .reference import (
+    ALGORITHMS,
+    ConvAlgorithm,
+    max_abs_error,
+    random_operands,
+    run_algorithm,
+    verify_algorithm,
+)
+
+__all__ = [
+    "ConvParams",
+    "Layout",
+    "divisors",
+    "output_extent",
+    "direct_conv2d",
+    "direct_conv2d_naive",
+    "im2col",
+    "im2col_conv2d",
+    "im2col_buffer_elements",
+    "WinogradTransforms",
+    "cook_toom_1d",
+    "winograd_transforms",
+    "WinogradPlan",
+    "plan_winograd",
+    "winograd_conv2d",
+    "winograd_flops",
+    "ALGORITHMS",
+    "ConvAlgorithm",
+    "max_abs_error",
+    "random_operands",
+    "run_algorithm",
+    "verify_algorithm",
+]

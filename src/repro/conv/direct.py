@@ -1,0 +1,121 @@
+"""Reference direct convolution implementations.
+
+Two implementations are provided:
+
+* :func:`direct_conv2d` — a vectorised NumPy implementation used as the
+  numerical oracle throughout the test-suite.  It is written with
+  stride-tricked sliding windows and a single ``einsum`` so that large-ish
+  shapes stay fast without any compiled extension.
+* :func:`direct_conv2d_naive` — a literal seven-loop translation of the
+  definition in Section 2.2 of the paper.  It exists purely to validate the
+  vectorised version on tiny shapes.
+
+Both operate on ``(batch, Cin, Hin, Win)`` inputs and ``(Cout, Cin, Hker,
+Wker)`` kernels and return ``(batch, Cout, Hout, Wout)`` outputs, regardless
+of the :class:`~repro.conv.tensor.Layout` recorded in the problem description
+(layout only matters to the memory model, not to the mathematics).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import ConvParams
+
+__all__ = ["pad_input", "sliding_windows", "direct_conv2d", "direct_conv2d_naive"]
+
+
+def pad_input(x: np.ndarray, padding: int) -> np.ndarray:
+    """Zero-pad the two trailing spatial axes of a ``(b, C, H, W)`` tensor."""
+    if padding == 0:
+        return x
+    return np.pad(
+        x, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant"
+    )
+
+
+def sliding_windows(x_padded: np.ndarray, params: ConvParams) -> np.ndarray:
+    """Return a strided view of all sliding windows.
+
+    The result has shape ``(b, Cin, Hout, Wout, Hker, Wker)`` and is a *view*
+    (no copy) of the padded input, following the guide's advice to prefer
+    views over copies for large intermediate tensors.
+    """
+    b, cin, hp, wp = x_padded.shape
+    hout, wout = params.out_height, params.out_width
+    kh, kw = params.ker_height, params.ker_width
+    s = params.stride
+    sb, sc, sh, sw = x_padded.strides
+    shape = (b, cin, hout, wout, kh, kw)
+    strides = (sb, sc, sh * s, sw * s, sh, sw)
+    return np.lib.stride_tricks.as_strided(
+        x_padded, shape=shape, strides=strides, writeable=False
+    )
+
+
+def _check_operands(x: np.ndarray, w: np.ndarray, params: ConvParams) -> None:
+    if x.shape != params.input_shape:
+        raise ValueError(
+            f"input shape {x.shape} does not match params {params.input_shape}"
+        )
+    if w.shape != params.kernel_shape:
+        raise ValueError(
+            f"kernel shape {w.shape} does not match params {params.kernel_shape}"
+        )
+
+
+def direct_conv2d(
+    x: np.ndarray, w: np.ndarray, params: ConvParams, bias: np.ndarray | None = None
+) -> np.ndarray:
+    """Vectorised direct convolution (the numerical oracle).
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(batch, Cin, Hin, Win)``.
+    w:
+        Kernels of shape ``(Cout, Cin, Hker, Wker)``.
+    params:
+        Problem description; shapes must match.
+    bias:
+        Optional per-output-channel bias of shape ``(Cout,)``.
+    """
+    _check_operands(x, w, params)
+    xp = pad_input(np.asarray(x), params.padding)
+    windows = sliding_windows(xp, params)
+    # windows: (b, Cin, Hout, Wout, Hker, Wker); kernels: (Cout, Cin, Hker, Wker)
+    out = np.einsum("bchwij,ocij->bohw", windows, w, optimize=True)
+    if bias is not None:
+        bias = np.asarray(bias)
+        if bias.shape != (params.out_channels,):
+            raise ValueError(f"bias shape {bias.shape} != ({params.out_channels},)")
+        out = out + bias[None, :, None, None]
+    return out
+
+
+def direct_conv2d_naive(
+    x: np.ndarray, w: np.ndarray, params: ConvParams
+) -> np.ndarray:
+    """Loop-nest direct convolution following Section 2.2 literally.
+
+    Only intended for small shapes inside tests; it is O(batch * Cout * Hout *
+    Wout * Cin * Hker * Wker) Python-level work.
+    """
+    _check_operands(x, w, params)
+    xp = pad_input(np.asarray(x, dtype=np.float64), params.padding)
+    b = params.batch
+    hout, wout = params.out_height, params.out_width
+    out = np.zeros((b, params.out_channels, hout, wout), dtype=np.float64)
+    for n in range(b):
+        for co in range(params.out_channels):
+            for oh in range(hout):
+                for ow in range(wout):
+                    acc = 0.0
+                    ih0 = oh * params.stride
+                    iw0 = ow * params.stride
+                    for ci in range(params.in_channels):
+                        for kh in range(params.ker_height):
+                            for kw in range(params.ker_width):
+                                acc += xp[n, ci, ih0 + kh, iw0 + kw] * w[co, ci, kh, kw]
+                    out[n, co, oh, ow] = acc
+    return out

@@ -1,0 +1,71 @@
+"""im2col + GEMM convolution.
+
+cuDNN's "direct" path for general shapes is the image-to-column lowering
+followed by a matrix multiplication (the paper cites it as the image2col
+method, Section 7).  We implement it both as a numerical algorithm and as a
+cost-model target: the lowering materialises a ``(Cin*Hker*Wker, Hout*Wout)``
+matrix per image, which is exactly why its off-chip traffic is larger than
+the I/O-optimal dataflow for strided or large-kernel problems.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .direct import pad_input, sliding_windows
+from .tensor import ConvParams
+
+__all__ = ["im2col", "col2im_shape", "im2col_conv2d", "im2col_buffer_elements"]
+
+
+def im2col(x: np.ndarray, params: ConvParams) -> np.ndarray:
+    """Lower the input to the column matrix.
+
+    Returns an array of shape ``(batch, Cin*Hker*Wker, Hout*Wout)``.
+    """
+    if x.shape != params.input_shape:
+        raise ValueError(f"input shape {x.shape} != {params.input_shape}")
+    xp = pad_input(np.asarray(x), params.padding)
+    windows = sliding_windows(xp, params)
+    b = params.batch
+    k = params.in_channels * params.ker_height * params.ker_width
+    n = params.out_height * params.out_width
+    # (b, Cin, Hout, Wout, Hker, Wker) -> (b, Cin, Hker, Wker, Hout, Wout)
+    cols = windows.transpose(0, 1, 4, 5, 2, 3).reshape(b, k, n)
+    return np.ascontiguousarray(cols)
+
+
+def col2im_shape(params: ConvParams) -> tuple[int, int, int]:
+    """Shape of the column matrix ``(batch, K, N)`` without materialising it."""
+    return (
+        params.batch,
+        params.in_channels * params.ker_height * params.ker_width,
+        params.out_height * params.out_width,
+    )
+
+
+def im2col_buffer_elements(params: ConvParams) -> int:
+    """Number of elements of the materialised column buffer.
+
+    This is the extra off-chip footprint the im2col method pays compared with
+    the direct dataflow; the GPU simulator charges it as additional traffic.
+    """
+    b, k, n = col2im_shape(params)
+    return b * k * n
+
+
+def im2col_conv2d(
+    x: np.ndarray, w: np.ndarray, params: ConvParams, bias: np.ndarray | None = None
+) -> np.ndarray:
+    """Convolution via explicit im2col lowering and a single GEMM per image."""
+    if w.shape != params.kernel_shape:
+        raise ValueError(f"kernel shape {w.shape} != {params.kernel_shape}")
+    cols = im2col(x, params)
+    k = params.in_channels * params.ker_height * params.ker_width
+    w_mat = w.reshape(params.out_channels, k)
+    # (Cout, K) @ (b, K, N) -> (b, Cout, N)
+    out = np.einsum("ok,bkn->bon", w_mat, cols, optimize=True)
+    out = out.reshape(params.output_shape)
+    if bias is not None:
+        out = out + np.asarray(bias)[None, :, None, None]
+    return out

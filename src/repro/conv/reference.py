@@ -1,0 +1,122 @@
+"""Correctness oracles and algorithm registry for convolutions.
+
+The rest of the library (tests, dataflow executors, the auto-tuning engine's
+"measurement" step) needs a single place that says "here are the convolution
+algorithms we implement, run one and check it against the oracle".  This
+module provides that registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from .direct import direct_conv2d
+from .im2col import im2col_conv2d
+from .tensor import ConvParams
+from .winograd import winograd_conv2d
+
+__all__ = [
+    "ConvAlgorithm",
+    "ALGORITHMS",
+    "run_algorithm",
+    "random_operands",
+    "max_abs_error",
+    "verify_algorithm",
+]
+
+
+ConvFn = Callable[..., np.ndarray]
+
+
+@dataclass(frozen=True)
+class ConvAlgorithm:
+    """A named convolution implementation.
+
+    ``supports`` reports whether the algorithm can run a given problem (e.g.
+    Winograd needs stride 1 and a square kernel).
+    """
+
+    name: str
+    fn: ConvFn
+    requires_winograd: bool = False
+
+    def supports(self, params: ConvParams) -> bool:
+        if self.requires_winograd:
+            return params.winograd_compatible()
+        return True
+
+
+def _winograd_e2(x, w, params, bias=None):
+    return winograd_conv2d(x, w, params, e=2, bias=bias)
+
+
+def _winograd_e4(x, w, params, bias=None):
+    return winograd_conv2d(x, w, params, e=4, bias=bias)
+
+
+ALGORITHMS: Dict[str, ConvAlgorithm] = {
+    "direct": ConvAlgorithm("direct", direct_conv2d),
+    "im2col": ConvAlgorithm("im2col", im2col_conv2d),
+    "winograd_f2": ConvAlgorithm("winograd_f2", _winograd_e2, requires_winograd=True),
+    "winograd_f4": ConvAlgorithm("winograd_f4", _winograd_e4, requires_winograd=True),
+}
+
+
+def run_algorithm(
+    name: str,
+    x: np.ndarray,
+    w: np.ndarray,
+    params: ConvParams,
+    bias: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Run the named algorithm, raising ``KeyError`` for unknown names and
+    ``ValueError`` for unsupported problems."""
+    algo = ALGORITHMS[name]
+    if not algo.supports(params):
+        raise ValueError(f"algorithm {name!r} does not support {params.describe()}")
+    return algo.fn(x, w, params, bias=bias)
+
+
+def random_operands(
+    params: ConvParams, seed: int = 0, dtype=np.float64
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Deterministic random input/kernel tensors for a problem."""
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(params.input_shape).astype(dtype)
+    w = rng.standard_normal(params.kernel_shape).astype(dtype)
+    return x, w
+
+
+def max_abs_error(a: np.ndarray, b: np.ndarray) -> float:
+    """Maximum absolute elementwise difference between two arrays."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    if a.size == 0:
+        return 0.0
+    return float(np.max(np.abs(a - b)))
+
+
+def verify_algorithm(
+    name: str, params: ConvParams, seed: int = 0, rtol: float = 1e-8
+) -> float:
+    """Run ``name`` and the direct oracle on random operands; return the
+    maximum absolute error normalised by the oracle's magnitude.
+
+    Raises ``AssertionError`` if the relative error exceeds ``rtol``.
+    """
+    x, w = random_operands(params, seed=seed)
+    expected = direct_conv2d(x, w, params)
+    actual = run_algorithm(name, x, w, params)
+    scale = max(1.0, float(np.max(np.abs(expected))))
+    err = max_abs_error(expected, actual) / scale
+    if err > rtol:
+        raise AssertionError(
+            f"{name} disagrees with the direct oracle: rel err {err:.3e} > {rtol:.1e} "
+            f"for {params.describe()}"
+        )
+    return err

@@ -1,0 +1,256 @@
+"""Tensor shape descriptions and convolution problem parameters.
+
+This module defines the small value objects shared by every other subsystem:
+
+* :class:`ConvParams` — a complete description of one convolution problem
+  (input/kernel/output shapes, stride, padding, batch size, data layout).
+* :class:`Layout` — the memory layouts considered by the paper's search
+  domain (Table 1): ``CHW``, ``CWH`` and ``HWC``.
+
+All shape arithmetic used by the reference implementations, the dataflow
+models and the auto-tuner goes through :class:`ConvParams` so that the
+definition of ``Hout``/``Wout``/``R`` is written exactly once.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import math
+from typing import Iterator, Tuple
+
+__all__ = ["Layout", "ConvParams", "output_extent", "iter_spatial"]
+
+
+class Layout(str, enum.Enum):
+    """Memory layout of an image tensor.
+
+    The paper's search domain (Table 1) enumerates three layouts for the
+    channelled image tensors.  The layout only affects the *ordering* of
+    elements in linear memory — it never changes the mathematical result of a
+    convolution — but it changes memory-coalescing efficiency in the GPU
+    simulator and is therefore part of a tuning configuration.
+    """
+
+    CHW = "CHW"
+    CWH = "CWH"
+    HWC = "HWC"
+
+    @classmethod
+    def all(cls) -> Tuple["Layout", ...]:
+        return (cls.CHW, cls.CWH, cls.HWC)
+
+
+def output_extent(in_extent: int, ker_extent: int, stride: int, padding: int) -> int:
+    """Spatial output extent of a convolution along one axis.
+
+    ``out = floor((in + 2*pad - ker) / stride) + 1``
+
+    Raises
+    ------
+    ValueError
+        If the resulting extent would be non-positive.
+    """
+    if in_extent <= 0 or ker_extent <= 0:
+        raise ValueError("extents must be positive")
+    if stride <= 0:
+        raise ValueError("stride must be positive")
+    if padding < 0:
+        raise ValueError("padding must be non-negative")
+    out = (in_extent + 2 * padding - ker_extent) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"non-positive output extent for in={in_extent}, ker={ker_extent}, "
+            f"stride={stride}, padding={padding}"
+        )
+    return out
+
+
+@dataclasses.dataclass(frozen=True)
+class ConvParams:
+    """Complete description of a single 2-D convolution problem.
+
+    Notation follows the paper: the input image is ``Win x Hin x Cin``, there
+    are ``Cout`` kernels of shape ``Wker x Hker x Cin``, the output image is
+    ``Wout x Hout x Cout``, the stride is ``mu`` (written ``stride`` here) and
+    ``R = Wker*Hker / stride^2`` is the maximum reuse of one input element by
+    different sliding windows (Eq. 13).
+
+    ``batch`` describes a batched convolution; the paper's Figure 10 sweeps
+    the batch dimension, and all I/O-volume formulas simply scale with it.
+    """
+
+    in_height: int
+    in_width: int
+    in_channels: int
+    out_channels: int
+    ker_height: int = 3
+    ker_width: int = 3
+    stride: int = 1
+    padding: int = 0
+    batch: int = 1
+    layout: Layout = Layout.CHW
+
+    def __post_init__(self) -> None:
+        for name in (
+            "in_height",
+            "in_width",
+            "in_channels",
+            "out_channels",
+            "ker_height",
+            "ker_width",
+            "stride",
+            "batch",
+        ):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value <= 0:
+                raise ValueError(f"{name} must be a positive integer, got {value!r}")
+        if self.padding < 0:
+            raise ValueError("padding must be non-negative")
+        if self.ker_height > self.in_height + 2 * self.padding:
+            raise ValueError("kernel taller than padded input")
+        if self.ker_width > self.in_width + 2 * self.padding:
+            raise ValueError("kernel wider than padded input")
+        if not isinstance(self.layout, Layout):
+            object.__setattr__(self, "layout", Layout(self.layout))
+
+    # ------------------------------------------------------------------ #
+    # Derived shapes
+    # ------------------------------------------------------------------ #
+    @property
+    def out_height(self) -> int:
+        return output_extent(self.in_height, self.ker_height, self.stride, self.padding)
+
+    @property
+    def out_width(self) -> int:
+        return output_extent(self.in_width, self.ker_width, self.stride, self.padding)
+
+    @property
+    def input_shape(self) -> Tuple[int, int, int, int]:
+        """Logical shape ``(batch, Cin, Hin, Win)``."""
+        return (self.batch, self.in_channels, self.in_height, self.in_width)
+
+    @property
+    def kernel_shape(self) -> Tuple[int, int, int, int]:
+        """Logical shape ``(Cout, Cin, Hker, Wker)``."""
+        return (self.out_channels, self.in_channels, self.ker_height, self.ker_width)
+
+    @property
+    def output_shape(self) -> Tuple[int, int, int, int]:
+        """Logical shape ``(batch, Cout, Hout, Wout)``."""
+        return (self.batch, self.out_channels, self.out_height, self.out_width)
+
+    # ------------------------------------------------------------------ #
+    # Element counts and arithmetic intensity
+    # ------------------------------------------------------------------ #
+    @property
+    def input_elements(self) -> int:
+        return self.batch * self.in_channels * self.in_height * self.in_width
+
+    @property
+    def kernel_elements(self) -> int:
+        return self.out_channels * self.in_channels * self.ker_height * self.ker_width
+
+    @property
+    def output_elements(self) -> int:
+        return self.batch * self.out_channels * self.out_height * self.out_width
+
+    @property
+    def macs(self) -> int:
+        """Number of multiply-accumulate operations of the direct algorithm."""
+        return (
+            self.output_elements
+            * self.in_channels
+            * self.ker_height
+            * self.ker_width
+        )
+
+    @property
+    def flops(self) -> int:
+        """Floating-point operations (2 per MAC) of the direct algorithm."""
+        return 2 * self.macs
+
+    @property
+    def reuse_factor(self) -> float:
+        """``R = Wker*Hker / stride^2`` — maximum input reuse (Eq. 13)."""
+        return (self.ker_height * self.ker_width) / float(self.stride * self.stride)
+
+    @property
+    def is_square_kernel(self) -> bool:
+        return self.ker_height == self.ker_width
+
+    def winograd_compatible(self) -> bool:
+        """Winograd ``F(e x e, r x r)`` requires a square kernel and stride 1."""
+        return self.is_square_kernel and self.stride == 1
+
+    # ------------------------------------------------------------------ #
+    # Convenience constructors / transforms
+    # ------------------------------------------------------------------ #
+    def with_batch(self, batch: int) -> "ConvParams":
+        return dataclasses.replace(self, batch=batch)
+
+    def with_layout(self, layout: Layout) -> "ConvParams":
+        return dataclasses.replace(self, layout=Layout(layout))
+
+    def with_padding(self, padding: int) -> "ConvParams":
+        return dataclasses.replace(self, padding=padding)
+
+    @classmethod
+    def square(
+        cls,
+        size: int,
+        in_channels: int,
+        out_channels: int,
+        kernel: int = 3,
+        stride: int = 1,
+        padding: int = 0,
+        batch: int = 1,
+        layout: Layout = Layout.CHW,
+    ) -> "ConvParams":
+        """Build a square-image, square-kernel problem (the paper's sweeps)."""
+        return cls(
+            in_height=size,
+            in_width=size,
+            in_channels=in_channels,
+            out_channels=out_channels,
+            ker_height=kernel,
+            ker_width=kernel,
+            stride=stride,
+            padding=padding,
+            batch=batch,
+            layout=layout,
+        )
+
+    def describe(self) -> str:
+        return (
+            f"Conv(b={self.batch}, Cin={self.in_channels}, "
+            f"HxW={self.in_height}x{self.in_width}, Cout={self.out_channels}, "
+            f"ker={self.ker_height}x{self.ker_width}, stride={self.stride}, "
+            f"pad={self.padding}, layout={self.layout.value})"
+        )
+
+
+def iter_spatial(params: ConvParams) -> Iterator[Tuple[int, int, int, int]]:
+    """Iterate over ``(oh, ow, ih0, iw0)`` output positions and the top-left
+    corner of the corresponding sliding window in the *padded* input."""
+    for oh in range(params.out_height):
+        for ow in range(params.out_width):
+            yield oh, ow, oh * params.stride, ow * params.stride
+
+
+def divisors(n: int) -> Tuple[int, ...]:
+    """All positive divisors of ``n`` in increasing order.
+
+    Used by the search domain (Table 1): tile sizes must divide the output
+    extents, and thread counts must divide tile sizes.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    small = []
+    large = []
+    for d in range(1, int(math.isqrt(n)) + 1):
+        if n % d == 0:
+            small.append(d)
+            if d != n // d:
+                large.append(n // d)
+    return tuple(small + large[::-1])

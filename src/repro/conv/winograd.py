@@ -1,0 +1,196 @@
+"""Winograd convolution ``F(e x e, r x r)`` for CNN layers.
+
+The computation follows the four steps of the paper's Figure 5:
+
+1. transform each ``(e + r - 1) x (e + r - 1)`` input tile with ``B`` and each
+   ``r x r`` kernel slice with ``G`` (linear-combination trees),
+2. element-wise multiply the transformed tensors (``Λ``),
+3. sum ``Λ`` along the channel axis (summation trees) producing ``Π``,
+4. transform ``Π`` back with ``A`` to obtain ``e x e`` outputs per tile.
+
+The implementation is vectorised over the batch, channel and tile axes with a
+single einsum per step so that the test-suite can exercise realistic layer
+shapes.  Outputs are numerically identical (to float tolerance) to
+:func:`repro.conv.direct.direct_conv2d` for stride-1 square-kernel problems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .direct import pad_input
+from .tensor import ConvParams
+from .winograd_transforms import WinogradTransforms, winograd_transforms
+
+__all__ = ["WinogradPlan", "plan_winograd", "winograd_conv2d", "winograd_flops"]
+
+
+@dataclass(frozen=True)
+class WinogradPlan:
+    """Tile decomposition of a convolution for ``F(e x e, r x r)``.
+
+    Attributes
+    ----------
+    params:
+        The convolution problem.
+    transforms:
+        The transform matrices for the chosen ``e``.
+    tiles_h / tiles_w:
+        Number of output tiles along each spatial axis (output extents are
+        padded up to a multiple of ``e``).
+    padded_out_h / padded_out_w:
+        Output extents after rounding up to whole tiles.
+    """
+
+    params: ConvParams
+    transforms: WinogradTransforms
+    tiles_h: int
+    tiles_w: int
+    padded_out_h: int
+    padded_out_w: int
+
+    @property
+    def e(self) -> int:
+        return self.transforms.m
+
+    @property
+    def r(self) -> int:
+        return self.transforms.r
+
+    @property
+    def tile_in(self) -> int:
+        return self.transforms.tile_in
+
+    @property
+    def num_tiles(self) -> int:
+        return self.tiles_h * self.tiles_w
+
+    @property
+    def multiplications(self) -> int:
+        """Element-wise multiplications across the whole layer (step 2)."""
+        p = self.params
+        return (
+            p.batch
+            * p.out_channels
+            * p.in_channels
+            * self.num_tiles
+            * self.transforms.multiplications
+        )
+
+
+def plan_winograd(params: ConvParams, e: int = 2) -> WinogradPlan:
+    """Build a tiling plan for ``F(e x e, r x r)``.
+
+    Raises
+    ------
+    ValueError
+        If the problem is not Winograd compatible (non-square kernel or
+        stride != 1) or ``e`` is not a positive integer.
+    """
+    if not params.winograd_compatible():
+        raise ValueError(
+            "Winograd requires a square kernel and stride 1; got "
+            f"{params.describe()}"
+        )
+    if e < 1:
+        raise ValueError("e must be >= 1")
+    r = params.ker_height
+    transforms = winograd_transforms(e, r)
+    tiles_h = -(-params.out_height // e)
+    tiles_w = -(-params.out_width // e)
+    return WinogradPlan(
+        params=params,
+        transforms=transforms,
+        tiles_h=tiles_h,
+        tiles_w=tiles_w,
+        padded_out_h=tiles_h * e,
+        padded_out_w=tiles_w * e,
+    )
+
+
+def _extract_tiles(xp: np.ndarray, plan: WinogradPlan) -> np.ndarray:
+    """Gather the overlapping input tiles.
+
+    Returns an array of shape ``(batch, Cin, tiles_h, tiles_w, t, t)`` where
+    ``t = e + r - 1``.  The padded input is extended (with zeros) as needed so
+    that every tile is complete.
+    """
+    p = plan.params
+    e, t = plan.e, plan.tile_in
+    need_h = (plan.tiles_h - 1) * e + t
+    need_w = (plan.tiles_w - 1) * e + t
+    b, cin, hp, wp = xp.shape
+    if hp < need_h or wp < need_w:
+        xp = np.pad(
+            xp,
+            ((0, 0), (0, 0), (0, max(0, need_h - hp)), (0, max(0, need_w - wp))),
+            mode="constant",
+        )
+    sb, sc, sh, sw = xp.strides
+    shape = (b, cin, plan.tiles_h, plan.tiles_w, t, t)
+    strides = (sb, sc, sh * e, sw * e, sh, sw)
+    return np.lib.stride_tricks.as_strided(xp, shape=shape, strides=strides, writeable=False)
+
+
+def winograd_conv2d(
+    x: np.ndarray,
+    w: np.ndarray,
+    params: ConvParams,
+    e: int = 2,
+    bias: np.ndarray | None = None,
+) -> np.ndarray:
+    """Compute a convolution with the Winograd algorithm ``F(e x e, r x r)``."""
+    if x.shape != params.input_shape:
+        raise ValueError(f"input shape {x.shape} != {params.input_shape}")
+    if w.shape != params.kernel_shape:
+        raise ValueError(f"kernel shape {w.shape} != {params.kernel_shape}")
+    plan = plan_winograd(params, e=e)
+    tf = plan.transforms
+
+    xp = pad_input(np.asarray(x, dtype=np.float64), params.padding)
+    tiles = _extract_tiles(xp, plan)  # (b, Cin, th, tw, t, t)
+
+    # Step 1a: input transform  P = B^T d B       -> (b, Cin, th, tw, t, t)
+    p_tiles = np.einsum("ij,bcxyjk,lk->bcxyil", tf.BT, tiles, tf.BT, optimize=True)
+    # Step 1b: filter transform J = G g G^T       -> (Cout, Cin, t, t)
+    j = np.einsum("ij,ocjk,lk->ocil", tf.G, np.asarray(w, dtype=np.float64), tf.G, optimize=True)
+    # Steps 2+3: element-wise multiply and reduce over input channels
+    #   Π[b, o, x, y] = Σ_c  P[b,c,x,y] ⊙ J[o,c]   -> (b, Cout, th, tw, t, t)
+    pi = np.einsum("bcxyil,ocil->boxyil", p_tiles, j, optimize=True)
+    # Step 4: output transform Y = A^T Π A        -> (b, Cout, th, tw, e, e)
+    y_tiles = np.einsum("ij,boxyjk,lk->boxyil", tf.AT, pi, tf.AT, optimize=True)
+
+    # Scatter tiles back into the (possibly over-sized) output, then crop.
+    b = params.batch
+    out_full = y_tiles.transpose(0, 1, 2, 4, 3, 5).reshape(
+        b, params.out_channels, plan.padded_out_h, plan.padded_out_w
+    )
+    out = np.ascontiguousarray(out_full[:, :, : params.out_height, : params.out_width])
+    if bias is not None:
+        out = out + np.asarray(bias)[None, :, None, None]
+    return out
+
+
+def winograd_flops(params: ConvParams, e: int = 2) -> int:
+    """Approximate floating-point operation count of the Winograd algorithm.
+
+    Counts the element-wise multiplications plus the transform arithmetic
+    (each 1-D transform of a length-``t`` vector is a dense ``t``-term linear
+    combination).  Used by the GPU simulator's compute-time estimate.
+    """
+    plan = plan_winograd(params, e=e)
+    p = params
+    t = plan.tile_in
+    r = plan.r
+    tiles = plan.num_tiles * p.batch
+    # input transform: per tile & input channel, two matrix products (t x t)·(t x t)
+    input_tf = tiles * p.in_channels * 2 * t * t * t
+    # filter transform: per (Cout, Cin) pair: (t x r)·(r x r) then (t x r)·(r x t)
+    filter_tf = p.out_channels * p.in_channels * (t * r * r + t * t * r) * 2
+    # element-wise multiply + channel reduction
+    elementwise = 2 * tiles * p.out_channels * p.in_channels * t * t
+    # output transform: per tile & output channel: (e x t)·(t x t) then (e x t)·(t x e)
+    output_tf = tiles * p.out_channels * 2 * (plan.e * t * t + plan.e * plan.e * t)
+    return int(input_tf + filter_tf + elementwise + output_tf)

@@ -1,0 +1,212 @@
+"""Cook–Toom construction of the Winograd transform matrices.
+
+Winograd's minimal filtering algorithm ``F(m, r)`` computes ``m`` outputs of a
+1-D correlation with an ``r``-tap filter using only ``n = m + r - 1``
+multiplications:
+
+    ``y = A^T [ (G g) ⊙ (B^T d) ]``
+
+where ``d`` is the length-``n`` input tile, ``g`` the length-``r`` filter, and
+
+* ``G``   is ``n x r``  (filter transform),
+* ``B^T`` is ``n x n``  (input transform),
+* ``A^T`` is ``m x n``  (output transform).
+
+The 2-D algorithm ``F(m x m, r x r)`` used for CNN convolutions nests the 1-D
+transforms:  ``Y = A^T [ (G g G^T) ⊙ (B^T d B) ] A``.
+
+Construction
+------------
+We derive the matrices from the Toom–Cook evaluation/interpolation scheme for
+linear convolution and transpose it (the standard duality between linear
+convolution and correlation):
+
+* pick ``n - 1`` distinct rational evaluation points plus the point at
+  infinity;
+* ``E_k`` is the ``n x k`` Vandermonde matrix (``∞`` row = ``[0, …, 0, 1]``);
+* ``C`` is the square ``n x n`` Vandermonde at the same points;
+* then ``A^T = E_m^T``, ``G = E_r`` and ``B^T = C^{-T}``.
+
+All arithmetic is performed with :class:`fractions.Fraction` so the returned
+float matrices are exact binary representations of small rationals whenever
+possible; Lemma 4.13's assumption that the transform coefficients live
+permanently in fast memory matches treating them as compile-time constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from functools import lru_cache
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "WinogradTransforms",
+    "default_points",
+    "cook_toom_1d",
+    "winograd_transforms",
+]
+
+
+_INF = object()  # sentinel for the evaluation point at infinity
+
+
+def default_points(count: int) -> List[Fraction]:
+    """Return ``count`` distinct finite rational evaluation points.
+
+    The sequence ``0, 1, -1, 2, -2, 1/2, -1/2, 3, -3, …`` keeps the magnitude
+    of the transform coefficients small, which is the usual choice for
+    numerically well-behaved Winograd matrices.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if count == 0:
+        return []
+    points: List[Fraction] = []
+    candidates: List[Fraction] = [Fraction(0)]
+    k = 1
+    while len(candidates) < count + 2:
+        candidates.extend(
+            [Fraction(k), Fraction(-k), Fraction(1, k + 1), Fraction(-1, k + 1)]
+        )
+        k += 1
+    seen = set()
+    for c in candidates:
+        if c not in seen:
+            seen.add(c)
+            points.append(c)
+        if len(points) == count:
+            break
+    return points
+
+
+def _vandermonde(points: Sequence, cols: int) -> List[List[Fraction]]:
+    """Vandermonde matrix rows ``[1, p, p^2, …]``; the ∞ row is ``e_{cols-1}``."""
+    rows: List[List[Fraction]] = []
+    for p in points:
+        if p is _INF:
+            rows.append([Fraction(0)] * (cols - 1) + [Fraction(1)])
+        else:
+            rows.append([Fraction(p) ** j for j in range(cols)])
+    return rows
+
+
+def _mat_inverse(matrix: List[List[Fraction]]) -> List[List[Fraction]]:
+    """Exact Gauss–Jordan inverse over the rationals."""
+    n = len(matrix)
+    aug = [list(row) + [Fraction(int(i == j)) for j in range(n)] for i, row in enumerate(matrix)]
+    for col in range(n):
+        pivot_row = next((r for r in range(col, n) if aug[r][col] != 0), None)
+        if pivot_row is None:
+            raise ValueError("singular Vandermonde matrix: evaluation points repeat")
+        aug[col], aug[pivot_row] = aug[pivot_row], aug[col]
+        pivot = aug[col][col]
+        aug[col] = [v / pivot for v in aug[col]]
+        for r in range(n):
+            if r != col and aug[r][col] != 0:
+                factor = aug[r][col]
+                aug[r] = [a - factor * b for a, b in zip(aug[r], aug[col])]
+    return [row[n:] for row in aug]
+
+
+def _transpose(matrix: List[List[Fraction]]) -> List[List[Fraction]]:
+    return [list(col) for col in zip(*matrix)]
+
+
+def _to_float(matrix: List[List[Fraction]]) -> np.ndarray:
+    return np.array([[float(v) for v in row] for row in matrix], dtype=np.float64)
+
+
+@dataclass(frozen=True)
+class WinogradTransforms:
+    """The three transform matrices of ``F(m x m, r x r)``.
+
+    Attributes
+    ----------
+    m:
+        Output tile extent ``e`` in the paper's notation.
+    r:
+        Kernel extent.
+    AT:
+        ``m x n`` output transform (``A^T``).
+    G:
+        ``n x r`` filter transform.
+    BT:
+        ``n x n`` input transform (``B^T``).
+    """
+
+    m: int
+    r: int
+    AT: np.ndarray
+    G: np.ndarray
+    BT: np.ndarray
+
+    @property
+    def tile_in(self) -> int:
+        """Input tile extent ``n = m + r - 1`` (written ``e + r - 1`` in the paper)."""
+        return self.m + self.r - 1
+
+    @property
+    def multiplications(self) -> int:
+        """Element-wise multiplications per 2-D tile and channel: ``n^2``."""
+        return self.tile_in * self.tile_in
+
+    def filter_2d(self, g: np.ndarray) -> np.ndarray:
+        """Transform one ``r x r`` filter into the ``n x n`` Winograd domain."""
+        return self.G @ g @ self.G.T
+
+    def input_2d(self, d: np.ndarray) -> np.ndarray:
+        """Transform one ``n x n`` input tile into the Winograd domain."""
+        return self.BT @ d @ self.BT.T
+
+    def output_2d(self, mprod: np.ndarray) -> np.ndarray:
+        """Transform an ``n x n`` element-wise product back to ``m x m`` outputs."""
+        return self.AT @ mprod @ self.AT.T
+
+
+def cook_toom_1d(
+    m: int, r: int, points: Sequence[Fraction] | None = None
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Build the 1-D ``F(m, r)`` matrices ``(A^T, G, B^T)``.
+
+    Parameters
+    ----------
+    m:
+        Number of outputs per tile (``e``); must be >= 1.
+    r:
+        Filter taps; must be >= 1.  ``m = r = 1`` degenerates to a scalar
+        product and is rejected because no interpolation is involved.
+    points:
+        Optional explicit finite evaluation points (``n - 1`` of them).  The
+        point at infinity is always appended.
+    """
+    if m < 1 or r < 1:
+        raise ValueError("m and r must be >= 1")
+    n = m + r - 1
+    if n < 2:
+        raise ValueError("F(1,1) is a scalar multiply; no Winograd transform exists")
+    finite = list(points) if points is not None else default_points(n - 1)
+    if len(finite) != n - 1:
+        raise ValueError(f"need exactly {n - 1} finite points, got {len(finite)}")
+    if len(set(finite)) != len(finite):
+        raise ValueError("evaluation points must be distinct")
+    pts: List = list(finite) + [_INF]
+
+    e_m = _vandermonde(pts, m)  # n x m
+    e_r = _vandermonde(pts, r)  # n x r
+    c = _vandermonde(pts, n)  # n x n
+    c_inv_t = _transpose(_mat_inverse(c))  # C^{-T}
+
+    at = _to_float(_transpose(e_m))  # m x n
+    g = _to_float(e_r)  # n x r
+    bt = _to_float(c_inv_t)  # n x n
+    return at, g, bt
+
+
+@lru_cache(maxsize=None)
+def winograd_transforms(m: int, r: int) -> WinogradTransforms:
+    """Return (and cache) the 2-D transform set for ``F(m x m, r x r)``."""
+    at, g, bt = cook_toom_1d(m, r)
+    return WinogradTransforms(m=m, r=r, AT=at, G=g, BT=bt)

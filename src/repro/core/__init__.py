@@ -1,0 +1,27 @@
+"""The paper's primary contribution.
+
+* :mod:`repro.core.bounds`   — general composite I/O lower-bound theory and
+  the direct-convolution / Winograd bounds (Section 4).
+* :mod:`repro.core.dataflow` — near I/O-optimal dataflow strategies and the
+  optimality condition (Section 5).
+* :mod:`repro.core.autotune` — the I/O-lower-bound-guided auto-tuning engine
+  and the TVM-style / heuristic baselines (Section 6).
+
+``autotune`` is imported lazily because it depends on :mod:`repro.gpusim`,
+which in turn uses the dataflow formulas from this package; eager imports in
+both directions would create a cycle.
+"""
+
+from importlib import import_module
+
+from . import bounds, dataflow  # noqa: F401
+
+__all__ = ["autotune", "bounds", "dataflow"]
+
+
+def __getattr__(name: str):
+    if name == "autotune":
+        module = import_module(".autotune", __name__)
+        globals()[name] = module
+        return module
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,38 @@
+"""I/O-lower-bound-guided auto-tuning engine (Section 6 of the paper)."""
+
+from .config import Configuration, Measurer, build_profile
+from .space import SearchSpace
+from .features import FEATURE_NAMES, feature_matrix, feature_vector
+from .cost_model import CostModel, GradientBoostedTrees, RegressionTree
+from .explorer import ExplorerConfig, ParallelRandomWalkExplorer
+from .engine import AutoTuningEngine, TrialRecord, TuningResult
+from .baselines import (
+    BaselineTuner,
+    GeneticTuner,
+    RandomSearchTuner,
+    SimulatedAnnealingTuner,
+    TVMStyleTuner,
+)
+
+__all__ = [
+    "Configuration",
+    "Measurer",
+    "build_profile",
+    "SearchSpace",
+    "FEATURE_NAMES",
+    "feature_matrix",
+    "feature_vector",
+    "CostModel",
+    "GradientBoostedTrees",
+    "RegressionTree",
+    "ExplorerConfig",
+    "ParallelRandomWalkExplorer",
+    "AutoTuningEngine",
+    "TrialRecord",
+    "TuningResult",
+    "BaselineTuner",
+    "GeneticTuner",
+    "RandomSearchTuner",
+    "SimulatedAnnealingTuner",
+    "TVMStyleTuner",
+]

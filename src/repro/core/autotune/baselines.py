@@ -1,0 +1,229 @@
+"""Baseline tuners: the search strategies the paper compares against.
+
+Figure 11 compares the ATE against the automation methods available in a
+TVM-style tuner over the *unpruned* configuration space:
+
+* :class:`RandomSearchTuner` — uniform random sampling;
+* :class:`SimulatedAnnealingTuner` — measurement-driven simulated annealing
+  over the neighbourhood graph;
+* :class:`GeneticTuner` — a small genetic algorithm (tournament selection,
+  knob-wise crossover, neighbourhood mutation);
+* :class:`TVMStyleTuner` — the closest analogue of TVM's XGBoost tuner: the
+  same cost-model + parallel-random-walk machinery as the ATE, but run on the
+  unpruned space (no optimality-condition constraints).
+
+Every tuner returns the same :class:`~repro.core.autotune.engine.TuningResult`
+structure so the benchmarks can compare convergence curves directly.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional, Sequence
+
+from ...conv.tensor import ConvParams
+from ...gpusim.spec import GPUSpec
+from .config import Configuration, Measurer
+from .cost_model import CostModel
+from .engine import AutoTuningEngine, TrialRecord, TuningResult
+from .explorer import ExplorerConfig
+from .space import SearchSpace
+
+__all__ = [
+    "BaselineTuner",
+    "RandomSearchTuner",
+    "SimulatedAnnealingTuner",
+    "GeneticTuner",
+    "TVMStyleTuner",
+]
+
+
+class BaselineTuner:
+    """Common scaffolding for measurement-driven baseline tuners."""
+
+    name = "baseline"
+
+    def __init__(
+        self,
+        params: ConvParams,
+        spec: GPUSpec,
+        algorithm: str = "direct",
+        max_measurements: int = 256,
+        seed: int = 0,
+        pruned: bool = False,
+        measurer: Optional[Measurer] = None,
+    ) -> None:
+        if max_measurements < 1:
+            raise ValueError("max_measurements must be >= 1")
+        self.params = params
+        self.spec = spec
+        self.algorithm = algorithm
+        self.max_measurements = max_measurements
+        self.seed = seed
+        self.space = SearchSpace(params, spec, algorithm, pruned=pruned)
+        self.measurer = measurer or Measurer(params, spec)
+        self.rng = random.Random(seed)
+
+    # ------------------------------------------------------------------ #
+    def _record(self, result: TuningResult, config: Configuration) -> TrialRecord:
+        index = len(result.trials)
+        if not self.measurer.is_feasible(config):
+            record = TrialRecord(index=index, config=config, time_seconds=float("inf"), gflops=0.0)
+        else:
+            execution = self.measurer.measure(config)
+            record = TrialRecord(
+                index=index,
+                config=config,
+                time_seconds=execution.time_seconds,
+                gflops=execution.achieved_gflops,
+            )
+        result.trials.append(record)
+        return record
+
+    def _new_result(self) -> TuningResult:
+        return TuningResult(
+            tuner=self.name,
+            params=self.params,
+            gpu=self.spec.name,
+            space_size=self.space.size(),
+        )
+
+    def tune(self) -> TuningResult:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class RandomSearchTuner(BaselineTuner):
+    """Uniform random sampling of the configuration space."""
+
+    name = "random"
+
+    def tune(self) -> TuningResult:
+        result = self._new_result()
+        seen = set()
+        attempts = 0
+        while result.num_measurements < self.max_measurements and attempts < 50 * self.max_measurements:
+            attempts += 1
+            config = self.space.random_configuration(self.rng)
+            if config.key() in seen:
+                continue
+            seen.add(config.key())
+            self._record(result, config)
+        return result
+
+
+class SimulatedAnnealingTuner(BaselineTuner):
+    """Measurement-driven simulated annealing on the neighbourhood graph."""
+
+    name = "simulated_annealing"
+
+    def __init__(self, *args, initial_temperature: float = 0.6, cooling: float = 0.95, **kwargs):
+        super().__init__(*args, **kwargs)
+        if initial_temperature <= 0 or not (0.0 < cooling < 1.0):
+            raise ValueError("initial_temperature must be > 0 and cooling in (0, 1)")
+        self.initial_temperature = initial_temperature
+        self.cooling = cooling
+
+    def tune(self) -> TuningResult:
+        result = self._new_result()
+        current = self.space.random_configuration(self.rng)
+        current_record = self._record(result, current)
+        current_time = current_record.time_seconds
+        temperature = self.initial_temperature
+
+        while result.num_measurements < self.max_measurements:
+            candidate = self.space.neighbor(current, self.rng)
+            record = self._record(result, candidate)
+            cand_time = record.time_seconds
+            if not math.isfinite(cand_time):
+                temperature *= self.cooling
+                continue
+            if not math.isfinite(current_time):
+                accept = True
+            else:
+                # Work with log-runtimes so the acceptance rule is scale-free.
+                delta = math.log(current_time) - math.log(cand_time)
+                accept = delta >= 0 or self.rng.random() < math.exp(delta / max(temperature, 1e-6))
+            if accept:
+                current, current_time = candidate, cand_time
+            temperature *= self.cooling
+        return result
+
+
+class GeneticTuner(BaselineTuner):
+    """A small genetic algorithm (the third automation method of Figure 11)."""
+
+    name = "genetic"
+
+    def __init__(self, *args, population: int = 24, elite: int = 4, mutation_rate: float = 0.3, **kwargs):
+        super().__init__(*args, **kwargs)
+        if population < 4 or elite < 1 or elite >= population:
+            raise ValueError("population must be >= 4 and 1 <= elite < population")
+        if not (0.0 <= mutation_rate <= 1.0):
+            raise ValueError("mutation_rate must be in [0, 1]")
+        self.population_size = population
+        self.elite = elite
+        self.mutation_rate = mutation_rate
+
+    # ------------------------------------------------------------------ #
+    def _crossover(self, a: Configuration, b: Configuration) -> Configuration:
+        d_a, d_b = a.as_dict(), b.as_dict()
+        child = {k: (d_a[k] if self.rng.random() < 0.5 else d_b[k]) for k in d_a}
+        # Tile/thread divisibility may be broken by mixing knobs; repair by
+        # resetting the thread counts of any axis that no longer divides.
+        for axis in ("x", "y", "z"):
+            if child[f"tile_{axis}"] % child[f"threads_{axis}"]:
+                child[f"threads_{axis}"] = 1
+        candidate = Configuration(**child)
+        if self.space.contains(candidate):
+            return candidate
+        return self.space.neighbor(a, self.rng)
+
+    def tune(self) -> TuningResult:
+        result = self._new_result()
+        population: List[TrialRecord] = []
+        for _ in range(min(self.population_size, self.max_measurements)):
+            config = self.space.random_configuration(self.rng)
+            population.append(self._record(result, config))
+
+        while result.num_measurements < self.max_measurements:
+            ranked = sorted(
+                (p for p in population if p.valid), key=lambda t: t.time_seconds
+            ) or population
+            elites = ranked[: self.elite]
+            children: List[TrialRecord] = []
+            while (
+                len(children) < self.population_size - len(elites)
+                and result.num_measurements < self.max_measurements
+            ):
+                parent_a = self._tournament(ranked)
+                parent_b = self._tournament(ranked)
+                child = self._crossover(parent_a.config, parent_b.config)
+                if self.rng.random() < self.mutation_rate:
+                    child = self.space.neighbor(child, self.rng)
+                children.append(self._record(result, child))
+            population = elites + children
+        return result
+
+    def _tournament(self, ranked: Sequence[TrialRecord], k: int = 3) -> TrialRecord:
+        contenders = [self.rng.choice(ranked) for _ in range(min(k, len(ranked)))]
+        return min(contenders, key=lambda t: t.time_seconds if t.valid else float("inf"))
+
+
+class TVMStyleTuner(AutoTuningEngine):
+    """Cost-model-guided tuner over the *unpruned* space.
+
+    Identical machinery to the ATE (gradient-boosted cost model + parallel
+    random-walk explorer) but without the optimality-condition constraints of
+    Table 1, so it represents the state-of-the-art ML-based tuner the paper
+    compares against (TVM).
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        kwargs.setdefault("pruned", False)
+        super().__init__(*args, **kwargs)
+
+    def tune(self, initial_random: int = 16) -> TuningResult:
+        result = super().tune(initial_random=initial_random)
+        result.tuner = "tvm_style"
+        return result

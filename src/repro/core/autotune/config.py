@@ -1,0 +1,213 @@
+"""Tuning configurations (Section 6.1, Table 1).
+
+A *configuration* is one concrete low-level implementation of a dataflow
+template: the output tile ``(x, y, z)``, the per-axis thread counts
+``(Nxt, Nyt, Nzt)``, the data layout, the shared memory allocated to each
+thread block, and — for the Winograd template — the output tile extent ``e``.
+
+:func:`build_profile` lowers a configuration to a
+:class:`~repro.gpusim.kernels.KernelProfile` so the GPU simulator can
+"measure" it; :class:`Measurer` wraps that in the interface the tuners use.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, Optional, Tuple
+
+from ...conv.tensor import ConvParams, Layout
+from ...gpusim.executor import ExecutionResult, GPUExecutor
+from ...gpusim.kernels import (
+    KernelProfile,
+    direct_dataflow_profile,
+    winograd_dataflow_profile,
+)
+from ...gpusim.spec import GPUSpec
+from ..dataflow.common import OutputTile
+
+__all__ = ["Configuration", "build_profile", "Measurer"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Configuration:
+    """One point of the configuration space."""
+
+    algorithm: str  # "direct" or "winograd"
+    tile_x: int
+    tile_y: int
+    tile_z: int
+    threads_x: int
+    threads_y: int
+    threads_z: int
+    layout: Layout = Layout.CHW
+    smem_per_block: int = 48 * 1024  # bytes (S_b in Table 1)
+    e: int = 2  # Winograd output tile extent; ignored for "direct"
+    unroll: int = 4  # inner-loop unroll factor
+    loop_order: str = "zyx"  # traversal order of the tile loops
+
+    #: loop orders explored by the low-level template (innermost axis last).
+    LOOP_ORDERS = ("zyx", "zxy", "yxz", "yzx", "xyz", "xzy")
+    #: unroll factors explored by the low-level template.
+    UNROLL_FACTORS = (1, 2, 4, 8)
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in ("direct", "winograd"):
+            raise ValueError(f"unknown algorithm {self.algorithm!r}")
+        for name in ("tile_x", "tile_y", "tile_z", "threads_x", "threads_y", "threads_z"):
+            v = getattr(self, name)
+            if not isinstance(v, int) or v <= 0:
+                raise ValueError(f"{name} must be a positive integer, got {v!r}")
+        if self.smem_per_block <= 0:
+            raise ValueError("smem_per_block must be positive")
+        if self.e < 1:
+            raise ValueError("e must be >= 1")
+        if self.unroll not in self.UNROLL_FACTORS:
+            raise ValueError(f"unroll must be one of {self.UNROLL_FACTORS}")
+        if self.loop_order not in self.LOOP_ORDERS:
+            raise ValueError(f"loop_order must be one of {self.LOOP_ORDERS}")
+        if not isinstance(self.layout, Layout):
+            object.__setattr__(self, "layout", Layout(self.layout))
+
+    # ------------------------------------------------------------------ #
+    @property
+    def tile(self) -> OutputTile:
+        return OutputTile(x=self.tile_x, y=self.tile_y, z=self.tile_z)
+
+    @property
+    def threads_per_block(self) -> int:
+        return self.threads_x * self.threads_y * self.threads_z
+
+    def smem_elements(self, dtype_size: int = 4) -> int:
+        return self.smem_per_block // dtype_size
+
+    def key(self) -> Tuple:
+        """Hashable identity used for dataset de-duplication."""
+        return (
+            self.algorithm,
+            self.tile_x,
+            self.tile_y,
+            self.tile_z,
+            self.threads_x,
+            self.threads_y,
+            self.threads_z,
+            self.layout.value,
+            self.smem_per_block,
+            self.e,
+            self.unroll,
+            self.loop_order,
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        d = dataclasses.asdict(self)
+        d["layout"] = self.layout.value
+        return d
+
+    def describe(self) -> str:
+        base = (
+            f"{self.algorithm}[tile={self.tile_x}x{self.tile_y}x{self.tile_z}, "
+            f"threads={self.threads_x}x{self.threads_y}x{self.threads_z}, "
+            f"layout={self.layout.value}, smem={self.smem_per_block // 1024}KiB"
+        )
+        if self.algorithm == "winograd":
+            base += f", e={self.e}"
+        return base + "]"
+
+
+def build_profile(
+    config: Configuration, params: ConvParams, spec: GPUSpec
+) -> KernelProfile:
+    """Lower a configuration to a kernel profile on a given GPU.
+
+    Raises ``ValueError`` if the configuration is infeasible on the device
+    (too much shared memory per block, too many threads, Winograd requested
+    for an incompatible problem).
+    """
+    if config.smem_per_block > spec.shared_mem_per_sm:
+        raise ValueError(
+            f"configuration requests {config.smem_per_block} B shared memory; "
+            f"{spec.name} offers {spec.shared_mem_per_sm} B per SM"
+        )
+    if config.threads_per_block > spec.max_threads_per_block:
+        raise ValueError(
+            f"{config.threads_per_block} threads per block exceeds the device limit "
+            f"{spec.max_threads_per_block}"
+        )
+    if config.algorithm == "winograd":
+        if not params.winograd_compatible():
+            raise ValueError("Winograd configuration for a non-Winograd problem")
+        profile = winograd_dataflow_profile(
+            params,
+            config.tile,
+            e=config.e,
+            dtype_size=spec.dtype_size,
+            threads_per_block=config.threads_per_block,
+            layout=config.layout,
+        )
+    else:
+        profile = direct_dataflow_profile(
+            params,
+            config.tile,
+            dtype_size=spec.dtype_size,
+            threads_per_block=config.threads_per_block,
+            layout=config.layout,
+        )
+    # The schedule may only use the shared memory the configuration allocates;
+    # a block whose working set exceeds S_b is infeasible.
+    if profile.smem_per_block > config.smem_per_block:
+        raise ValueError(
+            f"working set {profile.smem_per_block} B exceeds the configured "
+            f"shared memory {config.smem_per_block} B"
+        )
+
+    # Low-level knobs: unrolling trades register pressure against loop
+    # overhead; the loop traversal order decides whether consecutive threads
+    # touch consecutive addresses of the innermost (layout-dependent) axis.
+    unroll_gain = {1: 0.88, 2: 0.96, 4: 1.0, 8: 0.94}[config.unroll]
+    contiguous_axis = {Layout.CHW: "x", Layout.CWH: "y", Layout.HWC: "z"}[config.layout]
+    order_gain = 1.0 if config.loop_order.endswith(contiguous_axis) else 0.85
+    compute_eff = min(1.0, profile.compute_efficiency * unroll_gain)
+    coalescing = min(1.0, profile.coalescing * order_gain)
+    return profile.with_(
+        smem_per_block=config.smem_per_block,
+        compute_efficiency=compute_eff,
+        coalescing=coalescing,
+    )
+
+
+class Measurer:
+    """Measurement harness: run a configuration on the simulated GPU.
+
+    Plays the role of the paper's template manager + hardware measurements.
+    Results are memoised because the simulator is deterministic for a given
+    configuration (it models the *averaged* runtime of repeated runs).
+    """
+
+    def __init__(self, params: ConvParams, spec: GPUSpec, noise: float = 0.05, seed: int = 2021):
+        self.params = params
+        self.spec = spec
+        self.executor = GPUExecutor(spec, noise=noise, seed=seed)
+        self._cache: Dict[Tuple, ExecutionResult] = {}
+        self.num_measurements = 0
+
+    def is_feasible(self, config: Configuration) -> bool:
+        try:
+            build_profile(config, self.params, self.spec)
+        except ValueError:
+            return False
+        return True
+
+    def measure(self, config: Configuration) -> ExecutionResult:
+        """Simulated execution of the configuration (memoised)."""
+        key = config.key()
+        if key not in self._cache:
+            profile = build_profile(config, self.params, self.spec)
+            self._cache[key] = self.executor.run(profile)
+            self.num_measurements += 1
+        return self._cache[key]
+
+    def time_seconds(self, config: Configuration) -> float:
+        return self.measure(config).time_seconds
+
+    def gflops(self, config: Configuration) -> float:
+        return self.measure(config).achieved_gflops

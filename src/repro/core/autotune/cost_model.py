@@ -1,0 +1,296 @@
+"""Learned cost model: gradient-boosted regression trees from scratch.
+
+The paper (like TVM) trains an XGBoost model on (configuration, runtime)
+pairs and uses it to rank unmeasured configurations.  XGBoost is not
+available offline, so this module implements the same idea in NumPy:
+
+* :class:`RegressionTree` — a depth-limited CART tree with quantile-candidate
+  splits, squared-error criterion and minimum-leaf-size regularisation;
+* :class:`GradientBoostedTrees` — stage-wise boosting of those trees on the
+  residuals (squared-error gradient boosting) with shrinkage and optional
+  feature/row subsampling;
+* :class:`CostModel` — the tuner-facing wrapper: it is trained on *negative
+  log runtime* (so "bigger is better" for ranking), refuses to predict until
+  it has seen a minimum number of samples, and exposes a ranking helper.
+
+The implementation is vectorised: split search evaluates all candidate
+thresholds for one feature at once with cumulative sums.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["RegressionTree", "GradientBoostedTrees", "CostModel"]
+
+
+class RegressionTree:
+    """A depth-limited regression tree (CART, squared error)."""
+
+    def __init__(
+        self,
+        max_depth: int = 4,
+        min_samples_leaf: int = 3,
+        max_candidate_splits: int = 16,
+    ) -> None:
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_candidate_splits = max_candidate_splits
+        # Flat arrays describing the tree; node 0 is the root.
+        self._feature: List[int] = []
+        self._threshold: List[float] = []
+        self._left: List[int] = []
+        self._right: List[int] = []
+        self._value: List[float] = []
+
+    # ------------------------------------------------------------------ #
+    def _new_node(self, value: float) -> int:
+        self._feature.append(-1)
+        self._threshold.append(0.0)
+        self._left.append(-1)
+        self._right.append(-1)
+        self._value.append(value)
+        return len(self._value) - 1
+
+    def _best_split(
+        self, x: np.ndarray, y: np.ndarray, rng: np.random.Generator
+    ) -> Optional[Tuple[int, float, float]]:
+        """Return (feature, threshold, gain) of the best split, or None."""
+        n, d = x.shape
+        if n < 2 * self.min_samples_leaf:
+            return None
+        base_err = float(np.var(y) * n)
+        best: Optional[Tuple[int, float, float]] = None
+        for f in range(d):
+            col = x[:, f]
+            order = np.argsort(col, kind="mergesort")
+            sorted_col = col[order]
+            sorted_y = y[order]
+            # Candidate thresholds at quantiles between distinct values.
+            uniques = np.unique(sorted_col)
+            if uniques.size < 2:
+                continue
+            if uniques.size - 1 > self.max_candidate_splits:
+                qs = np.linspace(0, uniques.size - 1, self.max_candidate_splits + 1)
+                cut_values = uniques[np.unique(qs.astype(int))]
+            else:
+                cut_values = uniques
+            thresholds = (cut_values[:-1] + cut_values[1:]) / 2.0
+
+            csum = np.cumsum(sorted_y)
+            csum_sq = np.cumsum(sorted_y**2)
+            total = csum[-1]
+            total_sq = csum_sq[-1]
+            # Position of each threshold: number of samples on the left.
+            lefts = np.searchsorted(sorted_col, thresholds, side="right")
+            valid = (lefts >= self.min_samples_leaf) & (
+                lefts <= n - self.min_samples_leaf
+            )
+            if not np.any(valid):
+                continue
+            lefts = lefts[valid]
+            thr = thresholds[valid]
+            left_sum = csum[lefts - 1]
+            left_sq = csum_sq[lefts - 1]
+            right_sum = total - left_sum
+            right_sq = total_sq - left_sq
+            nl = lefts.astype(np.float64)
+            nr = n - nl
+            err = (left_sq - left_sum**2 / nl) + (right_sq - right_sum**2 / nr)
+            idx = int(np.argmin(err))
+            gain = base_err - float(err[idx])
+            if gain > 1e-12 and (best is None or gain > best[2]):
+                best = (f, float(thr[idx]), gain)
+        return best
+
+    def _build(
+        self, x: np.ndarray, y: np.ndarray, depth: int, rng: np.random.Generator
+    ) -> int:
+        node = self._new_node(float(np.mean(y)))
+        if depth >= self.max_depth:
+            return node
+        split = self._best_split(x, y, rng)
+        if split is None:
+            return node
+        f, thr, _ = split
+        mask = x[:, f] <= thr
+        if mask.sum() < self.min_samples_leaf or (~mask).sum() < self.min_samples_leaf:
+            return node
+        self._feature[node] = f
+        self._threshold[node] = thr
+        self._left[node] = self._build(x[mask], y[mask], depth + 1, rng)
+        self._right[node] = self._build(x[~mask], y[~mask], depth + 1, rng)
+        return node
+
+    # ------------------------------------------------------------------ #
+    def fit(self, x: np.ndarray, y: np.ndarray, rng: Optional[np.random.Generator] = None) -> "RegressionTree":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if x.ndim != 2 or y.ndim != 1 or x.shape[0] != y.shape[0]:
+            raise ValueError("x must be (n, d) and y must be (n,)")
+        if x.shape[0] == 0:
+            raise ValueError("cannot fit a tree on an empty dataset")
+        self._feature, self._threshold = [], []
+        self._left, self._right, self._value = [], [], []
+        self._build(x, y, depth=0, rng=rng or np.random.default_rng(0))
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2:
+            raise ValueError("x must be 2-D")
+        if not self._value:
+            raise RuntimeError("tree is not fitted")
+        out = np.empty(x.shape[0], dtype=np.float64)
+        for i, row in enumerate(x):
+            node = 0
+            while self._feature[node] >= 0:
+                node = (
+                    self._left[node]
+                    if row[self._feature[node]] <= self._threshold[node]
+                    else self._right[node]
+                )
+            out[i] = self._value[node]
+        return out
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._value)
+
+
+class GradientBoostedTrees:
+    """Squared-error gradient boosting over :class:`RegressionTree`."""
+
+    def __init__(
+        self,
+        n_estimators: int = 60,
+        learning_rate: float = 0.15,
+        max_depth: int = 4,
+        min_samples_leaf: int = 3,
+        subsample: float = 0.9,
+        seed: int = 0,
+    ) -> None:
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        if not (0.0 < learning_rate <= 1.0):
+            raise ValueError("learning_rate must be in (0, 1]")
+        if not (0.0 < subsample <= 1.0):
+            raise ValueError("subsample must be in (0, 1]")
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.subsample = subsample
+        self.seed = seed
+        self._trees: List[RegressionTree] = []
+        self._base: float = 0.0
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "GradientBoostedTrees":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if x.shape[0] != y.shape[0] or x.shape[0] == 0:
+            raise ValueError("x and y must be non-empty with matching lengths")
+        rng = np.random.default_rng(self.seed)
+        self._trees = []
+        self._base = float(np.mean(y))
+        pred = np.full_like(y, self._base)
+        n = x.shape[0]
+        for _ in range(self.n_estimators):
+            residual = y - pred
+            if self.subsample < 1.0 and n > 8:
+                idx = rng.choice(n, size=max(4, int(n * self.subsample)), replace=False)
+            else:
+                idx = np.arange(n)
+            tree = RegressionTree(
+                max_depth=self.max_depth, min_samples_leaf=self.min_samples_leaf
+            ).fit(x[idx], residual[idx], rng)
+            update = tree.predict(x)
+            pred = pred + self.learning_rate * update
+            self._trees.append(tree)
+            if float(np.max(np.abs(residual))) < 1e-12:
+                break
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if not self._trees:
+            raise RuntimeError("model is not fitted")
+        pred = np.full(x.shape[0], self._base, dtype=np.float64)
+        for tree in self._trees:
+            pred += self.learning_rate * tree.predict(x)
+        return pred
+
+    @property
+    def num_trees(self) -> int:
+        return len(self._trees)
+
+
+@dataclass
+class CostModel:
+    """Tuner-facing cost model trained on measured configurations.
+
+    The target is ``-log(runtime)`` so that larger scores mean faster
+    configurations; :meth:`rank` sorts candidate feature rows by predicted
+    score (descending).  Until ``min_samples`` measurements are available the
+    model reports itself as untrained and the explorer falls back to random
+    exploration, matching the paper's cold-start behaviour.
+    """
+
+    min_samples: int = 8
+    n_estimators: int = 60
+    learning_rate: float = 0.15
+    max_depth: int = 4
+    seed: int = 0
+    _model: Optional[GradientBoostedTrees] = field(default=None, repr=False)
+    _num_samples: int = 0
+
+    @property
+    def is_trained(self) -> bool:
+        return self._model is not None
+
+    @property
+    def num_samples(self) -> int:
+        return self._num_samples
+
+    def fit(self, features: np.ndarray, runtimes: Sequence[float]) -> bool:
+        """Train on measured runtimes (seconds).  Returns True if trained."""
+        runtimes = np.asarray(list(runtimes), dtype=np.float64)
+        features = np.asarray(features, dtype=np.float64)
+        if features.shape[0] != runtimes.shape[0]:
+            raise ValueError("features and runtimes must have the same length")
+        finite = np.isfinite(runtimes) & (runtimes > 0)
+        features, runtimes = features[finite], runtimes[finite]
+        self._num_samples = int(features.shape[0])
+        if self._num_samples < self.min_samples:
+            self._model = None
+            return False
+        target = -np.log(runtimes)
+        self._model = GradientBoostedTrees(
+            n_estimators=self.n_estimators,
+            learning_rate=self.learning_rate,
+            max_depth=self.max_depth,
+            seed=self.seed,
+        ).fit(features, target)
+        return True
+
+    def predict_score(self, features: np.ndarray) -> np.ndarray:
+        """Predicted ``-log(runtime)`` (higher is better)."""
+        if not self.is_trained:
+            raise RuntimeError("cost model is not trained yet")
+        return self._model.predict(np.asarray(features, dtype=np.float64))
+
+    def predict_runtime(self, features: np.ndarray) -> np.ndarray:
+        """Predicted runtime in seconds."""
+        return np.exp(-self.predict_score(features))
+
+    def rank(self, features: np.ndarray) -> np.ndarray:
+        """Indices of candidate rows sorted from best to worst predicted."""
+        scores = self.predict_score(features)
+        return np.argsort(-scores, kind="mergesort")

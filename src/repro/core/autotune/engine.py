@@ -1,0 +1,227 @@
+"""The auto-tuning engine (Section 6.1/6.3).
+
+Each tuning iteration performs the three stages of Figure 8:
+
+1. **Model training** — refit the gradient-boosted cost model on every
+   (configuration, runtime) pair measured so far;
+2. **Configuration searching** — the parallel random-walk explorer proposes a
+   batch of promising, not-yet-measured configurations from the searching
+   domain (the pruned space of Table 1);
+3. **Dataset updating** — the proposed configurations are "measured" on the
+   GPU simulator and appended to the dataset.
+
+Tuning stops when the measurement budget is exhausted or the best runtime has
+not improved for ``patience`` consecutive iterations.  The engine records the
+best-so-far trajectory (used by the Figure 11 benchmark) and the total number
+of measurements (Table 2's *Iterations* column).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...conv.tensor import ConvParams
+from ...gpusim.spec import GPUSpec
+from .config import Configuration, Measurer
+from .cost_model import CostModel
+from .explorer import ExplorerConfig, ParallelRandomWalkExplorer
+from .features import feature_matrix
+from .space import SearchSpace
+
+__all__ = ["TrialRecord", "TuningResult", "AutoTuningEngine"]
+
+
+@dataclass(frozen=True)
+class TrialRecord:
+    """One measured configuration."""
+
+    index: int
+    config: Configuration
+    time_seconds: float
+    gflops: float
+
+    @property
+    def valid(self) -> bool:
+        return np.isfinite(self.time_seconds) and self.time_seconds > 0
+
+
+@dataclass
+class TuningResult:
+    """Outcome of one tuning run."""
+
+    tuner: str
+    params: ConvParams
+    gpu: str
+    trials: List[TrialRecord] = field(default_factory=list)
+    space_size: int = 0
+
+    @property
+    def num_measurements(self) -> int:
+        return len(self.trials)
+
+    @property
+    def best_trial(self) -> TrialRecord:
+        valid = [t for t in self.trials if t.valid]
+        if not valid:
+            raise RuntimeError("no valid measurement recorded")
+        return min(valid, key=lambda t: t.time_seconds)
+
+    @property
+    def best_config(self) -> Configuration:
+        return self.best_trial.config
+
+    @property
+    def best_time(self) -> float:
+        return self.best_trial.time_seconds
+
+    @property
+    def best_gflops(self) -> float:
+        return self.best_trial.gflops
+
+    def best_gflops_curve(self) -> List[float]:
+        """Best-so-far GFLOP/s after each measurement (Figure 11's y-axis)."""
+        curve: List[float] = []
+        best = 0.0
+        for t in self.trials:
+            if t.valid:
+                best = max(best, t.gflops)
+            curve.append(best)
+        return curve
+
+    def measurements_to_reach(self, fraction: float = 0.99) -> int:
+        """Number of measurements needed to reach ``fraction`` of the final
+        best GFLOP/s (a convergence-speed summary used by the benchmarks)."""
+        if not (0.0 < fraction <= 1.0):
+            raise ValueError("fraction must be in (0, 1]")
+        curve = self.best_gflops_curve()
+        if not curve:
+            return 0
+        target = fraction * curve[-1]
+        for i, v in enumerate(curve):
+            if v >= target:
+                return i + 1
+        return len(curve)
+
+
+class AutoTuningEngine:
+    """I/O-lower-bound-guided auto-tuner (the paper's ATE)."""
+
+    def __init__(
+        self,
+        params: ConvParams,
+        spec: GPUSpec,
+        algorithm: str = "direct",
+        batch_size: int = 16,
+        max_measurements: int = 256,
+        patience: int = 6,
+        seed: int = 0,
+        explorer_config: Optional[ExplorerConfig] = None,
+        pruned: bool = True,
+        measurer: Optional[Measurer] = None,
+        cost_model: Optional[CostModel] = None,
+    ) -> None:
+        if batch_size < 1 or max_measurements < 1:
+            raise ValueError("batch_size and max_measurements must be >= 1")
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        self.params = params
+        self.spec = spec
+        self.algorithm = algorithm
+        self.batch_size = batch_size
+        self.max_measurements = max_measurements
+        self.patience = patience
+        self.seed = seed
+        self.space = SearchSpace(params, spec, algorithm, pruned=pruned)
+        self.measurer = measurer or Measurer(params, spec)
+        self.cost_model = cost_model if cost_model is not None else CostModel(seed=seed)
+        self.explorer = ParallelRandomWalkExplorer(
+            self.space, params, spec, config=explorer_config, seed=seed
+        )
+        self.rng = random.Random(seed)
+
+    # ------------------------------------------------------------------ #
+    def _measure_batch(
+        self, configs: Sequence[Configuration], result: TuningResult
+    ) -> None:
+        for config in configs:
+            index = len(result.trials)
+            if not self.measurer.is_feasible(config):
+                result.trials.append(
+                    TrialRecord(index=index, config=config, time_seconds=float("inf"), gflops=0.0)
+                )
+                continue
+            execution = self.measurer.measure(config)
+            result.trials.append(
+                TrialRecord(
+                    index=index,
+                    config=config,
+                    time_seconds=execution.time_seconds,
+                    gflops=execution.achieved_gflops,
+                )
+            )
+
+    def _retrain(self, result: TuningResult) -> None:
+        valid = [t for t in result.trials if t.valid]
+        if not valid:
+            return
+        features = feature_matrix([t.config for t in valid], self.params, self.spec)
+        self.cost_model.fit(features, [t.time_seconds for t in valid])
+
+    # ------------------------------------------------------------------ #
+    def tune(self, initial_random: int = 16) -> TuningResult:
+        """Run the full tuning loop and return the result."""
+        result = TuningResult(
+            tuner="ate" if self.space.pruned else "ate_unpruned",
+            params=self.params,
+            gpu=self.spec.name,
+            space_size=self.space.size(),
+        )
+        visited: set = set()
+
+        # Stage 0: random initialisation of the dataset.
+        init = []
+        for _ in range(min(initial_random, self.max_measurements)):
+            c = self.space.random_configuration(self.rng)
+            if c.key() not in visited:
+                visited.add(c.key())
+                init.append(c)
+        self._measure_batch(init, result)
+
+        best_time = min(
+            (t.time_seconds for t in result.trials if t.valid), default=float("inf")
+        )
+        stale_iterations = 0
+
+        while result.num_measurements < self.max_measurements:
+            self._retrain(result)
+            seeds = [
+                t.config
+                for t in sorted(
+                    (t for t in result.trials if t.valid), key=lambda t: t.time_seconds
+                )[:8]
+            ]
+            batch_size = min(self.batch_size, self.max_measurements - result.num_measurements)
+            batch = self.explorer.propose(
+                self.cost_model, batch_size, seeds=seeds, visited=visited
+            )
+            if not batch:
+                break
+            for c in batch:
+                visited.add(c.key())
+            self._measure_batch(batch, result)
+
+            new_best = min(
+                (t.time_seconds for t in result.trials if t.valid), default=float("inf")
+            )
+            if new_best < best_time * (1 - 1e-3):
+                best_time = new_best
+                stale_iterations = 0
+            else:
+                stale_iterations += 1
+                if stale_iterations >= self.patience:
+                    break
+        return result

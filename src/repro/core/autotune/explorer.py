@@ -1,0 +1,152 @@
+"""Configuration explorer: parallel random walks guided by the cost model.
+
+Section 6.2's searching process: ``n_s`` walkers start from random (or
+previously promising) configurations; each walker repeatedly steps to a
+neighbouring configuration, accepting moves that the cost model predicts to
+be faster (with a small temperature so the walk can escape local minima);
+after a fixed number of steps the best-predicted configurations visited by
+all walkers are returned as the next measurement batch.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ...conv.tensor import ConvParams
+from ...gpusim.spec import GPUSpec
+from .config import Configuration
+from .cost_model import CostModel
+from .features import feature_matrix, feature_vector
+from .space import SearchSpace
+
+__all__ = ["ExplorerConfig", "ParallelRandomWalkExplorer"]
+
+
+@dataclass(frozen=True)
+class ExplorerConfig:
+    """Hyper-parameters of the parallel random-walk explorer."""
+
+    num_walkers: int = 16
+    walk_length: int = 24
+    temperature: float = 0.08
+    restart_fraction: float = 0.25
+    epsilon: float = 0.1  # fraction of each batch drawn uniformly at random
+
+    def __post_init__(self) -> None:
+        if self.num_walkers < 1 or self.walk_length < 1:
+            raise ValueError("num_walkers and walk_length must be >= 1")
+        if self.temperature < 0:
+            raise ValueError("temperature must be non-negative")
+        if not (0.0 <= self.restart_fraction <= 1.0):
+            raise ValueError("restart_fraction must be in [0, 1]")
+        if not (0.0 <= self.epsilon <= 1.0):
+            raise ValueError("epsilon must be in [0, 1]")
+
+
+class ParallelRandomWalkExplorer:
+    """Search the configuration space with cost-model-guided random walks."""
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        params: ConvParams,
+        spec: GPUSpec,
+        config: Optional[ExplorerConfig] = None,
+        seed: int = 0,
+    ) -> None:
+        self.space = space
+        self.params = params
+        self.spec = spec
+        self.config = config or ExplorerConfig()
+        self.rng = random.Random(seed)
+
+    # ------------------------------------------------------------------ #
+    def _score(self, model: Optional[CostModel], configs: Sequence[Configuration]) -> np.ndarray:
+        """Predicted score (higher = faster); random scores when untrained."""
+        if model is not None and model.is_trained:
+            return model.predict_score(feature_matrix(configs, self.params, self.spec))
+        return np.asarray([self.rng.random() for _ in configs])
+
+    def propose(
+        self,
+        model: Optional[CostModel],
+        batch_size: int,
+        seeds: Sequence[Configuration] = (),
+        visited: Optional[Set[Tuple]] = None,
+    ) -> List[Configuration]:
+        """Return up to ``batch_size`` promising, unvisited configurations.
+
+        ``seeds`` (typically the best configurations measured so far) start a
+        fraction of the walkers; the rest start from random samples.
+        """
+        visited = set(visited or ())
+        cfg = self.config
+        walkers: List[Configuration] = []
+        seeds = [s for s in seeds if self.space.contains(s)]
+        num_seeded = min(len(seeds), int(round(cfg.num_walkers * (1 - cfg.restart_fraction))))
+        walkers.extend(seeds[:num_seeded])
+        while len(walkers) < cfg.num_walkers:
+            walkers.append(self.space.random_configuration(self.rng))
+
+        scores = self._score(model, walkers)
+        best_seen: Dict[Tuple, Tuple[float, Configuration]] = {}
+        for w, s in zip(walkers, scores):
+            best_seen[w.key()] = (float(s), w)
+
+        current = list(walkers)
+        current_scores = list(map(float, scores))
+        for _ in range(cfg.walk_length):
+            proposals = [self.space.neighbor(c, self.rng) for c in current]
+            prop_scores = self._score(model, proposals)
+            for i, (cand, cand_score) in enumerate(zip(proposals, prop_scores)):
+                cand_score = float(cand_score)
+                delta = cand_score - current_scores[i]
+                accept = delta >= 0 or (
+                    cfg.temperature > 0
+                    and self.rng.random() < math.exp(delta / cfg.temperature)
+                )
+                if accept:
+                    current[i] = cand
+                    current_scores[i] = cand_score
+                key = cand.key()
+                if key not in best_seen or cand_score > best_seen[key][0]:
+                    best_seen[key] = (cand_score, cand)
+
+        # ε-greedy exploration: reserve part of the batch for uniform samples so
+        # a misleading early cost model cannot trap every walker in one basin.
+        num_random = int(round(cfg.epsilon * batch_size)) if batch_size > 1 else 0
+        num_guided = batch_size - num_random
+
+        ranked = sorted(best_seen.values(), key=lambda t: -t[0])
+        batch: List[Configuration] = []
+        for _, candidate in ranked:
+            if candidate.key() in visited:
+                continue
+            batch.append(candidate)
+            visited.add(candidate.key())
+            if len(batch) >= num_guided:
+                break
+        attempts = 0
+        while len(batch) < num_guided + num_random and attempts < 20 * batch_size:
+            attempts += 1
+            candidate = self.space.random_configuration(self.rng)
+            if candidate.key() in visited:
+                continue
+            batch.append(candidate)
+            visited.add(candidate.key())
+        # Top up with random configurations if the walks did not surface
+        # enough unvisited candidates.
+        attempts = 0
+        while len(batch) < batch_size and attempts < 20 * batch_size:
+            attempts += 1
+            candidate = self.space.random_configuration(self.rng)
+            if candidate.key() in visited:
+                continue
+            batch.append(candidate)
+            visited.add(candidate.key())
+        return batch

@@ -1,0 +1,122 @@
+"""Feature extraction for the learned cost model.
+
+The cost model never sees raw hardware counters — it learns from a fixed
+feature vector derived from the configuration and the problem, mirroring the
+knob/curve features TVM feeds XGBoost.  Features are cheap analytical
+quantities (tile extents, thread counts, shared-memory pressure, estimated
+traffic, arithmetic intensity, layout/order one-hots); they intentionally
+do *not* include the simulator's efficiency constants, so the model has to
+learn the mapping from measurements.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+import numpy as np
+
+from ...conv.tensor import ConvParams, Layout
+from ...gpusim.spec import GPUSpec
+from ..dataflow.common import OutputTile, ceil_div
+from ..dataflow.direct import direct_dataflow_io
+from ..dataflow.winograd import winograd_dataflow_io
+from .config import Configuration
+
+__all__ = ["FEATURE_NAMES", "feature_vector", "feature_matrix"]
+
+
+FEATURE_NAMES: List[str] = [
+    "log_tile_x",
+    "log_tile_y",
+    "log_tile_z",
+    "log_tile_outputs",
+    "log_threads",
+    "threads_warp_remainder",
+    "log_blocks",
+    "blocks_per_sm_wave",
+    "smem_fraction",
+    "smem_pressure",
+    "log_traffic",
+    "arithmetic_intensity",
+    "optimality_residual",
+    "halo_overhead",
+    "unroll",
+    "order_contiguous",
+    "layout_chw",
+    "layout_cwh",
+    "layout_hwc",
+    "is_winograd",
+    "winograd_e",
+]
+
+
+def _log(v: float) -> float:
+    return math.log2(max(float(v), 1e-12))
+
+
+def feature_vector(
+    config: Configuration, params: ConvParams, spec: GPUSpec
+) -> np.ndarray:
+    """Return the feature vector of one configuration (see FEATURE_NAMES)."""
+    tile = OutputTile(config.tile_x, config.tile_y, config.tile_z).clip_to(params)
+    threads = config.threads_per_block
+    blocks = (
+        ceil_div(params.out_width, tile.x)
+        * ceil_div(params.out_height, tile.y)
+        * ceil_div(params.out_channels, tile.z)
+        * params.batch
+    )
+
+    if config.algorithm == "winograd" and params.winograd_compatible():
+        io = winograd_dataflow_io(params, tile, config.e)
+        flops = 2.0 * params.macs / max(1.0, (config.e**2) / (config.e + params.ker_height - 1) ** 2 * 4)
+        is_wino = 1.0
+    else:
+        io = direct_dataflow_io(params, tile)
+        flops = float(params.flops)
+        is_wino = 0.0
+    traffic_bytes = io.total * spec.dtype_size
+
+    halo = tile.input_footprint(params)
+    smem_elements = tile.outputs + halo + params.ker_height * params.ker_width * tile.z
+    smem_bytes = smem_elements * spec.dtype_size
+    r = params.reuse_factor
+    residual = abs(tile.x * tile.y - r * tile.z) / max(1.0, r * tile.z)
+
+    contiguous_axis = {Layout.CHW: "x", Layout.CWH: "y", Layout.HWC: "z"}[config.layout]
+    order_contig = 1.0 if config.loop_order.endswith(contiguous_axis) else 0.0
+
+    values = [
+        _log(tile.x),
+        _log(tile.y),
+        _log(tile.z),
+        _log(tile.outputs),
+        _log(threads),
+        float(threads % spec.warp_size) / spec.warp_size,
+        _log(blocks),
+        min(4.0, blocks / spec.num_sms),
+        config.smem_per_block / spec.shared_mem_per_sm,
+        min(4.0, smem_bytes / max(1, config.smem_per_block)),
+        _log(traffic_bytes),
+        min(512.0, flops / max(1.0, traffic_bytes)),
+        min(4.0, residual),
+        min(8.0, halo / max(1, tile.x * tile.y)),
+        float(config.unroll),
+        order_contig,
+        1.0 if config.layout == Layout.CHW else 0.0,
+        1.0 if config.layout == Layout.CWH else 0.0,
+        1.0 if config.layout == Layout.HWC else 0.0,
+        is_wino,
+        float(config.e) if is_wino else 0.0,
+    ]
+    return np.asarray(values, dtype=np.float64)
+
+
+def feature_matrix(
+    configs: Sequence[Configuration], params: ConvParams, spec: GPUSpec
+) -> np.ndarray:
+    """Stack feature vectors for a batch of configurations."""
+    if not configs:
+        return np.zeros((0, len(FEATURE_NAMES)), dtype=np.float64)
+    return np.stack([feature_vector(c, params, spec) for c in configs])

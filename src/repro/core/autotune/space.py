@@ -1,0 +1,289 @@
+"""Configuration spaces: the TVM-style full space and the pruned ATE domain.
+
+Table 1 of the paper defines the *searching domain* of the auto-tuning
+engine: on top of the generic template knobs (tile sizes dividing the output
+extents, per-axis thread counts dividing the tile sizes, layout, shared
+memory per block, loop order, unrolling) it imposes the constraints derived
+from the I/O-optimality condition:
+
+* ``S_b ≤ S_sm / 2``            (at least two resident blocks per SM),
+* ``x·y·z ≤ S_b``               (the output tile fits in shared memory),
+* ``z ≤ sqrt(S_b / R)``  and  ``x·y ≤ sqrt(S_b · R)``  (from ``x·y = R·z``).
+
+:class:`SearchSpace` with ``pruned=False`` models the unpruned space a
+TVM-style tuner explores; ``pruned=True`` applies the constraints above.
+Table 2's "Size of Search Space" columns are ``SearchSpace.size()`` of the
+two variants.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ...conv.tensor import ConvParams, Layout, divisors
+from ...gpusim.spec import GPUSpec
+from .config import Configuration
+
+__all__ = ["SearchSpace"]
+
+
+def _thread_options(extent: int, limit: int = 32) -> Tuple[int, ...]:
+    """Thread counts along one axis: divisors of the tile extent, capped."""
+    return tuple(d for d in divisors(extent) if d <= limit)
+
+
+@dataclass
+class SearchSpace:
+    """Enumerable configuration space for one (problem, GPU, algorithm) triple."""
+
+    params: ConvParams
+    spec: GPUSpec
+    algorithm: str = "direct"
+    pruned: bool = False
+    e_options: Sequence[int] = (2, 3, 4)
+    max_threads_per_block: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in ("direct", "winograd"):
+            raise ValueError(f"unknown algorithm {self.algorithm!r}")
+        if self.algorithm == "winograd" and not self.params.winograd_compatible():
+            raise ValueError("Winograd space requested for a non-Winograd problem")
+        self._tile_x_opts = divisors(self.params.out_width)
+        self._tile_y_opts = divisors(self.params.out_height)
+        self._tile_z_opts = divisors(self.params.out_channels)
+        self._layouts = Layout.all()
+        self._smem_opts = self._shared_memory_options()
+        self._e_opts: Tuple[int, ...] = (
+            tuple(self.e_options) if self.algorithm == "winograd" else (2,)
+        )
+        self._unrolls = Configuration.UNROLL_FACTORS
+        self._orders = Configuration.LOOP_ORDERS
+
+    # ------------------------------------------------------------------ #
+    # Option enumeration
+    # ------------------------------------------------------------------ #
+    def _shared_memory_options(self) -> Tuple[int, ...]:
+        """Candidate shared-memory allocations per block (bytes)."""
+        cap = self.spec.shared_mem_per_sm
+        if self.pruned:
+            cap = cap // 2  # Table 1: S_b <= S_sm / 2
+        options = []
+        size = 8 * 1024
+        while size <= cap:
+            options.append(size)
+            size *= 2
+        if not options:
+            options.append(cap)
+        return tuple(options)
+
+    def _capacity_per_output(self) -> float:
+        """On-chip elements needed per in-flight output element.
+
+        The direct dataflow keeps one partial sum per output; the Winograd
+        dataflow keeps the two ``(e+r-1)^2`` temporary arrays per ``e x e``
+        output tile (Section 5.3), i.e. ``2(e+r-1)^2/e^2`` elements per output.
+        The smallest ``e`` gives the loosest constraint, so the domain uses it.
+        """
+        if self.algorithm != "winograd":
+            return 1.0
+        r = self.params.ker_height
+        e = min(self._e_opts) if hasattr(self, "_e_opts") and self._e_opts else min(self.e_options)
+        t = e + r - 1
+        return 2.0 * t * t / (e * e)
+
+    def _tile_ok(self, x: int, y: int, z: int, smem: int) -> bool:
+        """Tile-level constraints of Table 1."""
+        sb_elements = smem // self.spec.dtype_size
+        overhead = self._capacity_per_output()
+        if overhead * x * y * z > sb_elements:
+            # The resident working set must fit the configured shared memory
+            # (for Winograd this includes the temporary-array overhead).
+            return False
+        if self.pruned:
+            r = self.params.reuse_factor
+            if z > math.sqrt(sb_elements / r):
+                return False
+            if x * y > math.sqrt(sb_elements * r):
+                return False
+        return True
+
+    def _thread_ok(self, tx: int, ty: int, tz: int) -> bool:
+        return tx * ty * tz <= min(self.max_threads_per_block, self.spec.max_threads_per_block)
+
+    # ------------------------------------------------------------------ #
+    # Size and iteration
+    # ------------------------------------------------------------------ #
+    def size(self) -> int:
+        """Number of configurations in the space (computed exactly)."""
+        total = 0
+        per_layout_order_unroll = len(self._layouts) * len(self._orders) * len(self._unrolls)
+        for smem in self._smem_opts:
+            for e in self._e_opts:
+                for x in self._tile_x_opts:
+                    tx_opts = _thread_options(x)
+                    for y in self._tile_y_opts:
+                        ty_opts = _thread_options(y)
+                        for z in self._tile_z_opts:
+                            if not self._tile_ok(x, y, z, smem):
+                                continue
+                            tz_opts = _thread_options(z)
+                            thread_combos = sum(
+                                1
+                                for tx in tx_opts
+                                for ty in ty_opts
+                                for tz in tz_opts
+                                if self._thread_ok(tx, ty, tz)
+                            )
+                            total += thread_combos * per_layout_order_unroll
+        return total
+
+    def iter_tiles(self, smem: int) -> Iterator[Tuple[int, int, int]]:
+        for x in self._tile_x_opts:
+            for y in self._tile_y_opts:
+                for z in self._tile_z_opts:
+                    if self._tile_ok(x, y, z, smem):
+                        yield (x, y, z)
+
+    # ------------------------------------------------------------------ #
+    # Membership
+    # ------------------------------------------------------------------ #
+    def contains(self, config: Configuration) -> bool:
+        """Whether a configuration belongs to this space."""
+        if config.algorithm != self.algorithm:
+            return False
+        if config.tile_x not in self._tile_x_opts:
+            return False
+        if config.tile_y not in self._tile_y_opts:
+            return False
+        if config.tile_z not in self._tile_z_opts:
+            return False
+        if config.smem_per_block not in self._smem_opts:
+            return False
+        if config.e not in self._e_opts:
+            return False
+        if config.tile_x % config.threads_x or config.threads_x > 32:
+            return False
+        if config.tile_y % config.threads_y or config.threads_y > 32:
+            return False
+        if config.tile_z % config.threads_z or config.threads_z > 32:
+            return False
+        if not self._thread_ok(config.threads_x, config.threads_y, config.threads_z):
+            return False
+        return self._tile_ok(
+            config.tile_x, config.tile_y, config.tile_z, config.smem_per_block
+        )
+
+    # ------------------------------------------------------------------ #
+    # Sampling and neighbourhoods
+    # ------------------------------------------------------------------ #
+    def random_configuration(self, rng: random.Random, max_tries: int = 200) -> Configuration:
+        """Draw one uniformly-ish random configuration from the space."""
+        for _ in range(max_tries):
+            smem = rng.choice(self._smem_opts)
+            e = rng.choice(self._e_opts)
+            x = rng.choice(self._tile_x_opts)
+            y = rng.choice(self._tile_y_opts)
+            z = rng.choice(self._tile_z_opts)
+            if not self._tile_ok(x, y, z, smem):
+                continue
+            tx = rng.choice(_thread_options(x))
+            ty = rng.choice(_thread_options(y))
+            tz = rng.choice(_thread_options(z))
+            if not self._thread_ok(tx, ty, tz):
+                continue
+            return Configuration(
+                algorithm=self.algorithm,
+                tile_x=x,
+                tile_y=y,
+                tile_z=z,
+                threads_x=tx,
+                threads_y=ty,
+                threads_z=tz,
+                layout=rng.choice(self._layouts),
+                smem_per_block=smem,
+                e=e,
+                unroll=rng.choice(self._unrolls),
+                loop_order=rng.choice(self._orders),
+            )
+        raise RuntimeError(
+            "could not sample a feasible configuration; the space may be empty"
+        )
+
+    def sample(self, rng: random.Random, count: int) -> List[Configuration]:
+        return [self.random_configuration(rng) for _ in range(count)]
+
+    def _adjacent(self, options: Sequence, value, rng: random.Random):
+        """Pick a neighbouring option (one step up or down the sorted list)."""
+        opts = list(options)
+        if value not in opts or len(opts) == 1:
+            return rng.choice(opts)
+        idx = opts.index(value)
+        candidates = [i for i in (idx - 1, idx + 1) if 0 <= i < len(opts)]
+        return opts[rng.choice(candidates)]
+
+    def neighbor(self, config: Configuration, rng: random.Random, max_tries: int = 50) -> Configuration:
+        """A random-walk step: perturb one knob to an adjacent legal value.
+
+        Used both by the paper's parallel random-walk explorer and by the
+        simulated-annealing baseline.
+        """
+        if not self.contains(config):
+            return self.random_configuration(rng)
+        knobs = [
+            "tile_x",
+            "tile_y",
+            "tile_z",
+            "threads",
+            "layout",
+            "smem",
+            "unroll",
+            "order",
+        ]
+        if self.algorithm == "winograd" and len(self._e_opts) > 1:
+            knobs.append("e")
+        for _ in range(max_tries):
+            knob = rng.choice(knobs)
+            d = config.as_dict()
+            if knob == "tile_x":
+                d["tile_x"] = self._adjacent(self._tile_x_opts, config.tile_x, rng)
+                d["threads_x"] = 1
+            elif knob == "tile_y":
+                d["tile_y"] = self._adjacent(self._tile_y_opts, config.tile_y, rng)
+                d["threads_y"] = 1
+            elif knob == "tile_z":
+                d["tile_z"] = self._adjacent(self._tile_z_opts, config.tile_z, rng)
+                d["threads_z"] = 1
+            elif knob == "threads":
+                axis = rng.choice(("x", "y", "z"))
+                extent = d[f"tile_{axis}"]
+                d[f"threads_{axis}"] = self._adjacent(
+                    _thread_options(extent), d[f"threads_{axis}"], rng
+                )
+            elif knob == "layout":
+                d["layout"] = rng.choice([l for l in self._layouts if l != config.layout])
+            elif knob == "smem":
+                d["smem_per_block"] = self._adjacent(
+                    self._smem_opts, config.smem_per_block, rng
+                )
+            elif knob == "unroll":
+                d["unroll"] = self._adjacent(self._unrolls, config.unroll, rng)
+            elif knob == "order":
+                d["loop_order"] = rng.choice(
+                    [o for o in self._orders if o != config.loop_order]
+                )
+            elif knob == "e":
+                d["e"] = self._adjacent(self._e_opts, config.e, rng)
+            candidate = Configuration(**d)
+            if self.contains(candidate):
+                return candidate
+        return self.random_configuration(rng)
+
+    def describe(self) -> str:
+        kind = "pruned (ATE)" if self.pruned else "full (TVM-style)"
+        return (
+            f"SearchSpace[{self.algorithm}, {kind}] for {self.params.describe()} "
+            f"on {self.spec.name}: {self.size():,} configurations"
+        )

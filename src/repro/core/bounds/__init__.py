@@ -1,0 +1,58 @@
+"""I/O lower-bound theory (Section 4 of the paper).
+
+Composite-algorithm machinery (Theorems 4.5/4.6) plus the concrete bounds for
+the direct convolution (Theorem 4.12), the Winograd algorithm (Theorem 4.20)
+and — for validation — classical matrix multiplication.
+"""
+
+from .generation import StepGeneration, empirical_generation
+from .composite import CompositeBound, nested_generation_value
+from .direct_conv import (
+    DirectConvBound,
+    direct_conv_generation_steps,
+    direct_conv_io_lower_bound,
+    direct_conv_io_lower_bound_asymptotic,
+    direct_conv_t_upper,
+    direct_conv_vertex_count,
+)
+from .winograd import (
+    WinogradBound,
+    winograd_generation_steps,
+    winograd_io_lower_bound,
+    winograd_io_lower_bound_asymptotic,
+    winograd_t_upper,
+    winograd_vertex_count,
+)
+from .matmul import (
+    MatmulBound,
+    matmul_generation_steps,
+    matmul_io_lower_bound,
+    matmul_io_lower_bound_asymptotic,
+    matmul_t_upper,
+    matmul_vertex_count,
+)
+
+__all__ = [
+    "StepGeneration",
+    "empirical_generation",
+    "CompositeBound",
+    "nested_generation_value",
+    "DirectConvBound",
+    "direct_conv_generation_steps",
+    "direct_conv_io_lower_bound",
+    "direct_conv_io_lower_bound_asymptotic",
+    "direct_conv_t_upper",
+    "direct_conv_vertex_count",
+    "WinogradBound",
+    "winograd_generation_steps",
+    "winograd_io_lower_bound",
+    "winograd_io_lower_bound_asymptotic",
+    "winograd_t_upper",
+    "winograd_vertex_count",
+    "MatmulBound",
+    "matmul_generation_steps",
+    "matmul_io_lower_bound",
+    "matmul_io_lower_bound_asymptotic",
+    "matmul_t_upper",
+    "matmul_vertex_count",
+]

@@ -1,0 +1,160 @@
+"""General I/O lower bounds for composite algorithms (Theorems 4.5 and 4.6).
+
+Given a multi-step partition with per-step maximum vertex generation
+functions ``φ_j`` / ``ψ_j`` (see :mod:`repro.core.bounds.generation`) the
+paper bounds the size of any block ``V_i`` of any S-partition by
+
+    ``T(S) = S + max_{Σ k_j ≤ S} [ φ_1(k_1) + φ_2(k_2 + ψ_1(k_1)) + … ]``
+
+(Theorem 4.5) and turns it into the I/O lower bound
+
+    ``Q ≥ S · (|V| / T(2S) − 1)``                        (Theorem 4.6)
+
+where ``|V|`` counts the internal-plus-output vertices of the DAG (graph
+inputs are free: they start with blue pebbles).
+
+:class:`CompositeBound` evaluates ``T(S)`` numerically by maximising the
+nested expression over the budget split.  The maximisation is a small
+constrained optimisation: for the monotone φ/ψ of the paper's algorithms the
+optimum sits on the simplex boundary ``Σ k_j = S``, and a projected
+coordinate-ascent refined from a coarse grid converges quickly and
+deterministically.  Because any feasible split yields a *valid* value of the
+inner max, returning a near-maximal value keeps the resulting ``Q`` bound
+conservative only through the (small) numerical slack of the search — the
+closed-form per-algorithm bounds in the sibling modules are used wherever an
+exact expression is needed.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .generation import StepGeneration
+
+__all__ = ["CompositeBound", "nested_generation_value"]
+
+
+def nested_generation_value(steps: Sequence[StepGeneration], split: Sequence[float]) -> float:
+    """Evaluate ``φ_1(k_1) + φ_2(k_2 + ψ_1(k_1)) + …`` for one budget split."""
+    if len(split) != len(steps):
+        raise ValueError("split length must equal the number of steps")
+    total = 0.0
+    carried = 0.0
+    for step, k in zip(steps, split):
+        if k < 0:
+            raise ValueError("budgets must be non-negative")
+        budget = k + carried
+        total += step.phi_at(budget)
+        carried = step.psi_at(budget)
+    return total
+
+
+@dataclass
+class CompositeBound:
+    """I/O lower bound of a composite algorithm.
+
+    Parameters
+    ----------
+    steps:
+        The ordered (φ_j, ψ_j) descriptions of the multi-step partition.
+    num_vertices:
+        ``|V|`` — the number of internal and output vertices of the DAG
+        (Lemma 4.8 / 4.14 style counts).
+    name:
+        Human-readable label used in reports.
+    """
+
+    steps: Sequence[StepGeneration]
+    num_vertices: float
+    name: str = "composite"
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise ValueError("at least one step is required")
+        if self.num_vertices <= 0:
+            raise ValueError("num_vertices must be positive")
+
+    # ------------------------------------------------------------------ #
+    # T(S)
+    # ------------------------------------------------------------------ #
+    def t_of_s(self, s: float, grid: int = 24, refine_iters: int = 60) -> float:
+        """Numerically evaluate ``T(S)`` (Theorem 4.5).
+
+        ``grid`` controls the resolution of the initial simplex sweep and
+        ``refine_iters`` the number of coordinate-ascent refinement passes.
+        """
+        if s <= 0:
+            raise ValueError("S must be positive")
+        n = len(self.steps)
+        if n == 1:
+            return s + self.steps[0].phi_at(s)
+
+        best_split, best_val = self._grid_search(s, grid)
+        best_split, best_val = self._coordinate_ascent(s, best_split, best_val, refine_iters)
+        return s + best_val
+
+    def _grid_search(self, s: float, grid: int) -> Tuple[List[float], float]:
+        n = len(self.steps)
+        best_val = -1.0
+        best_split = [s] + [0.0] * (n - 1)
+        # Enumerate coarse integer compositions of `grid` units among n steps.
+        for combo in itertools.combinations_with_replacement(range(n), grid):
+            counts = [0] * n
+            for c in combo:
+                counts[c] += 1
+            split = [s * c / grid for c in counts]
+            val = nested_generation_value(self.steps, split)
+            if val > best_val:
+                best_val = val
+                best_split = split
+        return best_split, best_val
+
+    def _coordinate_ascent(
+        self, s: float, split: List[float], value: float, iters: int
+    ) -> Tuple[List[float], float]:
+        n = len(self.steps)
+        step_size = s / 8.0
+        split = list(split)
+        for _ in range(iters):
+            improved = False
+            for i in range(n):
+                for j in range(n):
+                    if i == j:
+                        continue
+                    delta = min(step_size, split[j])
+                    if delta <= 0:
+                        continue
+                    trial = list(split)
+                    trial[i] += delta
+                    trial[j] -= delta
+                    val = nested_generation_value(self.steps, trial)
+                    if val > value:
+                        split, value = trial, val
+                        improved = True
+            if not improved:
+                step_size /= 2.0
+                if step_size < s * 1e-4:
+                    break
+        return split, value
+
+    # ------------------------------------------------------------------ #
+    # Q lower bound
+    # ------------------------------------------------------------------ #
+    def io_lower_bound(self, s: int) -> float:
+        """``Q ≥ S · (|V| / T(2S) − 1)`` — Theorem 4.6."""
+        if s <= 0:
+            raise ValueError("fast memory size S must be positive")
+        t = self.t_of_s(2 * s)
+        return max(0.0, s * (self.num_vertices / t - 1.0))
+
+    def describe(self, s: int) -> str:
+        t = self.t_of_s(2 * s)
+        q = self.io_lower_bound(s)
+        return (
+            f"{self.name}: |V|={self.num_vertices:.3g}, T(2S)={t:.4g}, "
+            f"Q_lower(S={s})={q:.4g}"
+        )

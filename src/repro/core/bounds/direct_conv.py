@@ -1,0 +1,144 @@
+"""I/O lower bound of the direct convolution (Section 4.2, Theorem 4.12).
+
+The direct convolution's DAG (Figure 4) has a two-step multi-step partition:
+
+* **Step 1** — product vertices ``I_i ⊙ K_j`` (no internal structure);
+  Lemma 4.9 bounds its generation functions by ``φ_1(h) = ψ_1(h) = 2S√(Rh)``
+  where ``R = Wker·Hker/μ²`` is the maximum reuse of an input element.
+* **Step 2** — per-output summation trees; Lemma 4.10 gives
+  ``φ_2(h) ≤ h − 1``.
+
+Combining them, Lemma 4.11 bounds any S-partition block by
+``T(S) ≤ 4S√(RS) + S − 1`` and Theorem 4.12 yields
+
+    ``Q ≥ Ω( Wker·Hker·Cin·Wout·Hout·Cout / √(RS) )``.
+
+This module provides the vertex count (Lemma 4.8), the generation-function
+step descriptions, the closed-form ``T(S)``, the precise lower bound
+``S·(|V|/T(2S) − 1)`` and the leading-order asymptotic expression used in the
+benchmark reports.  All quantities scale linearly with the batch size.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from ...conv.tensor import ConvParams
+from .composite import CompositeBound
+from .generation import StepGeneration
+
+__all__ = [
+    "direct_conv_vertex_count",
+    "direct_conv_generation_steps",
+    "direct_conv_t_upper",
+    "direct_conv_io_lower_bound",
+    "direct_conv_io_lower_bound_asymptotic",
+    "DirectConvBound",
+]
+
+
+def direct_conv_vertex_count(params: ConvParams) -> int:
+    """Lemma 4.8: ``|V_inter ∪ V_out| = (2·Wker·Hker·Cin − 1)·Wout·Hout·Cout``
+    (per image; multiplied by the batch size)."""
+    k = params.ker_height * params.ker_width * params.in_channels
+    outputs = params.out_height * params.out_width * params.out_channels
+    return params.batch * (2 * k - 1) * outputs
+
+
+def direct_conv_generation_steps(params: ConvParams, s_partition: float) -> List[StepGeneration]:
+    """The (φ, ψ) pairs of Lemmas 4.9 and 4.10 for partition parameter ``S``.
+
+    ``s_partition`` is the S of the S-partition under analysis; Theorem 4.6
+    evaluates ``T`` at ``2S`` so callers pass ``2*S`` when assembling the I/O
+    bound for a fast memory of size ``S``.
+    """
+    if s_partition <= 0:
+        raise ValueError("s_partition must be positive")
+    r = params.reuse_factor
+
+    def phi1(h: float) -> float:
+        return 2.0 * s_partition * math.sqrt(r * h)
+
+    def phi2(h: float) -> float:
+        return max(h - 1.0, 0.0)
+
+    return [
+        StepGeneration(
+            name="products",
+            phi=phi1,
+            psi=phi1,
+            description="element products of sliding windows with kernels (Lemma 4.9)",
+        ),
+        StepGeneration(
+            name="summation",
+            phi=phi2,
+            psi=lambda h: 0.0,
+            description="per-output summation trees (Lemma 4.10)",
+        ),
+    ]
+
+
+def direct_conv_t_upper(params: ConvParams, s: float) -> float:
+    """Lemma 4.11: ``T(S) ≤ 4S√(RS) + S − 1``."""
+    if s <= 0:
+        raise ValueError("S must be positive")
+    r = params.reuse_factor
+    return 4.0 * s * math.sqrt(r * s) + s - 1.0
+
+
+def direct_conv_io_lower_bound(params: ConvParams, s: int) -> float:
+    """Precise Theorem 4.6/4.12 bound: ``Q ≥ S·(|V|/T(2S) − 1)``.
+
+    Uses the closed-form ``T`` of Lemma 4.11 evaluated at ``2S``; the result
+    counts *elements* moved between slow and fast memory.
+    """
+    if s <= 0:
+        raise ValueError("fast memory size S must be positive")
+    v = direct_conv_vertex_count(params)
+    t = direct_conv_t_upper(params, 2.0 * s)
+    return max(0.0, s * (v / t - 1.0))
+
+
+def direct_conv_io_lower_bound_asymptotic(params: ConvParams, s: int) -> float:
+    """Leading-order term of Theorem 4.12:
+
+        ``Q = Ω( Wker·Hker·Cin · Wout·Hout·Cout / (4·√(2RS)) )``
+
+    (per image, scaled by the batch size).
+    """
+    if s <= 0:
+        raise ValueError("fast memory size S must be positive")
+    r = params.reuse_factor
+    k = params.ker_height * params.ker_width * params.in_channels
+    outputs = params.out_height * params.out_width * params.out_channels
+    return params.batch * k * outputs / (4.0 * math.sqrt(2.0 * r * s))
+
+
+@dataclass(frozen=True)
+class DirectConvBound:
+    """Convenience wrapper bundling all direct-convolution bound quantities."""
+
+    params: ConvParams
+
+    def vertex_count(self) -> int:
+        return direct_conv_vertex_count(self.params)
+
+    def t_upper(self, s: float) -> float:
+        return direct_conv_t_upper(self.params, s)
+
+    def io_lower_bound(self, s: int) -> float:
+        return direct_conv_io_lower_bound(self.params, s)
+
+    def io_lower_bound_asymptotic(self, s: int) -> float:
+        return direct_conv_io_lower_bound_asymptotic(self.params, s)
+
+    def composite(self, s_partition: float) -> CompositeBound:
+        """Assemble the generic :class:`CompositeBound` for cross-validation of
+        the closed form against the numeric Theorem 4.5 optimiser."""
+        return CompositeBound(
+            steps=direct_conv_generation_steps(self.params, s_partition),
+            num_vertices=self.vertex_count(),
+            name=f"direct_conv[{self.params.describe()}]",
+        )

@@ -1,0 +1,107 @@
+"""Hong–Kung style matrix-multiplication bound via the composite theory.
+
+Matrix multiplication ``C = A·B`` with ``A (n x k)`` and ``B (k x m)`` has the
+same two-step DAG structure as the direct convolution (products, then
+per-output summation trees) with *no* sliding-window reuse, i.e. ``R = 1``:
+every element of ``A`` is consumed by ``m`` outputs and every element of ``B``
+by ``n`` outputs, but distinct windows never overlap.  Feeding ``R = 1`` into
+the direct-convolution lemmas reproduces the classical
+
+    ``Q = Ω( n·m·k / √S )``
+
+bound, which is the standard sanity check for any red–blue-pebble analysis
+(Hong & Kung 1981; Kwasniewski et al. 2019 tighten the constant).
+
+The module exists for validation: the tests compare this bound against
+pebble-game measurements of the matmul DAG and against the direct-convolution
+bound with an equivalent problem, demonstrating that the composite machinery
+specialises correctly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from .composite import CompositeBound
+from .generation import StepGeneration
+
+__all__ = [
+    "matmul_vertex_count",
+    "matmul_generation_steps",
+    "matmul_t_upper",
+    "matmul_io_lower_bound",
+    "matmul_io_lower_bound_asymptotic",
+    "MatmulBound",
+]
+
+
+def matmul_vertex_count(n: int, m: int, k: int) -> int:
+    """Internal + output vertices: ``n·m`` products per output times ``k``,
+    plus ``k − 1`` summation vertices per output → ``(2k − 1)·n·m``."""
+    if min(n, m, k) <= 0:
+        raise ValueError("matrix dimensions must be positive")
+    return (2 * k - 1) * n * m
+
+
+def matmul_generation_steps(s_partition: float) -> List[StepGeneration]:
+    """Two-step generation functions with ``R = 1`` (Lemmas 4.9/4.10)."""
+    if s_partition <= 0:
+        raise ValueError("s_partition must be positive")
+
+    def phi1(h: float) -> float:
+        return 2.0 * s_partition * math.sqrt(h)
+
+    def phi2(h: float) -> float:
+        return max(h - 1.0, 0.0)
+
+    return [
+        StepGeneration("products", phi1, phi1, "scalar products"),
+        StepGeneration("summation", phi2, lambda h: 0.0, "per-output summation trees"),
+    ]
+
+
+def matmul_t_upper(s: float) -> float:
+    """``T(S) ≤ 4S√S + S − 1`` (Lemma 4.11 with R = 1)."""
+    if s <= 0:
+        raise ValueError("S must be positive")
+    return 4.0 * s * math.sqrt(s) + s - 1.0
+
+
+def matmul_io_lower_bound(n: int, m: int, k: int, s: int) -> float:
+    """Precise bound ``S·(|V|/T(2S) − 1)``."""
+    if s <= 0:
+        raise ValueError("fast memory size S must be positive")
+    v = matmul_vertex_count(n, m, k)
+    return max(0.0, s * (v / matmul_t_upper(2.0 * s) - 1.0))
+
+
+def matmul_io_lower_bound_asymptotic(n: int, m: int, k: int, s: int) -> float:
+    """Leading term ``n·m·k / (4√(2S))``."""
+    if s <= 0:
+        raise ValueError("fast memory size S must be positive")
+    return n * m * k / (4.0 * math.sqrt(2.0 * s))
+
+
+@dataclass(frozen=True)
+class MatmulBound:
+    n: int
+    m: int
+    k: int
+
+    def vertex_count(self) -> int:
+        return matmul_vertex_count(self.n, self.m, self.k)
+
+    def io_lower_bound(self, s: int) -> float:
+        return matmul_io_lower_bound(self.n, self.m, self.k, s)
+
+    def io_lower_bound_asymptotic(self, s: int) -> float:
+        return matmul_io_lower_bound_asymptotic(self.n, self.m, self.k, s)
+
+    def composite(self, s_partition: float) -> CompositeBound:
+        return CompositeBound(
+            steps=matmul_generation_steps(s_partition),
+            num_vertices=self.vertex_count(),
+            name=f"matmul[{self.n}x{self.k}]x[{self.k}x{self.m}]",
+        )

@@ -1,0 +1,170 @@
+"""I/O lower bound of the Winograd algorithm (Section 4.3, Theorem 4.20).
+
+The Winograd DAG (Figure 5) has a four-step multi-step partition:
+
+1. input/kernel transforms (linear-combination trees) — Lemma 4.15,
+2. element-wise products of transformed tiles — Lemma 4.16,
+3. channel-direction summation trees — Lemma 4.17,
+4. output transforms (linear-combination trees) — Lemma 4.18.
+
+Lemma 4.14 counts the internal/output vertices, Lemma 4.19 bounds ``T(S)``
+and Theorem 4.20 concludes
+
+    ``Q = Ω( Wout·Hout·Cout·Cin·(e + r − 1)·r / (e·√S) )``.
+
+As in the paper, the bound assumes ``r = Wker = Hker``, stride 1 and that the
+(small) transform matrices live permanently in fast memory.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from ...conv.tensor import ConvParams
+from .composite import CompositeBound
+from .generation import StepGeneration
+
+__all__ = [
+    "winograd_vertex_count",
+    "winograd_generation_steps",
+    "winograd_t_upper",
+    "winograd_io_lower_bound",
+    "winograd_io_lower_bound_asymptotic",
+    "WinogradBound",
+]
+
+
+def _check(params: ConvParams, e: int) -> int:
+    if not params.winograd_compatible():
+        raise ValueError("Winograd bound requires stride 1 and a square kernel")
+    if e < 1:
+        raise ValueError("e must be >= 1")
+    return params.ker_height
+
+
+def winograd_vertex_count(params: ConvParams, e: int) -> float:
+    """Lemma 4.14: ``|V_inter ∪ V_out| = Θ(2·Wout·Hout·Cout·Cin·(e+r−1)⁴ / e²)``
+    (per image; multiplied by the batch size)."""
+    r = _check(params, e)
+    t = e + r - 1
+    outputs = params.out_height * params.out_width * params.out_channels
+    return params.batch * 2.0 * outputs * params.in_channels * t**4 / (e * e)
+
+
+def winograd_generation_steps(
+    params: ConvParams, e: int, s_partition: float
+) -> List[StepGeneration]:
+    """The (φ_j, ψ_j) pairs of Lemmas 4.15–4.18 for partition parameter ``S``."""
+    r = _check(params, e)
+    if s_partition <= 0:
+        raise ValueError("s_partition must be positive")
+    t = e + r - 1
+    s = float(s_partition)
+    t2 = float(t * t)
+    t4 = t2 * t2
+
+    def phi1(h: float) -> float:
+        return 6.0 * h * t4 / (e * r)
+
+    def psi1(h: float) -> float:
+        return 3.0 * h * t2 / (e * r)
+
+    def phi2(h: float) -> float:
+        return h * math.sqrt(h) + (t2 * s / (e * e)) * math.sqrt(h)
+
+    def phi3(h: float) -> float:
+        return max(h - 1.0, 0.0)
+
+    def psi3(h: float) -> float:
+        return min(h / 2.0, s * t2 / (e * e))
+
+    def phi4(h: float) -> float:
+        return min((2.0 * h - 1.0) * e * e, (2.0 * t2 - 1.0) * s)
+
+    return [
+        StepGeneration("transforms", phi1, psi1, "input/kernel transforms (Lemma 4.15)"),
+        StepGeneration("elementwise", phi2, phi2, "element-wise products (Lemma 4.16)"),
+        StepGeneration("channel_sum", phi3, psi3, "channel summation trees (Lemma 4.17)"),
+        StepGeneration("output_transform", phi4, lambda h: 0.0, "output transforms (Lemma 4.18)"),
+    ]
+
+
+def winograd_t_upper(params: ConvParams, e: int, s: float) -> float:
+    """Closed-form upper bound of ``T(S)`` following Equation (18).
+
+    ``T(S) ≤ S + φ_1(S) + T_2(S, 0) + (e+r−1)²(1/e² + 2)·S`` with
+    ``T_2(S, 0) = h√h + (e+r−1)²·S·√h / e²`` and ``h = 3S(e+r−1)²/(er)``.
+    The leading order is ``O( (e+r−1)³/(er) · S^{3/2} )`` as in Lemma 4.19.
+    """
+    r = _check(params, e)
+    if s <= 0:
+        raise ValueError("S must be positive")
+    t = e + r - 1
+    t2 = float(t * t)
+    h = 3.0 * s * t2 / (e * r)
+    t1 = 6.0 * s * t2 * t2 / (e * r)
+    t2_term = h * math.sqrt(h) + (t2 / (e * e)) * s * math.sqrt(h)
+    tail = t2 * (1.0 / (e * e) + 2.0) * s
+    return s + t1 + t2_term + tail
+
+
+def winograd_io_lower_bound(params: ConvParams, e: int, s: int) -> float:
+    """Precise Theorem 4.6/4.20 bound: ``Q ≥ S·(|V|/T(2S) − 1)`` with the
+    closed-form ``T`` of :func:`winograd_t_upper` at ``2S``."""
+    if s <= 0:
+        raise ValueError("fast memory size S must be positive")
+    v = winograd_vertex_count(params, e)
+    t = winograd_t_upper(params, e, 2.0 * s)
+    return max(0.0, s * (v / t - 1.0))
+
+
+def winograd_io_lower_bound_asymptotic(params: ConvParams, e: int, s: int) -> float:
+    """Leading-order term of Theorem 4.20:
+
+        ``Q = Ω( Wout·Hout·Cout·Cin·(e+r−1)·r / (e·√(8S)) )``
+
+    obtained by dividing Lemma 4.14's vertex count by the leading term of
+    ``T(2S)`` and multiplying by ``S``.
+    """
+    r = _check(params, e)
+    if s <= 0:
+        raise ValueError("fast memory size S must be positive")
+    t = e + r - 1
+    outputs = params.out_height * params.out_width * params.out_channels
+    return (
+        params.batch
+        * outputs
+        * params.in_channels
+        * t
+        * r
+        / (e * math.sqrt(8.0 * s))
+    )
+
+
+@dataclass(frozen=True)
+class WinogradBound:
+    """Convenience wrapper bundling all Winograd bound quantities."""
+
+    params: ConvParams
+    e: int = 2
+
+    def vertex_count(self) -> float:
+        return winograd_vertex_count(self.params, self.e)
+
+    def t_upper(self, s: float) -> float:
+        return winograd_t_upper(self.params, self.e, s)
+
+    def io_lower_bound(self, s: int) -> float:
+        return winograd_io_lower_bound(self.params, self.e, s)
+
+    def io_lower_bound_asymptotic(self, s: int) -> float:
+        return winograd_io_lower_bound_asymptotic(self.params, self.e, s)
+
+    def composite(self, s_partition: float) -> CompositeBound:
+        return CompositeBound(
+            steps=winograd_generation_steps(self.params, self.e, s_partition),
+            num_vertices=self.vertex_count(),
+            name=f"winograd[e={self.e},{self.params.describe()}]",
+        )

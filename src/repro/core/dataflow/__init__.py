@@ -1,0 +1,41 @@
+"""Near I/O-optimal dataflow strategies (Section 5 of the paper)."""
+
+from .common import IOVolume, OutputTile, ceil_div
+from .optimality import (
+    candidate_tiles,
+    optimal_tile_direct,
+    optimal_tile_winograd,
+    optimality_condition_residual,
+    satisfies_optimality,
+)
+from .direct import (
+    DirectDataflow,
+    direct_dataflow_io,
+    direct_dataflow_io_optimal,
+    simulate_direct_dataflow,
+)
+from .winograd import (
+    WinogradDataflow,
+    simulate_winograd_dataflow,
+    winograd_dataflow_io,
+    winograd_dataflow_io_optimal,
+)
+
+__all__ = [
+    "IOVolume",
+    "OutputTile",
+    "ceil_div",
+    "candidate_tiles",
+    "optimal_tile_direct",
+    "optimal_tile_winograd",
+    "optimality_condition_residual",
+    "satisfies_optimality",
+    "DirectDataflow",
+    "direct_dataflow_io",
+    "direct_dataflow_io_optimal",
+    "simulate_direct_dataflow",
+    "WinogradDataflow",
+    "simulate_winograd_dataflow",
+    "winograd_dataflow_io",
+    "winograd_dataflow_io_optimal",
+]

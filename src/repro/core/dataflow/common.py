@@ -1,0 +1,124 @@
+"""Shared value objects for the dataflow strategies of Section 5.
+
+A *dataflow* in the paper is a coarse-grained schedule: an output sub-block of
+size ``x × y × z`` (width × height × output channels) is kept resident in
+on-chip memory while the required inputs and weights stream through it in
+channel-sliced stages.  The objects here describe such a schedule and the I/O
+volume it incurs; the algorithm-specific formulas live in
+:mod:`repro.core.dataflow.direct` and :mod:`repro.core.dataflow.winograd`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict
+
+from ...conv.tensor import ConvParams
+
+__all__ = ["OutputTile", "IOVolume", "ceil_div"]
+
+
+def ceil_div(a: int, b: int) -> int:
+    if b <= 0:
+        raise ValueError("divisor must be positive")
+    return -(-a // b)
+
+
+@dataclasses.dataclass(frozen=True)
+class OutputTile:
+    """An output sub-block ``x × y × z`` assigned to one processor.
+
+    ``x`` is the width extent (along ``Wout``), ``y`` the height extent
+    (along ``Hout``) and ``z`` the number of output channels updated together.
+    """
+
+    x: int
+    y: int
+    z: int
+
+    def __post_init__(self) -> None:
+        for name in ("x", "y", "z"):
+            v = getattr(self, name)
+            if not isinstance(v, int) or v <= 0:
+                raise ValueError(f"tile dimension {name} must be a positive integer")
+
+    @property
+    def outputs(self) -> int:
+        """Output elements held on chip: ``x·y·z``."""
+        return self.x * self.y * self.z
+
+    def clip_to(self, params: ConvParams) -> "OutputTile":
+        """Clamp the tile to the output extents of a problem."""
+        return OutputTile(
+            x=min(self.x, params.out_width),
+            y=min(self.y, params.out_height),
+            z=min(self.z, params.out_channels),
+        )
+
+    def input_footprint(self, params: ConvParams) -> int:
+        """Input elements of one channel slice needed to update this tile:
+        the ``x' × y'`` halo region with ``x' = (x−1)·μ + Wker``."""
+        xp = (self.x - 1) * params.stride + params.ker_width
+        yp = (self.y - 1) * params.stride + params.ker_height
+        return xp * yp
+
+    def describe(self) -> str:
+        return f"tile(x={self.x}, y={self.y}, z={self.z})"
+
+
+@dataclasses.dataclass(frozen=True)
+class IOVolume:
+    """Off-chip traffic of one complete convolution under a dataflow.
+
+    All quantities count *elements* (multiply by the dtype size for bytes).
+    ``input_reads`` and ``weight_reads`` include re-reads caused by tiling;
+    ``output_writes`` counts final stores (the dataflows of Section 5 write
+    each output exactly once); ``extra`` covers any algorithm-specific
+    intermediate traffic (e.g. the im2col buffer of the cuDNN baseline).
+    """
+
+    input_reads: float
+    weight_reads: float
+    output_writes: float
+    extra: float = 0.0
+
+    @property
+    def reads(self) -> float:
+        return self.input_reads + self.weight_reads + self.extra / 2.0
+
+    @property
+    def writes(self) -> float:
+        return self.output_writes + self.extra / 2.0
+
+    @property
+    def total(self) -> float:
+        return self.input_reads + self.weight_reads + self.output_writes + self.extra
+
+    def bytes(self, dtype_size: int = 4) -> float:
+        return self.total * dtype_size
+
+    def scaled(self, factor: float) -> "IOVolume":
+        return IOVolume(
+            input_reads=self.input_reads * factor,
+            weight_reads=self.weight_reads * factor,
+            output_writes=self.output_writes * factor,
+            extra=self.extra * factor,
+        )
+
+    def breakdown(self) -> Dict[str, float]:
+        return {
+            "input_reads": self.input_reads,
+            "weight_reads": self.weight_reads,
+            "output_writes": self.output_writes,
+            "extra": self.extra,
+            "total": self.total,
+        }
+
+    def __add__(self, other: "IOVolume") -> "IOVolume":
+        return IOVolume(
+            input_reads=self.input_reads + other.input_reads,
+            weight_reads=self.weight_reads + other.weight_reads,
+            output_writes=self.output_writes + other.output_writes,
+            extra=self.extra + other.extra,
+        )

@@ -1,0 +1,186 @@
+"""Near I/O-optimal dataflow for the direct convolution (Section 5.2).
+
+The schedule keeps an ``x × y × z`` output sub-block resident on chip and
+streams channel slices of the inputs and weights through it:
+
+* for each output sub-block, for each input channel ``c``:
+  load the ``x' × y'`` input tile of channel ``c`` (``x' = (x−1)μ + Wker``)
+  and the ``Wker × Hker`` weights of channel ``c`` for the ``z`` kernels,
+  accumulate partial sums into the resident outputs;
+* after all channels, write the ``x·y·z`` outputs back exactly once.
+
+The closed-form reading volume is Eq. (20),
+
+    ``Q_read ≈ (Hout·Wout·Cout / xyz) · Hker·Wker·Cin · (z + xy/R)``,
+
+minimised when ``x·y = R·z``; with the capacity choice ``xyz ≈ S/N_p`` the
+total volume becomes Eq. (21).  :func:`simulate_direct_dataflow` replays the
+tile loops and counts element transfers exactly so the tests can tie the
+closed forms to an executable schedule.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ...conv.tensor import ConvParams
+from .common import IOVolume, OutputTile, ceil_div
+from .optimality import optimal_tile_direct
+
+__all__ = [
+    "direct_dataflow_io",
+    "direct_dataflow_io_optimal",
+    "simulate_direct_dataflow",
+    "DirectDataflow",
+]
+
+
+def direct_dataflow_io(params: ConvParams, tile: OutputTile) -> IOVolume:
+    """Closed-form I/O volume (elements) of the dataflow for a given tile.
+
+    Follows Eq. (20) for reads plus one store per output (Section 5.2), with
+    the tile grid rounded up to whole tiles so the formula stays valid for
+    tiles that do not divide the output extents exactly.
+    """
+    tile = tile.clip_to(params)
+    p = params
+    blocks_x = ceil_div(p.out_width, tile.x)
+    blocks_y = ceil_div(p.out_height, tile.y)
+    blocks_z = ceil_div(p.out_channels, tile.z)
+    blocks = blocks_x * blocks_y * blocks_z * p.batch
+
+    input_tile_elems = tile.input_footprint(p) * p.in_channels
+    weight_elems = p.ker_height * p.ker_width * p.in_channels * tile.z
+
+    input_reads = blocks * input_tile_elems
+    weight_reads = blocks * weight_elems
+    output_writes = float(p.output_elements)
+    return IOVolume(
+        input_reads=float(input_reads),
+        weight_reads=float(weight_reads),
+        output_writes=output_writes,
+    )
+
+
+def direct_dataflow_io_optimal(
+    params: ConvParams, fast_memory: int, processors: int = 1
+) -> IOVolume:
+    """Eq. (21): total I/O volume with the optimal tile choice
+    ``xyz ≈ S/N_p`` and ``xy = R·z``.
+
+    Returned as an :class:`IOVolume` whose read components follow the
+    closed-form expression (input and weight reads are equal at the optimum).
+    """
+    if fast_memory <= 0 or processors <= 0:
+        raise ValueError("fast_memory and processors must be positive")
+    p = params
+    outputs = p.out_height * p.out_width * p.out_channels * p.batch
+    k = p.ker_height * p.ker_width * p.in_channels
+    r = p.reuse_factor
+    reads = 2.0 * outputs * k / math.sqrt(r * fast_memory / processors)
+    return IOVolume(
+        input_reads=reads / 2.0,
+        weight_reads=reads / 2.0,
+        output_writes=float(outputs),
+    )
+
+
+def simulate_direct_dataflow(
+    params: ConvParams, tile: OutputTile, count_halo_exactly: bool = True
+) -> IOVolume:
+    """Replay the tile loops of the dataflow and count element transfers.
+
+    The simulation iterates over output sub-blocks and channel slices exactly
+    as the schedule executes them, counting
+
+    * the input halo elements loaded per (sub-block, channel) pair — clipped
+      at the image borders when ``count_halo_exactly`` is true,
+    * the weight elements loaded per (sub-block, channel) pair, and
+    * one store per output element.
+
+    No numerical work is performed; the function is a traffic counter whose
+    totals the tests compare against :func:`direct_dataflow_io`.
+    """
+    tile = tile.clip_to(params)
+    p = params
+    input_reads = 0
+    weight_reads = 0
+    padded_h = p.in_height + 2 * p.padding
+    padded_w = p.in_width + 2 * p.padding
+
+    for _ in range(p.batch):
+        for z0 in range(0, p.out_channels, tile.z):
+            z_extent = min(tile.z, p.out_channels - z0)
+            for y0 in range(0, p.out_height, tile.y):
+                y_extent = min(tile.y, p.out_height - y0)
+                for x0 in range(0, p.out_width, tile.x):
+                    x_extent = min(tile.x, p.out_width - x0)
+                    if count_halo_exactly:
+                        ih0 = y0 * p.stride
+                        ih1 = (y0 + y_extent - 1) * p.stride + p.ker_height
+                        iw0 = x0 * p.stride
+                        iw1 = (x0 + x_extent - 1) * p.stride + p.ker_width
+                        halo = (min(ih1, padded_h) - ih0) * (min(iw1, padded_w) - iw0)
+                    else:
+                        halo = (
+                            ((x_extent - 1) * p.stride + p.ker_width)
+                            * ((y_extent - 1) * p.stride + p.ker_height)
+                        )
+                    # Channel-sliced streaming: one x'×y' tile and the z-kernel
+                    # weights of that channel per input channel (α = 1).
+                    input_reads += halo * p.in_channels
+                    weight_reads += (
+                        p.ker_height * p.ker_width * p.in_channels * z_extent
+                    )
+    return IOVolume(
+        input_reads=float(input_reads),
+        weight_reads=float(weight_reads),
+        output_writes=float(p.output_elements),
+    )
+
+
+@dataclass(frozen=True)
+class DirectDataflow:
+    """The direct-convolution dataflow bound to a problem and a machine size.
+
+    Bundles tile selection, the closed-form I/O volume, the simulated volume
+    and the on-chip footprint check used by the auto-tuner's search domain.
+    """
+
+    params: ConvParams
+    fast_memory: int
+    processors: int = 1
+    tile: Optional[OutputTile] = None
+
+    def __post_init__(self) -> None:
+        if self.fast_memory <= 0:
+            raise ValueError("fast_memory must be positive")
+        if self.processors <= 0:
+            raise ValueError("processors must be positive")
+        if self.tile is None:
+            object.__setattr__(
+                self,
+                "tile",
+                optimal_tile_direct(self.params, self.fast_memory, self.processors),
+            )
+
+    def io_volume(self) -> IOVolume:
+        return direct_dataflow_io(self.params, self.tile)
+
+    def io_volume_simulated(self) -> IOVolume:
+        return simulate_direct_dataflow(self.params, self.tile)
+
+    def on_chip_elements(self) -> int:
+        """Elements resident per processor: the output tile, one channel slice
+        of the input halo, and the corresponding weight slice."""
+        t = self.tile.clip_to(self.params)
+        return (
+            t.outputs
+            + t.input_footprint(self.params)
+            + self.params.ker_height * self.params.ker_width * t.z
+        )
+
+    def fits(self) -> bool:
+        return self.on_chip_elements() <= max(1, self.fast_memory // self.processors)

@@ -1,0 +1,185 @@
+"""Optimality condition and tile selection (Section 5).
+
+The lower-bound analysis tells us *which* reuse to maximise; comparing the
+dataflow's closed-form I/O volume with the lower bound yields the
+*optimality condition*
+
+    ``x·y = R·z``            (direct convolution, Eq. 20)
+    ``x·y = r²·z``           (Winograd; identical because ``R = r²`` at μ=1)
+
+together with the capacity constraint (``x·y·z ≈ S/N_p`` for the direct
+convolution, ``2(e+r−1)²/e² · x·y·z ≈ S/N_p`` for Winograd).  This module
+computes near-optimal integer tiles under those two conditions and provides
+the *optimality ratio* — dataflow I/O divided by the I/O lower bound — used
+throughout the tests and the theory benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple
+
+from ...conv.tensor import ConvParams, divisors
+from .common import OutputTile
+
+__all__ = [
+    "optimality_condition_residual",
+    "satisfies_optimality",
+    "optimal_tile_direct",
+    "optimal_tile_winograd",
+    "candidate_tiles",
+]
+
+
+def optimality_condition_residual(tile: OutputTile, params: ConvParams) -> float:
+    """Relative deviation ``|x·y − R·z| / (R·z)`` from the optimality condition."""
+    r = params.reuse_factor
+    target = r * tile.z
+    if target <= 0:
+        raise ValueError("R·z must be positive")
+    return abs(tile.x * tile.y - target) / target
+
+
+def satisfies_optimality(
+    tile: OutputTile, params: ConvParams, tolerance: float = 0.5
+) -> bool:
+    """Whether the tile satisfies ``x·y ≈ R·z`` within a relative tolerance.
+
+    Integer tiles rarely satisfy the condition exactly; the default tolerance
+    of 50% matches the granularity of the divisor-constrained search domain.
+    """
+    return optimality_condition_residual(tile, params) <= tolerance
+
+
+def _balanced_xy(xy_target: float, params: ConvParams) -> Tuple[int, int]:
+    """Split an ``x·y`` product into a near-square (x, y) clipped to the output."""
+    side = max(1.0, math.sqrt(max(xy_target, 1.0)))
+    x = max(1, min(params.out_width, int(round(side))))
+    y = max(1, min(params.out_height, int(round(xy_target / x)) if x else 1))
+    y = max(1, min(params.out_height, y))
+    return x, y
+
+
+def _solve_direct_tile(params: ConvParams, budget: float) -> OutputTile:
+    r = params.reuse_factor
+    z = max(1.0, math.sqrt(budget / r))
+    xy = r * z
+    if xy > params.out_width * params.out_height:
+        xy = params.out_width * params.out_height
+        z = max(1.0, budget / xy)
+    z_int = max(1, min(params.out_channels, int(round(z))))
+    x, y = _balanced_xy(min(xy, budget / z_int), params)
+    return OutputTile(x=x, y=y, z=z_int).clip_to(params)
+
+
+def _direct_footprint(tile: OutputTile, params: ConvParams) -> int:
+    """On-chip elements of the direct dataflow: resident outputs + one channel
+    slice of the input halo + the matching weight slice."""
+    return (
+        tile.outputs
+        + tile.input_footprint(params)
+        + params.ker_height * params.ker_width * tile.z
+    )
+
+
+def optimal_tile_direct(
+    params: ConvParams, fast_memory: int, processors: int = 1
+) -> OutputTile:
+    """Near-optimal output tile for the direct-convolution dataflow.
+
+    Solves ``x·y·z ≈ S/N_p`` and ``x·y = R·z`` continuously, rounds to a
+    feasible integer tile clipped to the problem extents, and shrinks the
+    solve budget until the whole working set (outputs + channel-sliced input
+    halo + weights) fits the per-processor fast memory.
+    """
+    if fast_memory <= 0 or processors <= 0:
+        raise ValueError("fast_memory and processors must be positive")
+    per_proc = max(1.0, fast_memory / processors)
+    budget = per_proc
+    tile = _solve_direct_tile(params, budget)
+    for _ in range(40):
+        if _direct_footprint(tile, params) <= per_proc or tile.outputs <= 1:
+            break
+        budget *= 0.85
+        tile = _solve_direct_tile(params, budget)
+    return tile
+
+
+def optimal_tile_winograd(
+    params: ConvParams, fast_memory: int, e: int, processors: int = 1
+) -> OutputTile:
+    """Near-optimal output tile for the Winograd dataflow.
+
+    The on-chip budget is dominated by the ``2(e+r−1)²/e²`` temporary arrays
+    per output element: ``2(e+r−1)²/e² · x·y·z ≈ S/N_p`` with ``x·y = r²·z``.
+    """
+    if not params.winograd_compatible():
+        raise ValueError("Winograd tiles require stride 1 and a square kernel")
+    if fast_memory <= 0 or processors <= 0:
+        raise ValueError("fast_memory and processors must be positive")
+    if e < 1:
+        raise ValueError("e must be >= 1")
+    r = params.ker_height
+    t = e + r - 1
+    overhead = 2.0 * t * t / (e * e)
+    per_proc = max(1.0, fast_memory / processors)
+
+    def solve(budget: float) -> OutputTile:
+        z = max(1.0, math.sqrt(budget / (r * r)))
+        xy = r * r * z
+        if xy > params.out_width * params.out_height:
+            xy = params.out_width * params.out_height
+            z = max(1.0, budget / xy)
+        z_int = max(1, min(params.out_channels, int(round(z))))
+        x, y = _balanced_xy(min(xy, budget / z_int), params)
+        # Round x and y to multiples of e where possible so tiles align with
+        # the e×e Winograd output tiles.
+        x = max(e, (x // e) * e) if params.out_width >= e else x
+        y = max(e, (y // e) * e) if params.out_height >= e else y
+        return OutputTile(x=x, y=y, z=z_int).clip_to(params)
+
+    def footprint(tile: OutputTile) -> float:
+        halo = (tile.x + r - 1) * (tile.y + r - 1)
+        return overhead * tile.outputs + halo + tile.z * r * r
+
+    budget = per_proc / overhead
+    tile = solve(budget)
+    for _ in range(40):
+        if footprint(tile) <= per_proc or tile.outputs <= 1:
+            break
+        budget *= 0.85
+        tile = solve(budget)
+    return tile
+
+
+def candidate_tiles(
+    params: ConvParams,
+    fast_memory: int,
+    require_optimality: bool = False,
+    tolerance: float = 0.5,
+    max_candidates: Optional[int] = None,
+) -> Tuple[OutputTile, ...]:
+    """Enumerate feasible output tiles from the Table-1 search domain.
+
+    Tiles must have ``x | Wout``, ``y | Hout``, ``z | Cout`` and fit in the
+    fast memory (``x·y·z ≤ S``); optionally they must also satisfy the
+    optimality condition within ``tolerance``.
+    """
+    if fast_memory <= 0:
+        raise ValueError("fast_memory must be positive")
+    tiles = []
+    for x in divisors(params.out_width):
+        for y in divisors(params.out_height):
+            if x * y > fast_memory:
+                continue
+            for z in divisors(params.out_channels):
+                if x * y * z > fast_memory:
+                    continue
+                tile = OutputTile(x=x, y=y, z=z)
+                if require_optimality and not satisfies_optimality(tile, params, tolerance):
+                    continue
+                tiles.append(tile)
+                if max_candidates is not None and len(tiles) >= max_candidates:
+                    return tuple(tiles)
+    return tuple(tiles)

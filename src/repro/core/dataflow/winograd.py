@@ -1,0 +1,186 @@
+"""Near I/O-optimal dataflow for the Winograd algorithm (Section 5.3).
+
+The highest-order term of the Winograd lower bound comes from φ₃ (the channel
+summation step), so the dataflow keeps the two ``(e+r−1) × (e+r−1)`` temporary
+arrays per in-flight output tile resident on chip and streams inputs/weights
+channel by channel:
+
+* the output image is partitioned into ``x × y × z`` sub-blocks, each further
+  split into ``e × e`` Winograd tiles;
+* for each sub-block and input channel, the ``(e+r−1)²`` input tile and the
+  ``r²`` weights of that channel are loaded, transformed, multiplied and
+  accumulated into the resident Π arrays;
+* when all channels are consumed the Π arrays are transformed to ``e × e``
+  outputs and written back once.
+
+The reading volume for a tile is Eq. (22),
+
+    ``Q_read ≈ (Hout·Wout·Cout / xyz) · (x·y·Cin + z·r²·Cin)``,
+
+minimised when ``x·y = r²·z``; with the capacity choice
+``2(e+r−1)²/e² · xyz ≈ S/N_p`` the total becomes the closed form below.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ...conv.tensor import ConvParams
+from .common import IOVolume, OutputTile, ceil_div
+from .optimality import optimal_tile_winograd
+
+__all__ = [
+    "winograd_dataflow_io",
+    "winograd_dataflow_io_optimal",
+    "simulate_winograd_dataflow",
+    "WinogradDataflow",
+]
+
+
+def _check(params: ConvParams, e: int) -> int:
+    if not params.winograd_compatible():
+        raise ValueError("Winograd dataflow requires stride 1 and a square kernel")
+    if e < 1:
+        raise ValueError("e must be >= 1")
+    return params.ker_height
+
+
+def winograd_dataflow_io(params: ConvParams, tile: OutputTile, e: int) -> IOVolume:
+    """Closed-form I/O volume (elements) of the Winograd dataflow for a tile.
+
+    Reads follow Eq. (22) with the tile grid rounded up to whole tiles;
+    outputs are written exactly once.  Input halos are charged as
+    ``(x + r − 1)(y + r − 1)`` per channel (μ = 1).
+    """
+    r = _check(params, e)
+    tile = tile.clip_to(params)
+    p = params
+    blocks_x = ceil_div(p.out_width, tile.x)
+    blocks_y = ceil_div(p.out_height, tile.y)
+    blocks_z = ceil_div(p.out_channels, tile.z)
+    blocks = blocks_x * blocks_y * blocks_z * p.batch
+
+    halo = (tile.x + r - 1) * (tile.y + r - 1)
+    input_reads = blocks * halo * p.in_channels
+    weight_reads = blocks * tile.z * r * r * p.in_channels
+    return IOVolume(
+        input_reads=float(input_reads),
+        weight_reads=float(weight_reads),
+        output_writes=float(p.output_elements),
+    )
+
+
+def winograd_dataflow_io_optimal(
+    params: ConvParams, fast_memory: int, e: int, processors: int = 1
+) -> IOVolume:
+    """Closed-form optimum (Section 5.3):
+
+        ``Q ≈ 2·Hout·Wout·Cout·Cin·r·(e+r−1) / (e·√(S/N_p)) + Hout·Wout·Cout``.
+    """
+    r = _check(params, e)
+    if fast_memory <= 0 or processors <= 0:
+        raise ValueError("fast_memory and processors must be positive")
+    p = params
+    outputs = p.out_height * p.out_width * p.out_channels * p.batch
+    t = e + r - 1
+    reads = (
+        2.0
+        * outputs
+        * p.in_channels
+        * r
+        * t
+        / (e * math.sqrt(fast_memory / processors))
+    )
+    return IOVolume(
+        input_reads=reads / 2.0,
+        weight_reads=reads / 2.0,
+        output_writes=float(outputs),
+    )
+
+
+def simulate_winograd_dataflow(
+    params: ConvParams, tile: OutputTile, e: int
+) -> IOVolume:
+    """Replay the Winograd dataflow tile loops and count element transfers.
+
+    Mirrors :func:`repro.core.dataflow.direct.simulate_direct_dataflow`:
+    per output sub-block and channel, the input halo and the channel's weights
+    are loaded once; outputs are stored once.  Border tiles are clipped.
+    """
+    r = _check(params, e)
+    tile = tile.clip_to(params)
+    p = params
+    input_reads = 0
+    weight_reads = 0
+    padded_h = p.in_height + 2 * p.padding
+    padded_w = p.in_width + 2 * p.padding
+
+    for _ in range(p.batch):
+        for z0 in range(0, p.out_channels, tile.z):
+            z_extent = min(tile.z, p.out_channels - z0)
+            for y0 in range(0, p.out_height, tile.y):
+                y_extent = min(tile.y, p.out_height - y0)
+                for x0 in range(0, p.out_width, tile.x):
+                    x_extent = min(tile.x, p.out_width - x0)
+                    ih1 = min(y0 + y_extent - 1 + r, padded_h)
+                    iw1 = min(x0 + x_extent - 1 + r, padded_w)
+                    halo = (ih1 - y0) * (iw1 - x0)
+                    input_reads += halo * p.in_channels
+                    weight_reads += z_extent * r * r * p.in_channels
+    return IOVolume(
+        input_reads=float(input_reads),
+        weight_reads=float(weight_reads),
+        output_writes=float(p.output_elements),
+    )
+
+
+@dataclass(frozen=True)
+class WinogradDataflow:
+    """The Winograd dataflow bound to a problem and machine size."""
+
+    params: ConvParams
+    fast_memory: int
+    e: int = 2
+    processors: int = 1
+    tile: Optional[OutputTile] = None
+
+    def __post_init__(self) -> None:
+        _check(self.params, self.e)
+        if self.fast_memory <= 0 or self.processors <= 0:
+            raise ValueError("fast_memory and processors must be positive")
+        if self.tile is None:
+            object.__setattr__(
+                self,
+                "tile",
+                optimal_tile_winograd(
+                    self.params, self.fast_memory, self.e, self.processors
+                ),
+            )
+
+    @property
+    def r(self) -> int:
+        return self.params.ker_height
+
+    @property
+    def tile_in(self) -> int:
+        return self.e + self.r - 1
+
+    def io_volume(self) -> IOVolume:
+        return winograd_dataflow_io(self.params, self.tile, self.e)
+
+    def io_volume_simulated(self) -> IOVolume:
+        return simulate_winograd_dataflow(self.params, self.tile, self.e)
+
+    def on_chip_elements(self) -> int:
+        """Per-processor residency: the 2·(e+r−1)²/e² temporary arrays per
+        in-flight output element plus one channel slice of inputs/weights."""
+        t = self.tile.clip_to(self.params)
+        temp = int(math.ceil(2.0 * self.tile_in**2 / (self.e**2) * t.outputs))
+        halo = (t.x + self.r - 1) * (t.y + self.r - 1)
+        weights = t.z * self.r * self.r
+        return temp + halo + weights
+
+    def fits(self) -> bool:
+        return self.on_chip_elements() <= max(1, self.fast_memory // self.processors)

@@ -1,0 +1,37 @@
+"""Analytical GPU memory-hierarchy simulator.
+
+Substitute for the physical GPUs of the paper's evaluation: architecture
+specs, kernel workload profiles, a roofline-with-occupancy execution model,
+and a cuDNN/MIOpen-style baseline library (see DESIGN.md substitution table).
+"""
+
+from .spec import GFX906, GTX_1080TI, KNOWN_GPUS, TITAN_X, V100, GPUSpec, get_gpu
+from .kernels import (
+    KernelProfile,
+    direct_dataflow_profile,
+    gemm_traffic,
+    im2col_profile,
+    winograd_dataflow_profile,
+)
+from .executor import ExecutionResult, GPUExecutor, occupancy
+from .cudnn import CudnnChoice, CudnnLibrary
+
+__all__ = [
+    "GPUSpec",
+    "get_gpu",
+    "KNOWN_GPUS",
+    "GTX_1080TI",
+    "V100",
+    "TITAN_X",
+    "GFX906",
+    "KernelProfile",
+    "direct_dataflow_profile",
+    "winograd_dataflow_profile",
+    "im2col_profile",
+    "gemm_traffic",
+    "ExecutionResult",
+    "GPUExecutor",
+    "occupancy",
+    "CudnnChoice",
+    "CudnnLibrary",
+]

@@ -1,0 +1,172 @@
+"""Analytical execution model ("run" a kernel profile on a GPU spec).
+
+The model is a refined roofline:
+
+* **occupancy** — how many thread blocks fit per SM given their shared-memory
+  and thread footprints, and whether there are enough blocks to fill the
+  device;
+* **memory time** — DRAM bytes divided by the bandwidth, derated by the
+  layout coalescing factor and by low occupancy (latency hiding);
+* **compute time** — FLOPs divided by peak, derated by the kernel's intrinsic
+  compute efficiency, by partial warps and by low occupancy;
+* the kernel time is ``max(memory, compute)`` plus a launch overhead;
+* an optional deterministic, configuration-keyed noise term models run-to-run
+  measurement variance so that the auto-tuner's cost model has a realistic
+  (but reproducible) learning problem.
+
+The executor never claims to predict absolute hardware runtimes — it provides
+a *consistent* machine for comparing schedules, which is what the paper's
+experiments need (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from .kernels import KernelProfile
+from .spec import GPUSpec
+
+__all__ = ["ExecutionResult", "GPUExecutor", "occupancy"]
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """Outcome of one simulated kernel execution."""
+
+    kernel: str
+    gpu: str
+    time_seconds: float
+    compute_time: float
+    memory_time: float
+    occupancy: float
+    achieved_gflops: float
+    achieved_bandwidth: float  # bytes / s
+    dram_bytes: float
+    flops: float
+
+    @property
+    def time_ms(self) -> float:
+        return self.time_seconds * 1e3
+
+    @property
+    def bound(self) -> str:
+        """Which roofline leg limits the kernel."""
+        return "memory" if self.memory_time >= self.compute_time else "compute"
+
+    def describe(self) -> str:
+        return (
+            f"{self.kernel} on {self.gpu}: {self.time_ms:.3f} ms "
+            f"({self.achieved_gflops:.0f} GFLOP/s, {self.bound}-bound, "
+            f"occ={self.occupancy:.2f})"
+        )
+
+
+def occupancy(profile: KernelProfile, spec: GPUSpec) -> float:
+    """Fraction of the device's thread capacity the launch keeps busy.
+
+    Limited by shared memory per SM, threads per SM, blocks per SM, and by
+    whether there are enough blocks to give every SM at least one.
+    """
+    if profile.smem_per_block > spec.shared_mem_per_sm:
+        raise ValueError(
+            f"kernel {profile.name!r} needs {profile.smem_per_block} B of shared "
+            f"memory per block but {spec.name} has {spec.shared_mem_per_sm} B per SM"
+        )
+    if profile.threads_per_block > spec.max_threads_per_block:
+        raise ValueError(
+            f"kernel {profile.name!r} uses {profile.threads_per_block} threads per "
+            f"block; {spec.name} allows at most {spec.max_threads_per_block}"
+        )
+    blocks_by_smem = (
+        spec.shared_mem_per_sm // max(1, profile.smem_per_block)
+        if profile.smem_per_block
+        else spec.max_blocks_per_sm
+    )
+    blocks_by_threads = spec.max_threads_per_sm // profile.threads_per_block
+    blocks_per_sm = max(1, min(spec.max_blocks_per_sm, blocks_by_smem, blocks_by_threads))
+    resident_threads = min(
+        spec.max_threads_per_sm, blocks_per_sm * profile.threads_per_block
+    )
+    thread_occ = resident_threads / spec.max_threads_per_sm
+    # Tail / fill effect: too few blocks leaves SMs idle.
+    fill = min(1.0, profile.num_blocks / (spec.num_sms * max(1, blocks_per_sm)))
+    wave_fill = min(1.0, profile.num_blocks / spec.num_sms)
+    return max(0.01, thread_occ * max(fill, 0.25) * max(wave_fill, 0.25))
+
+
+class GPUExecutor:
+    """Simulated execution of kernel profiles on one GPU."""
+
+    def __init__(self, spec: GPUSpec, noise: float = 0.05, seed: int = 2021) -> None:
+        if noise < 0 or noise >= 0.5:
+            raise ValueError("noise must be in [0, 0.5)")
+        self.spec = spec
+        self.noise = noise
+        self.seed = seed
+
+    # ------------------------------------------------------------------ #
+    def _noise_factor(self, profile: KernelProfile) -> float:
+        """Deterministic pseudo-random multiplier in [1-noise, 1+noise].
+
+        Keyed by the kernel's salient configuration so that re-measuring the
+        same configuration returns the same time (the paper's tuner averages
+        repeated hardware runs; we model the averaged value)."""
+        if self.noise == 0:
+            return 1.0
+        key = (
+            f"{self.seed}|{self.spec.name}|{profile.name}|{profile.threads_per_block}"
+            f"|{profile.num_blocks}|{profile.smem_per_block}|{profile.layout.value}"
+            f"|{profile.dram_bytes:.0f}|{profile.flops:.0f}"
+        )
+        digest = hashlib.sha256(key.encode()).digest()
+        unit = int.from_bytes(digest[:8], "little") / float(2**64)
+        return 1.0 + self.noise * (2.0 * unit - 1.0)
+
+    def run(self, profile: KernelProfile) -> ExecutionResult:
+        """Predict the execution time of one kernel launch."""
+        spec = self.spec
+        occ = occupancy(profile, spec)
+
+        # Memory leg: bandwidth derated by coalescing and (weakly) by occupancy
+        # because low occupancy cannot hide DRAM latency.
+        bw_eff = spec.dram_bandwidth * profile.coalescing * min(1.0, 0.35 + 0.65 * occ)
+        memory_time = profile.dram_bytes / bw_eff if profile.dram_bytes else 0.0
+
+        # Compute leg: peak derated by the kernel's efficiency, warp granularity
+        # and occupancy.
+        warp_eff = 1.0
+        rem = profile.threads_per_block % spec.warp_size
+        if rem:
+            warp_eff = profile.threads_per_block / (
+                profile.threads_per_block + (spec.warp_size - rem)
+            )
+        flop_rate = (
+            spec.peak_flops
+            * profile.compute_efficiency
+            * warp_eff
+            * min(1.0, 0.25 + 0.75 * occ)
+        )
+        compute_time = profile.flops / flop_rate if profile.flops else 0.0
+
+        base = max(memory_time, compute_time) + spec.kernel_launch_overhead
+        time = base * self._noise_factor(profile)
+
+        return ExecutionResult(
+            kernel=profile.name,
+            gpu=spec.name,
+            time_seconds=time,
+            compute_time=compute_time,
+            memory_time=memory_time,
+            occupancy=occ,
+            achieved_gflops=(profile.flops / time) / 1e9 if time > 0 else 0.0,
+            achieved_bandwidth=profile.dram_bytes / time if time > 0 else 0.0,
+            dram_bytes=profile.dram_bytes,
+            flops=profile.flops,
+        )
+
+    def gflops(self, profile: KernelProfile) -> float:
+        """Convenience: achieved GFLOP/s of one profile."""
+        return self.run(profile).achieved_gflops

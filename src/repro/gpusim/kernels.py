@@ -1,0 +1,215 @@
+"""Kernel profiles: the workload description the executor consumes.
+
+A :class:`KernelProfile` captures everything the analytical performance model
+needs about one GPU kernel launch:
+
+* total floating-point work,
+* off-chip (DRAM) traffic in bytes,
+* per-thread-block shared-memory footprint and thread count,
+* number of thread blocks,
+* qualitative efficiency hints (coalescing of the memory layout, whether the
+  inner loops vectorise well).
+
+Profiles for the convolution implementations under study are built by the
+constructors below from a :class:`~repro.conv.tensor.ConvParams`, an output
+tile / configuration, and the algorithm family.  The auto-tuner uses
+:func:`profile_from_configuration` (in :mod:`repro.core.autotune.config`)
+which delegates to these constructors.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..conv.tensor import ConvParams, Layout
+from ..conv.winograd import winograd_flops
+from ..conv.im2col import im2col_buffer_elements
+from ..core.dataflow.common import IOVolume, OutputTile, ceil_div
+from ..core.dataflow.direct import direct_dataflow_io
+from ..core.dataflow.winograd import winograd_dataflow_io
+
+__all__ = [
+    "KernelProfile",
+    "direct_dataflow_profile",
+    "winograd_dataflow_profile",
+    "im2col_profile",
+    "gemm_traffic",
+]
+
+
+@dataclass(frozen=True)
+class KernelProfile:
+    """Workload description of one kernel launch."""
+
+    name: str
+    flops: float
+    dram_bytes: float
+    smem_per_block: int  # bytes
+    threads_per_block: int
+    num_blocks: int
+    coalescing: float = 1.0  # 0 < c <= 1, fraction of peak bandwidth reachable
+    compute_efficiency: float = 0.6  # fraction of peak FLOPs reachable
+    layout: Layout = Layout.CHW
+
+    def __post_init__(self) -> None:
+        if self.flops < 0 or self.dram_bytes < 0:
+            raise ValueError("flops and dram_bytes must be non-negative")
+        if self.threads_per_block <= 0 or self.num_blocks <= 0:
+            raise ValueError("threads_per_block and num_blocks must be positive")
+        if not (0.0 < self.coalescing <= 1.0):
+            raise ValueError("coalescing must be in (0, 1]")
+        if not (0.0 < self.compute_efficiency <= 1.0):
+            raise ValueError("compute_efficiency must be in (0, 1]")
+        if self.smem_per_block < 0:
+            raise ValueError("smem_per_block must be non-negative")
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """FLOP per DRAM byte."""
+        if self.dram_bytes == 0:
+            return math.inf
+        return self.flops / self.dram_bytes
+
+    def with_(self, **kwargs) -> "KernelProfile":
+        return replace(self, **kwargs)
+
+
+_LAYOUT_COALESCING = {
+    Layout.CHW: 1.0,  # contiguous along W: fully coalesced row accesses
+    Layout.HWC: 0.85,  # channel-interleaved: good for pointwise, slight penalty here
+    Layout.CWH: 0.65,  # column-major spatial: strided accesses
+}
+
+
+def _threads_for_tile(tile: OutputTile, requested: Optional[int], warp: int = 32) -> int:
+    if requested is not None:
+        return max(warp, min(1024, int(requested)))
+    return int(max(warp, min(1024, warp * ceil_div(tile.outputs, warp) // 4 + warp)))
+
+
+def direct_dataflow_profile(
+    params: ConvParams,
+    tile: OutputTile,
+    dtype_size: int = 4,
+    threads_per_block: Optional[int] = None,
+    layout: Optional[Layout] = None,
+) -> KernelProfile:
+    """Profile of the paper's I/O-optimal direct-convolution dataflow.
+
+    One thread block owns one output sub-block; DRAM traffic is the
+    closed-form dataflow volume of Section 5.2.
+    """
+    layout = layout if layout is not None else params.layout
+    tile = tile.clip_to(params)
+    io: IOVolume = direct_dataflow_io(params, tile)
+    blocks = (
+        ceil_div(params.out_width, tile.x)
+        * ceil_div(params.out_height, tile.y)
+        * ceil_div(params.out_channels, tile.z)
+        * params.batch
+    )
+    smem_elems = (
+        tile.outputs
+        + tile.input_footprint(params)
+        + params.ker_height * params.ker_width * tile.z
+    )
+    return KernelProfile(
+        name="direct_dataflow",
+        flops=float(params.flops),
+        dram_bytes=io.total * dtype_size,
+        smem_per_block=smem_elems * dtype_size,
+        threads_per_block=_threads_for_tile(tile, threads_per_block),
+        num_blocks=blocks,
+        coalescing=_LAYOUT_COALESCING[layout],
+        compute_efficiency=0.65,
+        layout=layout,
+    )
+
+
+def winograd_dataflow_profile(
+    params: ConvParams,
+    tile: OutputTile,
+    e: int = 2,
+    dtype_size: int = 4,
+    threads_per_block: Optional[int] = None,
+    layout: Optional[Layout] = None,
+) -> KernelProfile:
+    """Profile of the paper's I/O-optimal Winograd dataflow (Section 5.3)."""
+    layout = layout if layout is not None else params.layout
+    tile = tile.clip_to(params)
+    r = params.ker_height
+    t = e + r - 1
+    io = winograd_dataflow_io(params, tile, e)
+    blocks = (
+        ceil_div(params.out_width, tile.x)
+        * ceil_div(params.out_height, tile.y)
+        * ceil_div(params.out_channels, tile.z)
+        * params.batch
+    )
+    temp_elems = int(math.ceil(2.0 * t * t / (e * e) * tile.outputs))
+    smem_elems = temp_elems + (tile.x + r - 1) * (tile.y + r - 1) + tile.z * r * r
+    return KernelProfile(
+        name=f"winograd_dataflow_f{e}",
+        flops=float(winograd_flops(params, e=e)),
+        dram_bytes=io.total * dtype_size,
+        smem_per_block=smem_elems * dtype_size,
+        threads_per_block=_threads_for_tile(tile, threads_per_block),
+        num_blocks=blocks,
+        coalescing=_LAYOUT_COALESCING[layout],
+        compute_efficiency=0.55,
+        layout=layout,
+    )
+
+
+def gemm_traffic(m: int, n: int, k: int, tile_m: int, tile_n: int, dtype_size: int = 4) -> float:
+    """DRAM traffic (bytes) of a shared-memory-blocked GEMM ``(m x k)·(k x n)``.
+
+    With ``tile_m x tile_n`` output blocking, the A panel is read
+    ``n / tile_n`` times and the B panel ``m / tile_m`` times; the output is
+    written once.
+    """
+    if min(m, n, k, tile_m, tile_n) <= 0:
+        raise ValueError("all GEMM dimensions must be positive")
+    a_reads = m * k * ceil_div(n, tile_n)
+    b_reads = k * n * ceil_div(m, tile_m)
+    c_writes = m * n
+    return float(a_reads + b_reads + c_writes) * dtype_size
+
+
+def im2col_profile(
+    params: ConvParams,
+    tile_m: int = 64,
+    tile_n: int = 64,
+    dtype_size: int = 4,
+    layout: Optional[Layout] = None,
+) -> KernelProfile:
+    """Profile of the im2col + GEMM implementation (cuDNN's general path).
+
+    Traffic: read the input once, write the column buffer, then run a blocked
+    GEMM of ``(Cout x K)·(K x N)`` per image where ``K = Cin·Hker·Wker`` and
+    ``N = Hout·Wout`` (the column buffer is re-read by the GEMM).
+    """
+    layout = layout if layout is not None else params.layout
+    p = params
+    k_dim = p.in_channels * p.ker_height * p.ker_width
+    n_dim = p.out_height * p.out_width
+    col_elems = im2col_buffer_elements(p)
+    lowering_bytes = (p.input_elements + col_elems) * dtype_size
+    gemm_bytes = p.batch * gemm_traffic(
+        p.out_channels, n_dim, k_dim, tile_m, tile_n, dtype_size
+    )
+    blocks = p.batch * ceil_div(p.out_channels, tile_m) * ceil_div(n_dim, tile_n)
+    smem_elems = tile_m * 16 + 16 * tile_n  # double-buffered K-slices of A and B panels
+    return KernelProfile(
+        name="im2col_gemm",
+        flops=float(p.flops),
+        dram_bytes=lowering_bytes + gemm_bytes,
+        smem_per_block=smem_elems * dtype_size * 2,
+        threads_per_block=256,
+        num_blocks=max(1, blocks),
+        coalescing=_LAYOUT_COALESCING[layout],
+        compute_efficiency=0.35,  # strided K-dim accesses of the lowered buffer hurt the GEMM inner loop
+        layout=layout,
+    )

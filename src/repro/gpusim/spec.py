@@ -1,0 +1,127 @@
+"""GPU architecture specifications.
+
+The paper evaluates on NVIDIA 1080Ti (Pascal), V100 (Volta), GTX Titan X
+(Maxwell) and AMD gfx906 (Vega 20).  We model each device by the handful of
+parameters that drive a two-level memory-hierarchy performance model:
+
+* number of streaming multiprocessors (SMs / CUs),
+* shared memory (LDS) capacity per SM — the "fast memory" ``S`` of the
+  red–blue pebble game,
+* DRAM bandwidth,
+* peak single-precision throughput,
+* maximum resident threads/blocks per SM (for the occupancy model).
+
+The figures are the public datasheet values; absolute accuracy is not needed
+because every comparison in the reproduction runs both sides on the same
+simulated device (see DESIGN.md, substitution table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["GPUSpec", "GTX_1080TI", "V100", "TITAN_X", "GFX906", "KNOWN_GPUS", "get_gpu"]
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Analytical description of one GPU."""
+
+    name: str
+    num_sms: int
+    shared_mem_per_sm: int  # bytes
+    dram_bandwidth: float  # bytes / second
+    peak_flops: float  # single-precision FLOP / s
+    max_threads_per_sm: int = 2048
+    max_blocks_per_sm: int = 32
+    max_threads_per_block: int = 1024
+    warp_size: int = 32
+    l2_cache: int = 4 * 1024 * 1024  # bytes
+    kernel_launch_overhead: float = 5e-6  # seconds
+    dtype_size: int = 4  # fp32
+
+    def __post_init__(self) -> None:
+        if self.num_sms <= 0 or self.shared_mem_per_sm <= 0:
+            raise ValueError("num_sms and shared_mem_per_sm must be positive")
+        if self.dram_bandwidth <= 0 or self.peak_flops <= 0:
+            raise ValueError("bandwidth and peak_flops must be positive")
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def shared_mem_elements_per_sm(self) -> int:
+        """Fast-memory capacity ``S`` in fp32 elements per SM."""
+        return self.shared_mem_per_sm // self.dtype_size
+
+    @property
+    def total_shared_mem_elements(self) -> int:
+        return self.num_sms * self.shared_mem_elements_per_sm
+
+    @property
+    def ridge_intensity(self) -> float:
+        """Roofline ridge point in FLOP / byte."""
+        return self.peak_flops / self.dram_bandwidth
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: {self.num_sms} SMs, "
+            f"{self.shared_mem_per_sm // 1024} KiB smem/SM, "
+            f"{self.dram_bandwidth / 1e9:.0f} GB/s, "
+            f"{self.peak_flops / 1e12:.2f} TFLOP/s"
+        )
+
+
+GTX_1080TI = GPUSpec(
+    name="1080Ti",
+    num_sms=28,
+    shared_mem_per_sm=96 * 1024,
+    dram_bandwidth=484e9,
+    peak_flops=11.34e12,
+    max_threads_per_sm=2048,
+    l2_cache=2816 * 1024,
+)
+
+V100 = GPUSpec(
+    name="V100",
+    num_sms=80,
+    shared_mem_per_sm=96 * 1024,
+    dram_bandwidth=900e9,
+    peak_flops=15.7e12,
+    max_threads_per_sm=2048,
+    l2_cache=6 * 1024 * 1024,
+)
+
+TITAN_X = GPUSpec(
+    name="TitanX",
+    num_sms=24,
+    shared_mem_per_sm=96 * 1024,
+    dram_bandwidth=336e9,
+    peak_flops=6.69e12,
+    max_threads_per_sm=2048,
+    l2_cache=3 * 1024 * 1024,
+)
+
+GFX906 = GPUSpec(
+    name="gfx906",
+    num_sms=60,
+    shared_mem_per_sm=64 * 1024,
+    dram_bandwidth=1024e9,
+    peak_flops=13.44e12,
+    max_threads_per_sm=2560,
+    warp_size=64,
+    l2_cache=4 * 1024 * 1024,
+)
+
+KNOWN_GPUS: Dict[str, GPUSpec] = {
+    spec.name: spec for spec in (GTX_1080TI, V100, TITAN_X, GFX906)
+}
+
+
+def get_gpu(name: str) -> GPUSpec:
+    """Look up a GPU spec by name (case-insensitive)."""
+    for key, spec in KNOWN_GPUS.items():
+        if key.lower() == name.lower():
+            return spec
+    raise KeyError(f"unknown GPU {name!r}; known: {sorted(KNOWN_GPUS)}")

@@ -1,0 +1,30 @@
+"""CNN model zoo: convolution-layer specifications and end-to-end timing."""
+
+from .layers import ConvLayer, ConvNet
+from .zoo import (
+    MODEL_ZOO,
+    alexnet,
+    get_model,
+    inception_v3,
+    resnet18,
+    resnet34,
+    squeezenet,
+    vgg19,
+)
+from .runner import LayerTiming, ModelRunner, ModelTiming
+
+__all__ = [
+    "ConvLayer",
+    "ConvNet",
+    "MODEL_ZOO",
+    "alexnet",
+    "get_model",
+    "inception_v3",
+    "resnet18",
+    "resnet34",
+    "squeezenet",
+    "vgg19",
+    "LayerTiming",
+    "ModelRunner",
+    "ModelTiming",
+]

@@ -1,0 +1,108 @@
+"""Convolution-layer specifications for end-to-end CNN experiments.
+
+The paper's Figure 12 measures whole-model inference time of SqueezeNet,
+VGG-19, ResNet-18/34 and Inception-v3, and Table 2 tunes individual AlexNet
+layers.  We only need the *convolution* layers (the paper's speedups come
+entirely from them), so a model is represented as an ordered list of
+:class:`ConvLayer` records, each of which can be converted to a
+:class:`~repro.conv.tensor.ConvParams`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Tuple
+
+from ..conv.tensor import ConvParams
+
+__all__ = ["ConvLayer", "ConvNet"]
+
+
+@dataclass(frozen=True)
+class ConvLayer:
+    """One convolution layer of a CNN."""
+
+    name: str
+    in_channels: int
+    in_size: int  # square spatial extent of the input feature map
+    out_channels: int
+    kernel: int
+    stride: int = 1
+    padding: int = 0
+    repeat: int = 1  # how many times this exact layer shape occurs in the model
+
+    def __post_init__(self) -> None:
+        for attr in ("in_channels", "in_size", "out_channels", "kernel", "stride", "repeat"):
+            v = getattr(self, attr)
+            if not isinstance(v, int) or v <= 0:
+                raise ValueError(f"{attr} must be a positive integer, got {v!r}")
+        if self.padding < 0:
+            raise ValueError("padding must be non-negative")
+
+    def params(self, batch: int = 1) -> ConvParams:
+        return ConvParams.square(
+            size=self.in_size,
+            in_channels=self.in_channels,
+            out_channels=self.out_channels,
+            kernel=self.kernel,
+            stride=self.stride,
+            padding=self.padding,
+            batch=batch,
+        )
+
+    @property
+    def out_size(self) -> int:
+        return self.params().out_height
+
+    @property
+    def macs(self) -> int:
+        return self.repeat * self.params().macs
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: {self.in_channels}x{self.in_size}x{self.in_size} -> "
+            f"{self.out_channels}, k={self.kernel}, s={self.stride}, p={self.padding}"
+            + (f" (x{self.repeat})" if self.repeat > 1 else "")
+        )
+
+
+@dataclass(frozen=True)
+class ConvNet:
+    """An ordered collection of convolution layers forming one CNN."""
+
+    name: str
+    layers: Tuple[ConvLayer, ...]
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise ValueError("a ConvNet needs at least one layer")
+        names = [l.name for l in self.layers]
+        if len(set(names)) != len(names):
+            raise ValueError("layer names must be unique within a model")
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    @property
+    def num_conv_instances(self) -> int:
+        return sum(l.repeat for l in self.layers)
+
+    @property
+    def total_macs(self) -> int:
+        return sum(l.macs for l in self.layers)
+
+    def layer(self, name: str) -> ConvLayer:
+        for l in self.layers:
+            if l.name == name:
+                return l
+        raise KeyError(f"model {self.name!r} has no layer {name!r}")
+
+    def params_list(self, batch: int = 1) -> List[Tuple[ConvLayer, ConvParams]]:
+        return [(l, l.params(batch=batch)) for l in self.layers]
+
+    def describe(self) -> str:
+        lines = [f"{self.name}: {self.num_conv_instances} conv layers, "
+                 f"{self.total_macs / 1e9:.2f} GMACs"]
+        lines.extend("  " + l.describe() for l in self.layers)
+        return "\n".join(lines)

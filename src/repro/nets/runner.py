@@ -1,0 +1,151 @@
+"""End-to-end inference-time estimation (Figure 12).
+
+For every convolution layer of a model the runner obtains
+
+* the cuDNN baseline time (library dispatcher on the simulated GPU), and
+* the time of the paper's tuned dataflow — either by running the auto-tuning
+  engine per layer (slow, faithful) or by using the analytically optimal tile
+  of Section 5 directly (fast; the default for the benchmark harness).
+
+Total model time is the sum over convolution layers (weighted by each
+layer's repeat count), which matches the paper's claim that convolutions
+dominate CNN inference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Literal, Optional
+
+from ..conv.tensor import ConvParams
+from ..core.autotune.engine import AutoTuningEngine
+from ..core.dataflow.optimality import optimal_tile_direct, optimal_tile_winograd
+from ..gpusim.cudnn import CudnnLibrary
+from ..gpusim.executor import GPUExecutor
+from ..gpusim.kernels import direct_dataflow_profile, winograd_dataflow_profile
+from ..gpusim.spec import GPUSpec
+from .layers import ConvLayer, ConvNet
+
+__all__ = ["LayerTiming", "ModelTiming", "ModelRunner"]
+
+
+@dataclass(frozen=True)
+class LayerTiming:
+    """Per-layer result of the end-to-end comparison."""
+
+    layer: ConvLayer
+    algorithm: str
+    ours_seconds: float
+    cudnn_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        if self.ours_seconds <= 0:
+            return float("inf")
+        return self.cudnn_seconds / self.ours_seconds
+
+
+@dataclass
+class ModelTiming:
+    """Whole-model timing summary."""
+
+    model: str
+    gpu: str
+    layers: List[LayerTiming]
+
+    @property
+    def ours_seconds(self) -> float:
+        return sum(t.ours_seconds * t.layer.repeat for t in self.layers)
+
+    @property
+    def cudnn_seconds(self) -> float:
+        return sum(t.cudnn_seconds * t.layer.repeat for t in self.layers)
+
+    @property
+    def speedup(self) -> float:
+        if self.ours_seconds <= 0:
+            return float("inf")
+        return self.cudnn_seconds / self.ours_seconds
+
+    def describe(self) -> str:
+        return (
+            f"{self.model} on {self.gpu}: ours {self.ours_seconds * 1e3:.2f} ms, "
+            f"cuDNN {self.cudnn_seconds * 1e3:.2f} ms, speedup {self.speedup:.2f}x"
+        )
+
+
+class ModelRunner:
+    """Estimate end-to-end convolution time of a CNN on one simulated GPU."""
+
+    def __init__(
+        self,
+        spec: GPUSpec,
+        mode: Literal["analytic", "tuned"] = "analytic",
+        batch: int = 1,
+        max_measurements: int = 96,
+        seed: int = 0,
+    ) -> None:
+        if mode not in ("analytic", "tuned"):
+            raise ValueError("mode must be 'analytic' or 'tuned'")
+        self.spec = spec
+        self.mode = mode
+        self.batch = batch
+        self.max_measurements = max_measurements
+        self.seed = seed
+        self.library = CudnnLibrary(spec)
+        self.executor = GPUExecutor(spec)
+
+    # ------------------------------------------------------------------ #
+    def _choose_algorithm(self, params: ConvParams) -> str:
+        """Prefer Winograd for stride-1 3x3 layers with enough channels."""
+        if (
+            params.winograd_compatible()
+            and params.ker_height == 3
+            and params.in_channels >= 16
+        ):
+            return "winograd"
+        return "direct"
+
+    def _ours_analytic(self, params: ConvParams, algorithm: str) -> float:
+        per_block = self.spec.shared_mem_per_sm // self.spec.dtype_size // 2
+        if algorithm == "winograd":
+            tile = optimal_tile_winograd(params, per_block, e=2)
+            profile = winograd_dataflow_profile(params, tile, e=2, dtype_size=self.spec.dtype_size)
+        else:
+            tile = optimal_tile_direct(params, per_block)
+            profile = direct_dataflow_profile(params, tile, dtype_size=self.spec.dtype_size)
+        return self.executor.run(profile).time_seconds
+
+    def _ours_tuned(self, params: ConvParams, algorithm: str) -> float:
+        engine = AutoTuningEngine(
+            params,
+            self.spec,
+            algorithm=algorithm,
+            max_measurements=self.max_measurements,
+            seed=self.seed,
+        )
+        return engine.tune().best_time
+
+    def time_layer(self, layer: ConvLayer) -> LayerTiming:
+        params = layer.params(batch=self.batch)
+        # Evaluate every applicable template and keep the fastest, the way the
+        # auto-tuner's template manager would pick between schedules.
+        candidates = ["direct"]
+        if self._choose_algorithm(params) == "winograd":
+            candidates.append("winograd")
+        timings = {}
+        for algorithm in candidates:
+            if self.mode == "tuned":
+                timings[algorithm] = self._ours_tuned(params, algorithm)
+            else:
+                timings[algorithm] = self._ours_analytic(params, algorithm)
+        algorithm = min(timings, key=timings.get)
+        ours = timings[algorithm]
+        cudnn = self.library.run_best(params).time_seconds
+        return LayerTiming(
+            layer=layer, algorithm=algorithm, ours_seconds=ours, cudnn_seconds=cudnn
+        )
+
+    def time_model(self, model: ConvNet) -> ModelTiming:
+        timings = [self.time_layer(layer) for layer in model.layers]
+        return ModelTiming(model=model.name, gpu=self.spec.name, layers=timings)

@@ -1,0 +1,173 @@
+"""Model definitions: the CNNs used in the paper's evaluation.
+
+Layer shapes follow the original architecture papers (AlexNet, VGG-19,
+ResNet-18/34, SqueezeNet v1.0, Inception-v3) restricted to their convolution
+layers.  Repeated identical shapes are collapsed into a single
+:class:`~repro.nets.layers.ConvLayer` with a ``repeat`` count, which keeps the
+end-to-end estimator fast without changing the total work.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .layers import ConvLayer, ConvNet
+
+__all__ = [
+    "alexnet",
+    "vgg19",
+    "resnet18",
+    "resnet34",
+    "squeezenet",
+    "inception_v3",
+    "MODEL_ZOO",
+    "get_model",
+]
+
+
+def alexnet() -> ConvNet:
+    """AlexNet's five convolution layers (Table 2 tunes conv1–conv4)."""
+    return ConvNet(
+        name="AlexNet",
+        layers=(
+            ConvLayer("conv1", 3, 227, 96, kernel=11, stride=4, padding=0),
+            ConvLayer("conv2", 96, 27, 256, kernel=5, stride=1, padding=2),
+            ConvLayer("conv3", 256, 13, 384, kernel=3, stride=1, padding=1),
+            ConvLayer("conv4", 384, 13, 256, kernel=3, stride=1, padding=1),
+            ConvLayer("conv5", 256, 13, 256, kernel=3, stride=1, padding=1),
+        ),
+    )
+
+
+def vgg19() -> ConvNet:
+    """VGG-19: sixteen 3x3 convolution layers."""
+    return ConvNet(
+        name="Vgg-19",
+        layers=(
+            ConvLayer("conv1_1", 3, 224, 64, kernel=3, padding=1),
+            ConvLayer("conv1_2", 64, 224, 64, kernel=3, padding=1),
+            ConvLayer("conv2_1", 64, 112, 128, kernel=3, padding=1),
+            ConvLayer("conv2_2", 128, 112, 128, kernel=3, padding=1),
+            ConvLayer("conv3_1", 128, 56, 256, kernel=3, padding=1),
+            ConvLayer("conv3_x", 256, 56, 256, kernel=3, padding=1, repeat=3),
+            ConvLayer("conv4_1", 256, 28, 512, kernel=3, padding=1),
+            ConvLayer("conv4_x", 512, 28, 512, kernel=3, padding=1, repeat=3),
+            ConvLayer("conv5_x", 512, 14, 512, kernel=3, padding=1, repeat=4),
+        ),
+    )
+
+
+def _resnet(name: str, blocks: List[int]) -> ConvNet:
+    """Basic-block ResNet (18 = [2,2,2,2], 34 = [3,4,6,3])."""
+    layers: List[ConvLayer] = [
+        ConvLayer("conv1", 3, 224, 64, kernel=7, stride=2, padding=3),
+    ]
+    stage_channels = (64, 128, 256, 512)
+    stage_sizes = (56, 28, 14, 7)
+    in_ch = 64
+    for stage, (ch, size, n_blocks) in enumerate(zip(stage_channels, stage_sizes, blocks), start=2):
+        first_stride = 1 if stage == 2 else 2
+        in_size = size * first_stride
+        # First block of the stage (may downsample / change channels).
+        layers.append(
+            ConvLayer(f"conv{stage}_1a", in_ch, in_size, ch, kernel=3, stride=first_stride, padding=1)
+        )
+        layers.append(ConvLayer(f"conv{stage}_1b", ch, size, ch, kernel=3, stride=1, padding=1))
+        if first_stride != 1 or in_ch != ch:
+            layers.append(
+                ConvLayer(f"conv{stage}_proj", in_ch, in_size, ch, kernel=1, stride=first_stride)
+            )
+        # Remaining identity blocks of the stage: two 3x3 convs each.
+        if n_blocks > 1:
+            layers.append(
+                ConvLayer(
+                    f"conv{stage}_rest",
+                    ch,
+                    size,
+                    ch,
+                    kernel=3,
+                    stride=1,
+                    padding=1,
+                    repeat=2 * (n_blocks - 1),
+                )
+            )
+        in_ch = ch
+    return ConvNet(name=name, layers=tuple(layers))
+
+
+def resnet18() -> ConvNet:
+    return _resnet("ResNet-18", [2, 2, 2, 2])
+
+
+def resnet34() -> ConvNet:
+    return _resnet("ResNet-34", [3, 4, 6, 3])
+
+
+def squeezenet() -> ConvNet:
+    """SqueezeNet v1.0: conv1 plus eight fire modules (squeeze + two expands)."""
+    fire_specs = [
+        # (name, in_ch, size, squeeze, expand)
+        ("fire2", 96, 55, 16, 64),
+        ("fire3", 128, 55, 16, 64),
+        ("fire4", 128, 55, 32, 128),
+        ("fire5", 256, 27, 32, 128),
+        ("fire6", 256, 27, 48, 192),
+        ("fire7", 384, 27, 48, 192),
+        ("fire8", 384, 27, 64, 256),
+        ("fire9", 512, 13, 64, 256),
+    ]
+    layers: List[ConvLayer] = [
+        ConvLayer("conv1", 3, 224, 96, kernel=7, stride=2, padding=0),
+    ]
+    for name, in_ch, size, squeeze, expand in fire_specs:
+        layers.append(ConvLayer(f"{name}_squeeze1x1", in_ch, size, squeeze, kernel=1))
+        layers.append(ConvLayer(f"{name}_expand1x1", squeeze, size, expand, kernel=1))
+        layers.append(ConvLayer(f"{name}_expand3x3", squeeze, size, expand, kernel=3, padding=1))
+    layers.append(ConvLayer("conv10", 512, 13, 1000, kernel=1))
+    return ConvNet(name="SqueezeNet", layers=tuple(layers))
+
+
+def inception_v3() -> ConvNet:
+    """Inception-v3 stem plus representative mixed blocks (convolutions only).
+
+    The full architecture has ~94 convolutions; we keep the stem exactly and
+    collapse the repeated mixed blocks into representative layers with repeat
+    counts so that the total MAC count is close to the published ~5.7 GMACs.
+    """
+    layers = (
+        ConvLayer("stem_conv1", 3, 299, 32, kernel=3, stride=2),
+        ConvLayer("stem_conv2", 32, 149, 32, kernel=3),
+        ConvLayer("stem_conv3", 32, 147, 64, kernel=3, padding=1),
+        ConvLayer("stem_conv4", 64, 73, 80, kernel=1),
+        ConvLayer("stem_conv5", 80, 73, 192, kernel=3),
+        # Mixed 35x35 blocks (3 of them): 1x1, 5x5 and double-3x3 branches.
+        ConvLayer("mixed35_1x1", 256, 35, 64, kernel=1, repeat=9),
+        ConvLayer("mixed35_5x5", 64, 35, 64, kernel=5, padding=2, repeat=3),
+        ConvLayer("mixed35_3x3", 64, 35, 96, kernel=3, padding=1, repeat=6),
+        # Mixed 17x17 blocks (4 of them): factorised 7x1 / 1x7 branches modeled
+        # as 3x3-equivalent work on 768 channels.
+        ConvLayer("mixed17_1x1", 768, 17, 192, kernel=1, repeat=16),
+        ConvLayer("mixed17_7x7", 192, 17, 192, kernel=3, padding=1, repeat=16),
+        # Mixed 8x8 blocks (2 of them).
+        ConvLayer("mixed8_1x1", 1280, 8, 320, kernel=1, repeat=4),
+        ConvLayer("mixed8_3x3", 448, 8, 384, kernel=3, padding=1, repeat=4),
+    )
+    return ConvNet(name="Inception-v3", layers=layers)
+
+
+MODEL_ZOO: Dict[str, callable] = {
+    "alexnet": alexnet,
+    "vgg19": vgg19,
+    "resnet18": resnet18,
+    "resnet34": resnet34,
+    "squeezenet": squeezenet,
+    "inception_v3": inception_v3,
+}
+
+
+def get_model(name: str) -> ConvNet:
+    key = name.lower().replace("-", "").replace("_", "")
+    for candidate, factory in MODEL_ZOO.items():
+        if candidate.replace("_", "") == key:
+            return factory()
+    raise KeyError(f"unknown model {name!r}; known: {sorted(MODEL_ZOO)}")

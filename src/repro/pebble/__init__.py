@@ -1,0 +1,43 @@
+"""Red–blue pebble game substrate.
+
+Computation DAGs, DAG builders for the paper's algorithms, a red–blue pebble
+game simulator that counts exact I/O for a schedule, and S-partition
+machinery used to validate the composite lower-bound theory on small
+instances.
+"""
+
+from .dag import ComputationDAG, Vertex
+from .builders import (
+    direct_conv_dag,
+    linear_combination_tree,
+    matmul_dag,
+    summation_tree,
+    winograd_dag,
+)
+from .game import GameResult, greedy_schedule, play_schedule, simulate_topological
+from .spartition import (
+    SPartition,
+    greedy_s_partition,
+    h_lower_bound,
+    natural_dominator,
+    validate_s_partition,
+)
+
+__all__ = [
+    "ComputationDAG",
+    "Vertex",
+    "direct_conv_dag",
+    "linear_combination_tree",
+    "matmul_dag",
+    "summation_tree",
+    "winograd_dag",
+    "GameResult",
+    "greedy_schedule",
+    "play_schedule",
+    "simulate_topological",
+    "SPartition",
+    "greedy_s_partition",
+    "h_lower_bound",
+    "natural_dominator",
+    "validate_s_partition",
+]

@@ -1,0 +1,289 @@
+"""DAG builders for the computations analysed in the paper.
+
+The builders produce :class:`~repro.pebble.dag.ComputationDAG` instances whose
+structure follows the paper's figures:
+
+* :func:`summation_tree` — the left-deep summation tree of Lemma 4.7
+  (``k`` inputs → ``k-2`` internal vertices → 1 output).
+* :func:`linear_combination_tree` — Lemma 4.13's tree (coefficient products
+  then a summation tree; ``2k-2`` internal vertices + 1 output).
+* :func:`direct_conv_dag` — Figure 4: step 1 produces all products
+  ``I_i ⊙ K_j``, step 2 sums them per output via summation trees.
+* :func:`winograd_dag` — Figure 5: four steps (input/kernel transforms,
+  element-wise products, channel summation, output transform).
+* :func:`matmul_dag` — the classical Hong–Kung matrix-multiplication DAG,
+  used to validate the composite theory against the known n³/√S bound.
+
+The convolution builders are meant for *small* problems (they materialise one
+vertex per scalar operation); the closed-form counts in
+:mod:`repro.core.bounds` are what the benchmarks use for real layer sizes.
+The builders assert their vertex counts against those closed forms, so the
+tests tie the combinatorics of the figures to the formulas of the lemmas.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..conv.tensor import ConvParams
+from .dag import ComputationDAG
+
+__all__ = [
+    "summation_tree",
+    "linear_combination_tree",
+    "direct_conv_dag",
+    "winograd_dag",
+    "matmul_dag",
+]
+
+
+def summation_tree(
+    dag: ComputationDAG, leaves: Sequence[int], step: int, label: str = "sum"
+) -> int:
+    """Append a left-deep summation tree over ``leaves`` and return the root.
+
+    Following Lemma 4.7 the tree adds ``len(leaves) - 2`` internal vertices of
+    kind ``"sum"`` and one final vertex of kind ``"sum_out"``.  With a single
+    leaf the value is passed through a unary ``"sum_out"`` vertex so that the
+    output-vertex bookkeeping stays uniform.
+    """
+    if not leaves:
+        raise ValueError("summation tree needs at least one leaf")
+    if len(leaves) == 1:
+        return dag.add_vertex("sum_out", step=step, predecessors=(leaves[0],), label=label)
+    acc = leaves[0]
+    for i, leaf in enumerate(leaves[1:], start=1):
+        kind = "sum_out" if i == len(leaves) - 1 else "sum"
+        acc = dag.add_vertex(kind, step=step, predecessors=(acc, leaf), label=label)
+    return acc
+
+
+def linear_combination_tree(
+    dag: ComputationDAG,
+    leaves: Sequence[int],
+    step: int,
+    label: str = "lincomb",
+) -> int:
+    """Append a linear-combination tree (Lemma 4.13) and return its root.
+
+    Each leaf is first multiplied by a (fast-memory-resident) coefficient,
+    producing one ``"scale"`` vertex per leaf, and the scaled values are summed
+    with a summation tree.  Total: ``2k - 2`` internal vertices + 1 output for
+    ``k >= 2`` leaves, matching the lemma.
+    """
+    if not leaves:
+        raise ValueError("linear combination tree needs at least one leaf")
+    scaled = [
+        dag.add_vertex("scale", step=step, predecessors=(leaf,), label=label)
+        for leaf in leaves
+    ]
+    if len(scaled) == 1:
+        return dag.add_vertex("sum_out", step=step, predecessors=(scaled[0],), label=label)
+    return summation_tree(dag, scaled, step=step, label=label)
+
+
+# ---------------------------------------------------------------------- #
+# Direct convolution (Figure 4)
+# ---------------------------------------------------------------------- #
+def direct_conv_dag(params: ConvParams) -> ComputationDAG:
+    """Build the two-step DAG of a direct convolution (Figure 4).
+
+    Step 1: the ``Wker*Hker*Cin`` products of each sliding window with each
+    kernel.  Step 2: per output, a summation tree over its products.
+
+    Only ``batch == 1`` and ``padding == 0`` problems are supported (the DAG
+    would simply replicate per image; padded positions contribute constant
+    zeros which the pebble analysis ignores).
+    """
+    if params.batch != 1 or params.padding != 0:
+        raise ValueError("direct_conv_dag supports batch=1, padding=0 problems")
+    if params.ker_height * params.ker_width * params.in_channels < 2:
+        raise ValueError(
+            "direct_conv_dag needs at least two product terms per output "
+            "(Wker*Hker*Cin >= 2) for the two-step structure of Figure 4"
+        )
+    dag = ComputationDAG(name=f"direct_conv[{params.describe()}]")
+
+    # Graph inputs: input image elements and kernel weights.
+    input_ids: Dict[Tuple[int, int, int], int] = {}
+    for c in range(params.in_channels):
+        for h in range(params.in_height):
+            for w in range(params.in_width):
+                input_ids[(c, h, w)] = dag.add_input(label=f"x[{c},{h},{w}]")
+    kernel_ids: Dict[Tuple[int, int, int, int], int] = {}
+    for o in range(params.out_channels):
+        for c in range(params.in_channels):
+            for kh in range(params.ker_height):
+                for kw in range(params.ker_width):
+                    kernel_ids[(o, c, kh, kw)] = dag.add_input(
+                        label=f"w[{o},{c},{kh},{kw}]"
+                    )
+
+    # Step 1: product vertices; Step 2: summation trees.
+    for o in range(params.out_channels):
+        for oh in range(params.out_height):
+            for ow in range(params.out_width):
+                products: List[int] = []
+                ih0, iw0 = oh * params.stride, ow * params.stride
+                for c in range(params.in_channels):
+                    for kh in range(params.ker_height):
+                        for kw in range(params.ker_width):
+                            x_id = input_ids[(c, ih0 + kh, iw0 + kw)]
+                            w_id = kernel_ids[(o, c, kh, kw)]
+                            products.append(
+                                dag.add_vertex(
+                                    "product",
+                                    step=1,
+                                    predecessors=(x_id, w_id),
+                                    label=f"p[{o},{oh},{ow}]",
+                                )
+                            )
+                summation_tree(dag, products, step=2, label=f"y[{o},{oh},{ow}]")
+
+    dag.validate_multistep_partition()
+    _assert_direct_counts(dag, params)
+    return dag
+
+
+def _assert_direct_counts(dag: ComputationDAG, params: ConvParams) -> None:
+    """Cross-check Lemma 4.8's vertex count against the built DAG."""
+    k = params.ker_height * params.ker_width * params.in_channels
+    outputs = params.out_height * params.out_width * params.out_channels
+    expected = (2 * k - 1) * outputs
+    actual = len(dag.internal_and_output_vertices())
+    if actual != expected:
+        raise AssertionError(
+            f"direct conv DAG internal+output count {actual} != Lemma 4.8 value {expected}"
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Winograd algorithm (Figure 5)
+# ---------------------------------------------------------------------- #
+def winograd_dag(params: ConvParams, e: int = 2) -> ComputationDAG:
+    """Build the four-step DAG of the Winograd algorithm (Figure 5).
+
+    Step 1: linear-combination trees transforming input tiles (``P``) and
+    kernels (``J``).  Step 2: element-wise products (``Λ``).  Step 3: channel
+    summation trees (``Π``).  Step 4: linear-combination trees producing the
+    ``e x e`` outputs per tile.
+
+    Supports stride-1, square-kernel, ``batch=1``, ``padding=0`` problems
+    whose output extents are multiples of ``e`` (so every tile is full).
+    """
+    if not params.winograd_compatible():
+        raise ValueError("winograd_dag requires stride 1 and a square kernel")
+    if params.batch != 1 or params.padding != 0:
+        raise ValueError("winograd_dag supports batch=1, padding=0 problems")
+    if params.out_height % e or params.out_width % e:
+        raise ValueError("output extents must be multiples of e for the DAG builder")
+    r = params.ker_height
+    t = e + r - 1
+    tiles_h = params.out_height // e
+    tiles_w = params.out_width // e
+
+    dag = ComputationDAG(name=f"winograd[{params.describe()},e={e}]")
+
+    input_ids: Dict[Tuple[int, int, int], int] = {}
+    for c in range(params.in_channels):
+        for h in range(params.in_height):
+            for w in range(params.in_width):
+                input_ids[(c, h, w)] = dag.add_input(label=f"x[{c},{h},{w}]")
+    kernel_ids: Dict[Tuple[int, int, int, int], int] = {}
+    for o in range(params.out_channels):
+        for c in range(params.in_channels):
+            for kh in range(r):
+                for kw in range(r):
+                    kernel_ids[(o, c, kh, kw)] = dag.add_input(
+                        label=f"w[{o},{c},{kh},{kw}]"
+                    )
+
+    # Step 1a: transformed input tiles P[tile, c, i, j]; each element is a
+    # linear combination of the whole t x t input tile at that channel.
+    p_ids: Dict[Tuple[int, int, int, int, int], int] = {}
+    for th in range(tiles_h):
+        for tw in range(tiles_w):
+            for c in range(params.in_channels):
+                tile_leaves = [
+                    input_ids[(c, th * e + i, tw * e + j)]
+                    for i in range(t)
+                    for j in range(t)
+                ]
+                for i in range(t):
+                    for j in range(t):
+                        p_ids[(th, tw, c, i, j)] = linear_combination_tree(
+                            dag, tile_leaves, step=1, label=f"P[{th},{tw},{c},{i},{j}]"
+                        )
+    # Step 1b: transformed kernels J[o, c, i, j]; linear combinations of the
+    # r x r kernel slice.
+    j_ids: Dict[Tuple[int, int, int, int], int] = {}
+    for o in range(params.out_channels):
+        for c in range(params.in_channels):
+            ker_leaves = [kernel_ids[(o, c, kh, kw)] for kh in range(r) for kw in range(r)]
+            for i in range(t):
+                for j in range(t):
+                    j_ids[(o, c, i, j)] = linear_combination_tree(
+                        dag, ker_leaves, step=1, label=f"J[{o},{c},{i},{j}]"
+                    )
+
+    # Steps 2-4 per (tile, output channel).
+    for th in range(tiles_h):
+        for tw in range(tiles_w):
+            for o in range(params.out_channels):
+                pi_ids: List[int] = []
+                for i in range(t):
+                    for j in range(t):
+                        lam = [
+                            dag.add_vertex(
+                                "product",
+                                step=2,
+                                predecessors=(p_ids[(th, tw, c, i, j)], j_ids[(o, c, i, j)]),
+                                label=f"L[{th},{tw},{o},{c},{i},{j}]",
+                            )
+                            for c in range(params.in_channels)
+                        ]
+                        pi_ids.append(
+                            summation_tree(dag, lam, step=3, label=f"Pi[{th},{tw},{o},{i},{j}]")
+                        )
+                for oi in range(e):
+                    for oj in range(e):
+                        linear_combination_tree(
+                            dag, pi_ids, step=4, label=f"y[{o},{th*e+oi},{tw*e+oj}]"
+                        )
+
+    dag.validate_multistep_partition()
+    return dag
+
+
+# ---------------------------------------------------------------------- #
+# Matrix multiplication (validation baseline)
+# ---------------------------------------------------------------------- #
+def matmul_dag(n: int, m: int, k: int) -> ComputationDAG:
+    """DAG of the classical ``C = A @ B`` with ``A (n x k)``, ``B (k x m)``.
+
+    Step 1 creates the ``n*m*k`` scalar products, step 2 sums each output's
+    ``k`` products in a summation tree — the same two-step structure as the
+    direct convolution, which is why Hong & Kung's ``Ω(nmk/√S)`` bound drops
+    out of the composite theory (see :mod:`repro.core.bounds.matmul`).
+    """
+    if min(n, m, k) <= 0:
+        raise ValueError("matrix dimensions must be positive")
+    if k < 2:
+        raise ValueError("matmul_dag needs an inner dimension k >= 2")
+    dag = ComputationDAG(name=f"matmul[{n}x{k}]x[{k}x{m}]")
+    a_ids = [[dag.add_input(label=f"A[{i},{p}]") for p in range(k)] for i in range(n)]
+    b_ids = [[dag.add_input(label=f"B[{p},{j}]") for j in range(m)] for p in range(k)]
+    for i in range(n):
+        for j in range(m):
+            products = [
+                dag.add_vertex(
+                    "product",
+                    step=1,
+                    predecessors=(a_ids[i][p], b_ids[p][j]),
+                    label=f"prod[{i},{j},{p}]",
+                )
+                for p in range(k)
+            ]
+            summation_tree(dag, products, step=2, label=f"C[{i},{j}]")
+    dag.validate_multistep_partition()
+    return dag

@@ -1,0 +1,274 @@
+"""Computation DAGs for the red–blue pebble game.
+
+A :class:`ComputationDAG` is the object the paper's Section 2.1 plays the
+red–blue pebble game on: vertices are operations (or graph inputs), edges are
+data dependencies.  Each vertex additionally carries
+
+* a ``kind`` string (``"input"``, ``"product"``, ``"sum"``, ``"output"``, …)
+  used by builders and tests, and
+* a ``step`` index identifying which sub-computation of the *multi-step
+  partition* (Definition 4.1) it belongs to.  Inputs use step ``0``; the first
+  sub-computation is step ``1``.
+
+The class is deliberately small and array-backed: vertex ids are dense
+integers, predecessor lists are tuples, and expensive derived structures
+(topological order, successor lists) are cached lazily.  Builders in
+:mod:`repro.pebble.builders` produce instances for the convolution DAGs of
+Figures 4 and 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["Vertex", "ComputationDAG"]
+
+
+@dataclass(frozen=True)
+class Vertex:
+    """One vertex of a computation DAG."""
+
+    vid: int
+    kind: str
+    step: int
+    label: str = ""
+
+
+class ComputationDAG:
+    """A directed acyclic graph of operations.
+
+    Vertices are created through :meth:`add_vertex` which returns the integer
+    id; edges are implied by the ``predecessors`` argument.  The graph is
+    append-only — the pebble game and partition machinery never mutate it.
+    """
+
+    def __init__(self, name: str = "dag") -> None:
+        self.name = name
+        self._vertices: List[Vertex] = []
+        self._preds: List[Tuple[int, ...]] = []
+        self._succs: Optional[List[List[int]]] = None
+        self._topo: Optional[List[int]] = None
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_vertex(
+        self,
+        kind: str,
+        step: int = 0,
+        predecessors: Sequence[int] = (),
+        label: str = "",
+    ) -> int:
+        """Append a vertex and return its id.
+
+        Predecessors must already exist (ids smaller than the new id), which
+        guarantees acyclicity by construction.
+        """
+        vid = len(self._vertices)
+        preds = tuple(predecessors)
+        for p in preds:
+            if not (0 <= p < vid):
+                raise ValueError(
+                    f"predecessor {p} of new vertex {vid} does not exist yet"
+                )
+        if kind == "input" and preds:
+            raise ValueError("input vertices cannot have predecessors")
+        if kind != "input" and not preds:
+            raise ValueError(f"non-input vertex of kind {kind!r} needs predecessors")
+        self._vertices.append(Vertex(vid=vid, kind=kind, step=step, label=label))
+        self._preds.append(preds)
+        self._succs = None
+        self._topo = None
+        return vid
+
+    def add_input(self, label: str = "") -> int:
+        return self.add_vertex("input", step=0, predecessors=(), label=label)
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._vertices)
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._vertices)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(p) for p in self._preds)
+
+    def vertex(self, vid: int) -> Vertex:
+        return self._vertices[vid]
+
+    def kind(self, vid: int) -> str:
+        return self._vertices[vid].kind
+
+    def step(self, vid: int) -> int:
+        return self._vertices[vid].step
+
+    def predecessors(self, vid: int) -> Tuple[int, ...]:
+        return self._preds[vid]
+
+    def successors(self, vid: int) -> Tuple[int, ...]:
+        return tuple(self._successor_lists()[vid])
+
+    def vertices(self) -> Iterator[Vertex]:
+        return iter(self._vertices)
+
+    def _successor_lists(self) -> List[List[int]]:
+        if self._succs is None:
+            succs: List[List[int]] = [[] for _ in range(len(self._vertices))]
+            for vid, preds in enumerate(self._preds):
+                for p in preds:
+                    succs[p].append(vid)
+            self._succs = succs
+        return self._succs
+
+    # ------------------------------------------------------------------ #
+    # Derived vertex sets
+    # ------------------------------------------------------------------ #
+    def inputs(self) -> List[int]:
+        """Vertices with no predecessors (they start with blue pebbles)."""
+        return [v.vid for v in self._vertices if not self._preds[v.vid]]
+
+    def outputs(self) -> List[int]:
+        """Vertices with no successors (they must end with blue pebbles)."""
+        succs = self._successor_lists()
+        return [v.vid for v in self._vertices if not succs[v.vid]]
+
+    def internal_and_output_vertices(self) -> List[int]:
+        """All non-input vertices — the ``|V_inter ∪ V_out|`` of Lemmas 4.8/4.14."""
+        return [v.vid for v in self._vertices if self._preds[v.vid]]
+
+    def vertices_of_step(self, step: int) -> List[int]:
+        return [v.vid for v in self._vertices if v.step == step]
+
+    def num_steps(self) -> int:
+        return max((v.step for v in self._vertices), default=0)
+
+    def step_outputs(self, step: int) -> List[int]:
+        """Output set ``Õ_j`` of sub-computation ``step``: vertices of the step
+        with no successor inside the same step (they feed later steps or are
+        graph outputs)."""
+        succs = self._successor_lists()
+        out = []
+        for vid in self.vertices_of_step(step):
+            if all(self._vertices[s].step != step for s in succs[vid]):
+                out.append(vid)
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Order / reachability utilities
+    # ------------------------------------------------------------------ #
+    def topological_order(self) -> List[int]:
+        """Vertices in a valid execution order (ids are already topological
+        because predecessors must precede their consumers)."""
+        if self._topo is None:
+            self._topo = list(range(len(self._vertices)))
+        return self._topo
+
+    def ancestors(self, targets: Iterable[int]) -> Set[int]:
+        """All vertices from which some target is reachable (targets included)."""
+        seen: Set[int] = set()
+        stack = list(targets)
+        while stack:
+            v = stack.pop()
+            if v in seen:
+                continue
+            seen.add(v)
+            stack.extend(self._preds[v])
+        return seen
+
+    def descendants(self, sources: Iterable[int]) -> Set[int]:
+        """All vertices reachable from some source (sources included)."""
+        succs = self._successor_lists()
+        seen: Set[int] = set()
+        stack = list(sources)
+        while stack:
+            v = stack.pop()
+            if v in seen:
+                continue
+            seen.add(v)
+            stack.extend(succs[v])
+        return seen
+
+    def generated_by(self, dominator: Iterable[int]) -> Set[int]:
+        """The set ``Θ(U)`` of Definition 4.2: vertices every one of whose
+        input-to-vertex paths passes through ``dominator``.
+
+        Graph inputs that are themselves in ``dominator`` are included;
+        other graph inputs are never generated.
+        """
+        dom = set(dominator)
+        generated: Set[int] = set()
+        for vid in self.topological_order():
+            if vid in dom:
+                generated.add(vid)
+                continue
+            preds = self._preds[vid]
+            if not preds:
+                continue  # an input not in the dominator blocks generation
+            if all(p in generated for p in preds):
+                generated.add(vid)
+        return generated
+
+    def is_dominator(self, dominator: Iterable[int], targets: Iterable[int]) -> bool:
+        """Check Definition 4.2 / Property 2: every path from a graph input to
+        a target vertex contains a dominator vertex."""
+        gen = self.generated_by(dominator)
+        return all(t in gen for t in targets)
+
+    def minimum_set(self, subset: Iterable[int]) -> Set[int]:
+        """Property 3's minimum set: members of ``subset`` with no successor in
+        ``subset``."""
+        sub = set(subset)
+        succs = self._successor_lists()
+        return {v for v in sub if not any(s in sub for s in succs[v])}
+
+    # ------------------------------------------------------------------ #
+    # Validation / description
+    # ------------------------------------------------------------------ #
+    def validate_multistep_partition(self) -> None:
+        """Check Definition 4.1 on the recorded step labels.
+
+        Every edge must go from a step ``<=`` the consumer's step, and any
+        cross-step edge must originate from an output vertex of its step.
+        """
+        for vid, preds in enumerate(self._preds):
+            step = self._vertices[vid].step
+            for p in preds:
+                pstep = self._vertices[p].step
+                if pstep > step:
+                    raise ValueError(
+                        f"edge {p}->{vid} goes backwards in steps ({pstep}->{step})"
+                    )
+        for j in range(1, self.num_steps() + 1):
+            step_out = set(self.step_outputs(j))
+            for vid in self.vertices_of_step(j):
+                for s in self.successors(vid):
+                    if self._vertices[s].step > j and vid not in step_out:
+                        raise ValueError(
+                            f"vertex {vid} of step {j} feeds step "
+                            f"{self._vertices[s].step} but is not a step output"
+                        )
+
+    def summary(self) -> Dict[str, int]:
+        kinds: Dict[str, int] = {}
+        for v in self._vertices:
+            kinds[v.kind] = kinds.get(v.kind, 0) + 1
+        return {
+            "vertices": self.num_vertices,
+            "edges": self.num_edges,
+            "inputs": len(self.inputs()),
+            "outputs": len(self.outputs()),
+            "steps": self.num_steps(),
+            **{f"kind:{k}": n for k, n in sorted(kinds.items())},
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ComputationDAG({self.name!r}, |V|={self.num_vertices}, "
+            f"|E|={self.num_edges}, steps={self.num_steps()})"
+        )

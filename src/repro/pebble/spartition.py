@@ -1,0 +1,183 @@
+"""S-partition machinery (Section 2.1 and 4.1 of the paper).
+
+An *S-partition* of a DAG ``G(V, E)`` splits ``V`` into blocks ``V_1 … V_h``
+such that (1) the blocks are disjoint and cover ``V``, (2) every block has a
+dominator set of at most ``S`` vertices, (3) every block's minimum set has at
+most ``S`` vertices, and (4) there is no cyclic dependence among blocks.
+
+This module provides
+
+* :func:`natural_dominator` — the boundary-predecessor dominator used
+  throughout the proofs,
+* :class:`SPartition` and :func:`validate_s_partition` — explicit validation
+  of the four properties,
+* :func:`greedy_s_partition` — a constructive partition builder used by tests
+  to exercise Theorem 4.5 (every valid block obeys ``|V_i| ≤ T(S)``) on
+  concrete convolution DAGs, and
+* :func:`h_lower_bound` — the ``H(S) = |V| / max_i |V_i|`` estimate of
+  Equation (2) for a given partition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Set
+
+from .dag import ComputationDAG
+
+__all__ = [
+    "SPartition",
+    "natural_dominator",
+    "validate_s_partition",
+    "greedy_s_partition",
+    "h_lower_bound",
+]
+
+
+def natural_dominator(dag: ComputationDAG, block: Iterable[int]) -> Set[int]:
+    """The canonical dominator of a block.
+
+    Every path from a graph input to a block vertex either starts at a graph
+    input *inside* the block or crosses an edge from outside the block into
+    it; the set of those entry vertices therefore dominates the block.
+    """
+    block_set = set(block)
+    dom: Set[int] = set()
+    for vid in block_set:
+        preds = dag.predecessors(vid)
+        if not preds:
+            dom.add(vid)  # a graph input inside the block dominates itself
+            continue
+        for p in preds:
+            if p not in block_set:
+                dom.add(p)
+    return dom
+
+
+@dataclass
+class SPartition:
+    """A concrete S-partition: an ordered list of disjoint vertex blocks."""
+
+    blocks: List[List[int]]
+    capacity: int
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.blocks)
+
+    def max_block_size(self) -> int:
+        return max((len(b) for b in self.blocks), default=0)
+
+
+def validate_s_partition(
+    dag: ComputationDAG, partition: SPartition, strict_order: bool = True
+) -> None:
+    """Raise ``ValueError`` if ``partition`` violates any S-partition property.
+
+    ``strict_order`` additionally requires blocks to be ordered consistently
+    with the dependencies (block index of a predecessor <= block index of the
+    consumer), which implies Property 4 (no cyclic dependence).
+    """
+    s = partition.capacity
+    seen: Set[int] = set()
+    owner = {}
+    for idx, block in enumerate(partition.blocks):
+        if not block:
+            raise ValueError(f"block {idx} is empty")
+        for vid in block:
+            if vid in seen:
+                raise ValueError(f"vertex {vid} appears in more than one block")
+            seen.add(vid)
+            owner[vid] = idx
+    if len(seen) != dag.num_vertices:
+        raise ValueError(
+            f"partition covers {len(seen)} of {dag.num_vertices} vertices"
+        )
+
+    for idx, block in enumerate(partition.blocks):
+        dom = natural_dominator(dag, block)
+        if not dag.is_dominator(dom, block):
+            raise ValueError(f"natural dominator of block {idx} is not a dominator")
+        if len(dom) > s:
+            raise ValueError(
+                f"block {idx}: dominator size {len(dom)} exceeds S={s}"
+            )
+        minimum = dag.minimum_set(block)
+        if len(minimum) > s:
+            raise ValueError(
+                f"block {idx}: minimum set size {len(minimum)} exceeds S={s}"
+            )
+
+    if strict_order:
+        for vid in range(dag.num_vertices):
+            for p in dag.predecessors(vid):
+                if owner[p] > owner[vid]:
+                    raise ValueError(
+                        f"edge {p}->{vid} goes from block {owner[p]} to earlier "
+                        f"block {owner[vid]} (cyclic dependence possible)"
+                    )
+
+
+def greedy_s_partition(dag: ComputationDAG, capacity: int) -> SPartition:
+    """Greedily build a valid S-partition along the topological order.
+
+    Vertices are appended to the current block for as long as both the
+    natural dominator and the minimum set stay within ``capacity``; otherwise
+    a new block is started.  The result is always a valid S-partition (blocks
+    are contiguous topological chunks, so Property 4 holds), though generally
+    not one with the minimum number of blocks.
+    """
+    if capacity < 1:
+        raise ValueError("capacity must be >= 1")
+    blocks: List[List[int]] = []
+    current: List[int] = []
+    current_set: Set[int] = set()
+    dom: Set[int] = set()
+
+    def minimum_size_ok() -> bool:
+        return len(dag.minimum_set(current_set)) <= capacity
+
+    for vid in dag.topological_order():
+        preds = dag.predecessors(vid)
+        new_dom = set(dom)
+        if not preds:
+            new_dom.add(vid)
+        else:
+            for p in preds:
+                if p not in current_set:
+                    new_dom.add(p)
+        candidate_ok = len(new_dom) <= capacity
+        if candidate_ok:
+            current.append(vid)
+            current_set.add(vid)
+            dom = new_dom
+            if not minimum_size_ok():
+                # Roll back the offending vertex into a fresh block.
+                current.pop()
+                current_set.discard(vid)
+                blocks.append(current)
+                current = [vid]
+                current_set = {vid}
+                dom = set() if preds else {vid}
+                if preds:
+                    dom = {p for p in preds}
+        else:
+            if current:
+                blocks.append(current)
+            current = [vid]
+            current_set = {vid}
+            dom = {vid} if not preds else set(preds)
+    if current:
+        blocks.append(current)
+    partition = SPartition(blocks=blocks, capacity=capacity)
+    validate_s_partition(dag, partition)
+    return partition
+
+
+def h_lower_bound(dag: ComputationDAG, partition: SPartition) -> float:
+    """``|V| / max_i |V_i|`` for a given partition (Equation (2) evaluated on
+    one partition; the true ``H(S)`` is the minimum over all partitions)."""
+    biggest = partition.max_block_size()
+    if biggest == 0:
+        raise ValueError("partition has no blocks")
+    return dag.num_vertices / biggest

@@ -1,0 +1,60 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.conv import ConvParams
+from repro.gpusim import GTX_1080TI, V100
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def pyrng():
+    return random.Random(1234)
+
+
+@pytest.fixture
+def small_params():
+    """A small stride-1 3x3 problem usable by every algorithm."""
+    return ConvParams.square(8, in_channels=3, out_channels=4, kernel=3, stride=1, padding=1)
+
+
+@pytest.fixture
+def tiny_params():
+    """A tiny problem whose DAG can be built explicitly."""
+    return ConvParams.square(4, in_channels=2, out_channels=2, kernel=3, stride=1)
+
+
+@pytest.fixture
+def strided_params():
+    return ConvParams.square(13, in_channels=5, out_channels=7, kernel=5, stride=2, padding=2)
+
+
+@pytest.fixture
+def layer_params():
+    """A realistic layer (ResNet-ish) used by bound/dataflow tests."""
+    return ConvParams.square(56, in_channels=256, out_channels=128, kernel=3, stride=1, padding=1)
+
+
+@pytest.fixture
+def v100():
+    return V100
+
+
+@pytest.fixture
+def gtx1080ti():
+    return GTX_1080TI
+
+
+@pytest.fixture
+def fast_memory():
+    """48 KiB of fp32 elements — a typical per-block shared memory budget."""
+    return 12288

@@ -1,0 +1,216 @@
+"""Tests for configurations, search spaces and feature extraction."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.conv import ConvParams, Layout
+from repro.core.autotune import (
+    Configuration,
+    FEATURE_NAMES,
+    Measurer,
+    SearchSpace,
+    build_profile,
+    feature_matrix,
+    feature_vector,
+)
+from repro.gpusim import V100
+
+
+@pytest.fixture
+def conv3():
+    """AlexNet conv3: the layer Table 2 tunes."""
+    return ConvParams.square(13, 256, 384, kernel=3, stride=1, padding=1)
+
+
+@pytest.fixture
+def direct_space(conv3):
+    return SearchSpace(conv3, V100, "direct", pruned=True)
+
+
+def _config(**kw):
+    base = dict(
+        algorithm="direct",
+        tile_x=13,
+        tile_y=13,
+        tile_z=4,
+        threads_x=13,
+        threads_y=1,
+        threads_z=4,
+        smem_per_block=16 * 1024,
+    )
+    base.update(kw)
+    return Configuration(**base)
+
+
+class TestConfiguration:
+    def test_threads_per_block(self):
+        assert _config().threads_per_block == 52
+
+    def test_invalid_algorithm(self):
+        with pytest.raises(ValueError):
+            _config(algorithm="fft")
+
+    def test_invalid_tile(self):
+        with pytest.raises(ValueError):
+            _config(tile_x=0)
+
+    def test_invalid_unroll(self):
+        with pytest.raises(ValueError):
+            _config(unroll=3)
+
+    def test_invalid_loop_order(self):
+        with pytest.raises(ValueError):
+            _config(loop_order="abc")
+
+    def test_layout_coercion(self):
+        assert _config(layout="HWC").layout is Layout.HWC
+
+    def test_key_distinguishes_unroll(self):
+        assert _config(unroll=2).key() != _config(unroll=4).key()
+
+    def test_describe(self):
+        assert "tile=13x13x4" in _config().describe()
+
+    def test_as_dict_roundtrip(self):
+        c = _config(layout="CWH", unroll=8)
+        assert Configuration(**c.as_dict()) == c
+
+
+class TestBuildProfile:
+    def test_basic(self, conv3):
+        prof = build_profile(_config(), conv3, V100)
+        assert prof.smem_per_block == 16 * 1024
+        assert prof.threads_per_block == 52
+
+    def test_rejects_oversized_smem(self, conv3):
+        with pytest.raises(ValueError):
+            build_profile(_config(smem_per_block=1024 * 1024), conv3, V100)
+
+    def test_rejects_working_set_overflow(self, conv3):
+        # A 13x13x384 tile cannot fit in 8 KiB of shared memory.
+        cfg = _config(tile_z=384, smem_per_block=8 * 1024, threads_z=1)
+        with pytest.raises(ValueError):
+            build_profile(cfg, conv3, V100)
+
+    def test_rejects_winograd_for_strided(self, strided_params):
+        cfg = _config(algorithm="winograd", tile_x=1, tile_y=1, tile_z=1, threads_x=1, threads_z=1)
+        with pytest.raises(ValueError):
+            build_profile(cfg, strided_params, V100)
+
+    def test_unroll_affects_efficiency(self, conv3):
+        p4 = build_profile(_config(unroll=4), conv3, V100)
+        p1 = build_profile(_config(unroll=1), conv3, V100)
+        assert p1.compute_efficiency < p4.compute_efficiency
+
+    def test_loop_order_affects_coalescing(self, conv3):
+        good = build_profile(_config(loop_order="zyx"), conv3, V100)  # ends in x = CHW contiguous
+        bad = build_profile(_config(loop_order="yxz"), conv3, V100)
+        assert bad.coalescing < good.coalescing
+
+
+class TestMeasurer:
+    def test_measure_caches(self, conv3):
+        m = Measurer(conv3, V100)
+        c = _config()
+        t1 = m.time_seconds(c)
+        t2 = m.time_seconds(c)
+        assert t1 == t2
+        assert m.num_measurements == 1
+
+    def test_feasibility(self, conv3):
+        m = Measurer(conv3, V100)
+        assert m.is_feasible(_config())
+        assert not m.is_feasible(_config(tile_z=384, smem_per_block=8 * 1024, threads_z=1))
+
+    def test_gflops_positive(self, conv3):
+        m = Measurer(conv3, V100)
+        assert m.gflops(_config()) > 0
+
+
+class TestSearchSpace:
+    def test_pruned_smaller_than_full(self, conv3):
+        full = SearchSpace(conv3, V100, "direct", pruned=False)
+        pruned = SearchSpace(conv3, V100, "direct", pruned=True)
+        assert 0 < pruned.size() < full.size()
+
+    def test_pruning_ratio_in_paper_range(self, conv3):
+        """Table 2 reports the ATE domain at roughly 20–55% of the TVM space."""
+        full = SearchSpace(conv3, V100, "direct", pruned=False)
+        pruned = SearchSpace(conv3, V100, "direct", pruned=True)
+        ratio = pruned.size() / full.size()
+        assert 0.1 < ratio < 0.6
+
+    def test_random_configuration_in_space(self, direct_space, pyrng):
+        for _ in range(25):
+            cfg = direct_space.random_configuration(pyrng)
+            assert direct_space.contains(cfg)
+
+    def test_sample_count(self, direct_space, pyrng):
+        assert len(direct_space.sample(pyrng, 10)) == 10
+
+    def test_neighbor_stays_in_space(self, direct_space, pyrng):
+        cfg = direct_space.random_configuration(pyrng)
+        for _ in range(30):
+            cfg = direct_space.neighbor(cfg, pyrng)
+            assert direct_space.contains(cfg)
+
+    def test_neighbor_changes_something(self, direct_space, pyrng):
+        cfg = direct_space.random_configuration(pyrng)
+        changed = sum(direct_space.neighbor(cfg, pyrng).key() != cfg.key() for _ in range(10))
+        assert changed >= 8
+
+    def test_pruned_tiles_satisfy_table1(self, conv3, pyrng):
+        space = SearchSpace(conv3, V100, "direct", pruned=True)
+        r = conv3.reuse_factor
+        for _ in range(40):
+            c = space.random_configuration(pyrng)
+            sb = c.smem_per_block // V100.dtype_size
+            assert c.tile_x * c.tile_y * c.tile_z <= sb
+            assert c.tile_z <= (sb / r) ** 0.5 + 1e-9
+            assert c.tile_x * c.tile_y <= (sb * r) ** 0.5 + 1e-9
+            assert c.smem_per_block <= V100.shared_mem_per_sm // 2
+
+    def test_contains_rejects_wrong_algorithm(self, direct_space):
+        cfg = _config(algorithm="winograd", tile_x=13, tile_y=13, tile_z=4)
+        assert not direct_space.contains(cfg)
+
+    def test_contains_rejects_non_divisor_tile(self, direct_space):
+        assert not direct_space.contains(_config(tile_x=5, threads_x=5))
+
+    def test_winograd_space(self, conv3, pyrng):
+        space = SearchSpace(conv3, V100, "winograd", pruned=True)
+        cfg = space.random_configuration(pyrng)
+        assert cfg.algorithm == "winograd"
+        assert cfg.e in (2, 3, 4)
+
+    def test_winograd_space_rejects_strided(self, strided_params):
+        with pytest.raises(ValueError):
+            SearchSpace(strided_params, V100, "winograd")
+
+    def test_describe(self, direct_space):
+        assert "pruned" in direct_space.describe()
+
+
+class TestFeatures:
+    def test_vector_length_matches_names(self, conv3):
+        v = feature_vector(_config(), conv3, V100)
+        assert v.shape == (len(FEATURE_NAMES),)
+
+    def test_matrix_shape(self, conv3):
+        m = feature_matrix([_config(), _config(unroll=2)], conv3, V100)
+        assert m.shape == (2, len(FEATURE_NAMES))
+
+    def test_empty_matrix(self, conv3):
+        assert feature_matrix([], conv3, V100).shape == (0, len(FEATURE_NAMES))
+
+    def test_features_finite(self, conv3, pyrng):
+        space = SearchSpace(conv3, V100, "direct", pruned=True)
+        m = feature_matrix(space.sample(pyrng, 20), conv3, V100)
+        assert np.all(np.isfinite(m))
+
+    def test_different_configs_different_features(self, conv3):
+        a = feature_vector(_config(), conv3, V100)
+        b = feature_vector(_config(tile_z=8, threads_z=1), conv3, V100)
+        assert not np.allclose(a, b)

@@ -1,0 +1,211 @@
+"""Tests for the convolution algorithms (direct, im2col, Winograd)."""
+
+import numpy as np
+import pytest
+
+from repro.conv import (
+    ALGORITHMS,
+    ConvParams,
+    direct_conv2d,
+    direct_conv2d_naive,
+    im2col,
+    im2col_buffer_elements,
+    im2col_conv2d,
+    max_abs_error,
+    plan_winograd,
+    random_operands,
+    run_algorithm,
+    verify_algorithm,
+    winograd_conv2d,
+    winograd_flops,
+)
+
+
+def _rel_err(a, b):
+    scale = max(1.0, float(np.max(np.abs(a))))
+    return max_abs_error(a, b) / scale
+
+
+class TestDirectConv:
+    def test_matches_naive(self, small_params):
+        x, w = random_operands(small_params, seed=0)
+        assert _rel_err(direct_conv2d(x, w, small_params), direct_conv2d_naive(x, w, small_params)) < 1e-12
+
+    def test_matches_naive_strided(self, strided_params):
+        x, w = random_operands(strided_params, seed=1)
+        assert _rel_err(direct_conv2d(x, w, strided_params), direct_conv2d_naive(x, w, strided_params)) < 1e-12
+
+    def test_output_shape(self, small_params):
+        x, w = random_operands(small_params)
+        assert direct_conv2d(x, w, small_params).shape == small_params.output_shape
+
+    def test_identity_kernel(self):
+        p = ConvParams.square(5, 1, 1, kernel=1)
+        x = np.arange(25, dtype=np.float64).reshape(1, 1, 5, 5)
+        w = np.ones((1, 1, 1, 1))
+        assert np.allclose(direct_conv2d(x, w, p), x)
+
+    def test_averaging_kernel(self):
+        p = ConvParams.square(4, 1, 1, kernel=3)
+        x = np.ones(p.input_shape)
+        w = np.full(p.kernel_shape, 1.0 / 9.0)
+        out = direct_conv2d(x, w, p)
+        assert np.allclose(out, 1.0)
+
+    def test_bias(self, small_params):
+        x, w = random_operands(small_params)
+        bias = np.arange(small_params.out_channels, dtype=np.float64)
+        out = direct_conv2d(x, w, small_params, bias=bias)
+        base = direct_conv2d(x, w, small_params)
+        assert np.allclose(out - base, bias[None, :, None, None])
+
+    def test_bad_bias_shape(self, small_params):
+        x, w = random_operands(small_params)
+        with pytest.raises(ValueError):
+            direct_conv2d(x, w, small_params, bias=np.zeros(3))
+
+    def test_shape_mismatch_raises(self, small_params):
+        x, w = random_operands(small_params)
+        with pytest.raises(ValueError):
+            direct_conv2d(x[:, :1], w, small_params)
+        with pytest.raises(ValueError):
+            direct_conv2d(x, w[:1], small_params)
+
+    def test_linearity_in_input(self, small_params):
+        x, w = random_operands(small_params, seed=3)
+        x2 = np.random.default_rng(7).standard_normal(small_params.input_shape)
+        lhs = direct_conv2d(x + 2.0 * x2, w, small_params)
+        rhs = direct_conv2d(x, w, small_params) + 2.0 * direct_conv2d(x2, w, small_params)
+        assert _rel_err(lhs, rhs) < 1e-12
+
+    def test_batch_independence(self):
+        p = ConvParams.square(6, 2, 3, kernel=3, padding=1, batch=3)
+        x, w = random_operands(p, seed=5)
+        full = direct_conv2d(x, w, p)
+        single = ConvParams.square(6, 2, 3, kernel=3, padding=1, batch=1)
+        for b in range(3):
+            out_b = direct_conv2d(x[b : b + 1], w, single)
+            assert np.allclose(full[b : b + 1], out_b)
+
+
+class TestIm2col:
+    def test_matches_direct(self, small_params):
+        assert verify_algorithm("im2col", small_params, seed=2) < 1e-10
+
+    def test_matches_direct_strided(self, strided_params):
+        assert verify_algorithm("im2col", strided_params, seed=2) < 1e-10
+
+    def test_column_shape(self, small_params):
+        x, _ = random_operands(small_params)
+        cols = im2col(x, small_params)
+        k = small_params.in_channels * 9
+        n = small_params.out_height * small_params.out_width
+        assert cols.shape == (small_params.batch, k, n)
+
+    def test_buffer_elements(self, small_params):
+        b, k, n = (
+            small_params.batch,
+            small_params.in_channels * 9,
+            small_params.out_height * small_params.out_width,
+        )
+        assert im2col_buffer_elements(small_params) == b * k * n
+
+    def test_input_shape_check(self, small_params):
+        with pytest.raises(ValueError):
+            im2col(np.zeros((1, 1, 4, 4)), small_params)
+
+    def test_bias(self, small_params):
+        x, w = random_operands(small_params)
+        bias = np.linspace(-1, 1, small_params.out_channels)
+        out = im2col_conv2d(x, w, small_params, bias=bias)
+        assert np.allclose(out, direct_conv2d(x, w, small_params, bias=bias))
+
+
+class TestWinogradConv:
+    @pytest.mark.parametrize("e", [2, 3, 4])
+    def test_matches_direct(self, small_params, e):
+        x, w = random_operands(small_params, seed=e)
+        ref = direct_conv2d(x, w, small_params)
+        out = winograd_conv2d(x, w, small_params, e=e)
+        assert _rel_err(ref, out) < 1e-9
+
+    @pytest.mark.parametrize("kernel", [2, 3, 5])
+    def test_other_kernel_sizes(self, kernel):
+        p = ConvParams.square(12, 2, 3, kernel=kernel, stride=1)
+        x, w = random_operands(p, seed=kernel)
+        assert _rel_err(direct_conv2d(x, w, p), winograd_conv2d(x, w, p, e=2)) < 1e-8
+
+    def test_non_divisible_output(self):
+        # Output extent 7 is not a multiple of e=2: padding path must still match.
+        p = ConvParams.square(9, 3, 2, kernel=3, stride=1)
+        assert p.out_height == 7
+        x, w = random_operands(p, seed=11)
+        assert _rel_err(direct_conv2d(x, w, p), winograd_conv2d(x, w, p, e=2)) < 1e-9
+
+    def test_with_padding(self):
+        p = ConvParams.square(14, 4, 6, kernel=3, stride=1, padding=1)
+        x, w = random_operands(p, seed=13)
+        assert _rel_err(direct_conv2d(x, w, p), winograd_conv2d(x, w, p, e=4)) < 1e-9
+
+    def test_batched(self):
+        p = ConvParams.square(10, 3, 4, kernel=3, stride=1, padding=1, batch=3)
+        x, w = random_operands(p, seed=17)
+        assert _rel_err(direct_conv2d(x, w, p), winograd_conv2d(x, w, p, e=2)) < 1e-9
+
+    def test_rejects_stride(self, strided_params):
+        x, w = random_operands(strided_params)
+        with pytest.raises(ValueError):
+            winograd_conv2d(x, w, strided_params, e=2)
+
+    def test_plan_tiles(self):
+        p = ConvParams.square(14, 4, 6, kernel=3, stride=1, padding=1)
+        plan = plan_winograd(p, e=4)
+        assert plan.tiles_h == plan.tiles_w == 4  # ceil(14 / 4)
+        assert plan.tile_in == 6
+        assert plan.padded_out_h == 16
+
+    def test_plan_multiplications(self):
+        p = ConvParams.square(8, 2, 3, kernel=3, stride=1, padding=1)
+        plan = plan_winograd(p, e=2)
+        # tiles 4x4, per tile per (cout, cin) pair: 16 multiplications
+        assert plan.multiplications == 4 * 4 * 2 * 3 * 16
+
+    def test_winograd_flops_positive_and_less_than_direct_for_large(self):
+        p = ConvParams.square(56, 64, 64, kernel=3, stride=1, padding=1)
+        wf = winograd_flops(p, e=4)
+        assert 0 < wf < p.flops  # fewer multiplies than direct for F(4x4,3x3)
+
+    def test_bias(self, small_params):
+        x, w = random_operands(small_params)
+        bias = np.linspace(0, 1, small_params.out_channels)
+        out = winograd_conv2d(x, w, small_params, e=2, bias=bias)
+        assert _rel_err(direct_conv2d(x, w, small_params, bias=bias), out) < 1e-9
+
+
+class TestRegistry:
+    def test_registry_names(self):
+        assert {"direct", "im2col", "winograd_f2", "winograd_f4"} <= set(ALGORITHMS)
+
+    def test_run_unknown_raises(self, small_params):
+        x, w = random_operands(small_params)
+        with pytest.raises(KeyError):
+            run_algorithm("nope", x, w, small_params)
+
+    def test_winograd_unsupported_raises(self, strided_params):
+        x, w = random_operands(strided_params)
+        with pytest.raises(ValueError):
+            run_algorithm("winograd_f2", x, w, strided_params)
+
+    def test_verify_all_supported(self, small_params):
+        for name, algo in ALGORITHMS.items():
+            if algo.supports(small_params):
+                assert verify_algorithm(name, small_params) < 1e-8
+
+    def test_max_abs_error_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            max_abs_error(np.zeros(3), np.zeros(4))
+
+    def test_random_operands_deterministic(self, small_params):
+        x1, w1 = random_operands(small_params, seed=42)
+        x2, w2 = random_operands(small_params, seed=42)
+        assert np.array_equal(x1, x2) and np.array_equal(w1, w2)

@@ -1,0 +1,218 @@
+"""Tests for the near I/O-optimal dataflow strategies (Section 5)."""
+
+import math
+
+import pytest
+
+from repro.conv import ConvParams
+from repro.core.bounds import (
+    direct_conv_io_lower_bound,
+    winograd_io_lower_bound,
+)
+from repro.core.dataflow import (
+    DirectDataflow,
+    IOVolume,
+    OutputTile,
+    WinogradDataflow,
+    candidate_tiles,
+    ceil_div,
+    direct_dataflow_io,
+    direct_dataflow_io_optimal,
+    optimal_tile_direct,
+    optimal_tile_winograd,
+    optimality_condition_residual,
+    satisfies_optimality,
+    simulate_direct_dataflow,
+    simulate_winograd_dataflow,
+    winograd_dataflow_io,
+    winograd_dataflow_io_optimal,
+)
+
+
+class TestCommon:
+    def test_ceil_div(self):
+        assert ceil_div(10, 3) == 4
+        assert ceil_div(9, 3) == 3
+        with pytest.raises(ValueError):
+            ceil_div(4, 0)
+
+    def test_output_tile_validation(self):
+        with pytest.raises(ValueError):
+            OutputTile(0, 1, 1)
+
+    def test_tile_outputs_and_footprint(self):
+        p = ConvParams.square(16, 8, 8, kernel=3, stride=2, padding=1)
+        tile = OutputTile(4, 2, 3)
+        assert tile.outputs == 24
+        # x' = (4-1)*2 + 3 = 9, y' = (2-1)*2+3 = 5
+        assert tile.input_footprint(p) == 45
+
+    def test_clip_to(self):
+        p = ConvParams.square(6, 2, 4, kernel=3, padding=1)
+        tile = OutputTile(100, 100, 100).clip_to(p)
+        assert (tile.x, tile.y, tile.z) == (6, 6, 4)
+
+    def test_io_volume_arithmetic(self):
+        v = IOVolume(input_reads=10, weight_reads=5, output_writes=3, extra=2)
+        assert v.total == 20
+        assert v.bytes(4) == 80
+        assert (v + v).total == 40
+        assert v.scaled(2.0).total == 40
+        assert set(v.breakdown()) == {"input_reads", "weight_reads", "output_writes", "extra", "total"}
+
+
+class TestOptimality:
+    def test_residual_zero_when_exact(self):
+        p = ConvParams.square(18, 16, 16, kernel=3, stride=1)
+        tile = OutputTile(6, 6, 4)  # xy = 36 = 9*4 = R*z
+        assert optimality_condition_residual(tile, p) == pytest.approx(0.0)
+        assert satisfies_optimality(tile, p)
+
+    def test_residual_positive_otherwise(self):
+        p = ConvParams.square(18, 16, 16, kernel=3, stride=1)
+        assert optimality_condition_residual(OutputTile(1, 1, 16), p) > 0.9
+
+    def test_optimal_tile_direct_fits(self, layer_params, fast_memory):
+        tile = optimal_tile_direct(layer_params, fast_memory)
+        df = DirectDataflow(layer_params, fast_memory, tile=tile)
+        assert df.fits()
+
+    def test_optimal_tile_direct_near_condition(self, layer_params, fast_memory):
+        tile = optimal_tile_direct(layer_params, fast_memory)
+        assert optimality_condition_residual(tile, layer_params) < 0.6
+
+    def test_optimal_tile_with_processors_smaller(self, layer_params, fast_memory):
+        t1 = optimal_tile_direct(layer_params, fast_memory, processors=1)
+        t8 = optimal_tile_direct(layer_params, fast_memory, processors=8)
+        assert t8.outputs <= t1.outputs
+
+    def test_optimal_tile_winograd_fits(self, layer_params, fast_memory):
+        tile = optimal_tile_winograd(layer_params, fast_memory, e=2)
+        df = WinogradDataflow(layer_params, fast_memory, e=2, tile=tile)
+        assert df.fits()
+
+    def test_candidate_tiles_divisors_and_capacity(self, fast_memory):
+        p = ConvParams.square(12, 16, 8, kernel=3, padding=1)
+        tiles = candidate_tiles(p, fast_memory)
+        assert tiles
+        for t in tiles:
+            assert p.out_width % t.x == 0
+            assert p.out_height % t.y == 0
+            assert p.out_channels % t.z == 0
+            assert t.outputs <= fast_memory
+
+    def test_candidate_tiles_with_optimality_filter(self, fast_memory):
+        p = ConvParams.square(12, 16, 8, kernel=3, padding=1)
+        all_tiles = candidate_tiles(p, fast_memory)
+        opt_tiles = candidate_tiles(p, fast_memory, require_optimality=True)
+        assert 0 < len(opt_tiles) < len(all_tiles)
+        assert all(satisfies_optimality(t, p) for t in opt_tiles)
+
+    def test_invalid_args(self, layer_params):
+        with pytest.raises(ValueError):
+            optimal_tile_direct(layer_params, 0)
+        with pytest.raises(ValueError):
+            optimal_tile_winograd(layer_params, 1024, e=0)
+        with pytest.raises(ValueError):
+            candidate_tiles(layer_params, 0)
+
+
+class TestDirectDataflow:
+    def test_closed_form_matches_simulation_when_divisible(self):
+        p = ConvParams.square(16, 8, 8, kernel=3, stride=1, padding=1)
+        tile = OutputTile(4, 4, 2)
+        closed = direct_dataflow_io(p, tile)
+        sim = simulate_direct_dataflow(p, tile, count_halo_exactly=False)
+        assert sim.weight_reads == pytest.approx(closed.weight_reads)
+        assert sim.output_writes == pytest.approx(closed.output_writes)
+        assert sim.input_reads == pytest.approx(closed.input_reads)
+
+    def test_simulation_with_halo_clipping_not_larger(self, layer_params):
+        tile = OutputTile(8, 8, 8)
+        exact = simulate_direct_dataflow(layer_params, tile, count_halo_exactly=True)
+        approx = simulate_direct_dataflow(layer_params, tile, count_halo_exactly=False)
+        assert exact.input_reads <= approx.input_reads
+
+    def test_output_written_once(self, layer_params):
+        vol = direct_dataflow_io(layer_params, OutputTile(7, 7, 8))
+        assert vol.output_writes == layer_params.output_elements
+
+    def test_io_scales_with_batch(self, layer_params):
+        tile = OutputTile(7, 7, 8)
+        v1 = direct_dataflow_io(layer_params, tile).total
+        v4 = direct_dataflow_io(layer_params.with_batch(4), tile).total
+        assert v4 == pytest.approx(4 * v1)
+
+    def test_optimal_formula_monotone_in_s(self, layer_params):
+        v_small = direct_dataflow_io_optimal(layer_params, 2048).total
+        v_large = direct_dataflow_io_optimal(layer_params, 32768).total
+        assert v_large < v_small
+
+    def test_dataflow_above_lower_bound(self, layer_params, fast_memory):
+        """Any legal dataflow moves at least the lower-bound volume."""
+        lower = direct_conv_io_lower_bound(layer_params, fast_memory)
+        df = DirectDataflow(layer_params, fast_memory)
+        assert df.io_volume().total >= lower
+        assert df.io_volume_simulated().total >= lower
+
+    def test_dataflow_within_constant_of_bound(self, layer_params, fast_memory):
+        """Near-optimality: the dataflow is within a moderate constant factor
+        of the lower bound (the paper's Θ-optimality claim)."""
+        lower = direct_conv_io_lower_bound(layer_params, fast_memory)
+        df = DirectDataflow(layer_params, fast_memory)
+        assert df.io_volume().total <= 64 * lower
+
+    def test_optimal_tile_better_than_bad_tile(self, layer_params, fast_memory):
+        good = DirectDataflow(layer_params, fast_memory).io_volume().total
+        bad = direct_dataflow_io(layer_params, OutputTile(1, 1, 1)).total
+        assert good < bad
+
+    def test_invalid_construction(self, layer_params):
+        with pytest.raises(ValueError):
+            DirectDataflow(layer_params, 0)
+        with pytest.raises(ValueError):
+            DirectDataflow(layer_params, 1024, processors=0)
+
+
+class TestWinogradDataflow:
+    def test_closed_form_matches_simulation_when_divisible(self):
+        p = ConvParams.square(16, 8, 8, kernel=3, stride=1, padding=1)
+        tile = OutputTile(4, 4, 2)
+        closed = winograd_dataflow_io(p, tile, e=2)
+        sim = simulate_winograd_dataflow(p, tile, e=2)
+        assert sim.weight_reads == pytest.approx(closed.weight_reads)
+        assert sim.output_writes == pytest.approx(closed.output_writes)
+        # Simulated halo is clipped at borders, closed form is not.
+        assert sim.input_reads <= closed.input_reads
+
+    def test_rejects_strided(self, strided_params):
+        with pytest.raises(ValueError):
+            winograd_dataflow_io(strided_params, OutputTile(2, 2, 2), e=2)
+
+    def test_dataflow_above_lower_bound(self, layer_params, fast_memory):
+        lower = winograd_io_lower_bound(layer_params, 2, fast_memory)
+        df = WinogradDataflow(layer_params, fast_memory, e=2)
+        assert df.io_volume().total >= lower
+
+    def test_optimal_tile_reads_less_than_generic_tile(self, layer_params, fast_memory):
+        """The optimality-condition tile moves less data than the generic
+        fixed 8x8x8 blocking a library kernel would use."""
+        wino = WinogradDataflow(layer_params, fast_memory, e=2).io_volume()
+        generic = winograd_dataflow_io(layer_params, OutputTile(8, 8, 8), e=2)
+        assert wino.reads < generic.reads
+
+    def test_optimal_formula_monotone_in_s(self, layer_params):
+        v_small = winograd_dataflow_io_optimal(layer_params, 2048, e=2).total
+        v_large = winograd_dataflow_io_optimal(layer_params, 32768, e=2).total
+        assert v_large < v_small
+
+    def test_on_chip_elements_accounts_temporaries(self, layer_params, fast_memory):
+        df = WinogradDataflow(layer_params, fast_memory, e=2)
+        t = df.tile
+        assert df.on_chip_elements() >= 2 * (2 + 3 - 1) ** 2 // 4 * t.outputs
+
+    def test_invalid_construction(self, layer_params):
+        with pytest.raises(ValueError):
+            WinogradDataflow(layer_params, 0, e=2)
+        with pytest.raises(ValueError):
+            WinogradDataflow(layer_params, 1024, e=0)

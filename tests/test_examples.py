@@ -1,0 +1,53 @@
+"""Smoke tests for the example scripts (the documented entry points).
+
+Only the cheaper examples are executed here (the tuning-heavy ones are
+exercised indirectly by the tuner tests and the benchmark harness).
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, f"{script} failed:\n{result.stderr[-2000:]}"
+    return result.stdout
+
+
+def test_examples_directory_contents():
+    expected = {
+        "quickstart.py",
+        "lower_bound_analysis.py",
+        "tune_conv_layer.py",
+        "end_to_end_resnet.py",
+        "pebble_game_demo.py",
+    }
+    assert expected <= {p.name for p in EXAMPLES_DIR.glob("*.py")}
+
+
+def test_lower_bound_analysis_example():
+    out = _run("lower_bound_analysis.py")
+    assert "lower bound" in out
+    assert "greedy/bound" in out
+
+
+def test_pebble_game_demo_example():
+    out = _run("pebble_game_demo.py")
+    assert "Direct convolution DAG" in out
+    assert "Winograd DAG" in out
+
+
+def test_end_to_end_resnet_example():
+    out = _run("end_to_end_resnet.py")
+    assert "ResNet-18" in out
+    assert "speedup" in out

@@ -1,0 +1,213 @@
+"""Tests for the GPU memory-hierarchy simulator."""
+
+import pytest
+
+from repro.conv import ConvParams, Layout
+from repro.core.dataflow import OutputTile, optimal_tile_direct
+from repro.gpusim import (
+    GFX906,
+    GTX_1080TI,
+    KNOWN_GPUS,
+    TITAN_X,
+    V100,
+    CudnnLibrary,
+    GPUExecutor,
+    GPUSpec,
+    KernelProfile,
+    direct_dataflow_profile,
+    gemm_traffic,
+    get_gpu,
+    im2col_profile,
+    occupancy,
+    winograd_dataflow_profile,
+)
+
+
+class TestSpecs:
+    def test_known_gpus(self):
+        assert set(KNOWN_GPUS) == {"1080Ti", "V100", "TitanX", "gfx906"}
+
+    def test_get_gpu_case_insensitive(self):
+        assert get_gpu("v100") is V100
+        assert get_gpu("GFX906") is GFX906
+
+    def test_get_gpu_unknown(self):
+        with pytest.raises(KeyError):
+            get_gpu("a100")
+
+    def test_shared_mem_elements(self):
+        assert V100.shared_mem_elements_per_sm == 96 * 1024 // 4
+
+    def test_ridge_point_ordering(self):
+        # V100 has both more bandwidth and more FLOPs than Titan X.
+        assert V100.peak_flops > TITAN_X.peak_flops
+        assert V100.dram_bandwidth > TITAN_X.dram_bandwidth
+
+    def test_describe(self):
+        assert "V100" in V100.describe()
+
+    def test_invalid_spec(self):
+        with pytest.raises(ValueError):
+            GPUSpec("bad", num_sms=0, shared_mem_per_sm=1, dram_bandwidth=1, peak_flops=1)
+
+
+class TestKernelProfiles:
+    def test_direct_profile_fields(self, layer_params):
+        tile = OutputTile(8, 8, 8)
+        prof = direct_dataflow_profile(layer_params, tile)
+        assert prof.flops == layer_params.flops
+        assert prof.dram_bytes > 0
+        assert prof.num_blocks == 7 * 7 * 16
+        assert 0 < prof.coalescing <= 1
+
+    def test_direct_profile_layout_effect(self, layer_params):
+        tile = OutputTile(8, 8, 8)
+        chw = direct_dataflow_profile(layer_params, tile, layout=Layout.CHW)
+        cwh = direct_dataflow_profile(layer_params, tile, layout=Layout.CWH)
+        assert cwh.coalescing < chw.coalescing
+
+    def test_winograd_profile(self, layer_params):
+        prof = winograd_dataflow_profile(layer_params, OutputTile(8, 8, 4), e=2)
+        assert prof.flops > 0
+        assert prof.name == "winograd_dataflow_f2"
+
+    def test_im2col_profile_traffic_exceeds_minimum(self, layer_params):
+        prof = im2col_profile(layer_params)
+        minimum = (
+            layer_params.input_elements
+            + layer_params.kernel_elements
+            + layer_params.output_elements
+        ) * 4
+        assert prof.dram_bytes > minimum
+
+    def test_gemm_traffic(self):
+        # 64x64x64 with 32x32 tiles: A read twice, B read twice, C written once.
+        t = gemm_traffic(64, 64, 64, 32, 32, dtype_size=4)
+        assert t == (64 * 64 * 2 + 64 * 64 * 2 + 64 * 64) * 4
+
+    def test_gemm_traffic_invalid(self):
+        with pytest.raises(ValueError):
+            gemm_traffic(0, 1, 1, 1, 1)
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            KernelProfile("x", flops=-1, dram_bytes=0, smem_per_block=0, threads_per_block=32, num_blocks=1)
+        with pytest.raises(ValueError):
+            KernelProfile("x", flops=1, dram_bytes=0, smem_per_block=0, threads_per_block=0, num_blocks=1)
+        with pytest.raises(ValueError):
+            KernelProfile("x", 1, 1, 0, 32, 1, coalescing=1.5)
+
+    def test_arithmetic_intensity(self):
+        prof = KernelProfile("x", flops=100, dram_bytes=50, smem_per_block=0, threads_per_block=32, num_blocks=1)
+        assert prof.arithmetic_intensity == 2.0
+
+
+class TestExecutor:
+    def _profile(self, **kw):
+        base = dict(
+            name="k",
+            flops=1e9,
+            dram_bytes=1e7,
+            smem_per_block=32 * 1024,
+            threads_per_block=256,
+            num_blocks=1000,
+        )
+        base.update(kw)
+        return KernelProfile(**base)
+
+    def test_occupancy_in_range(self):
+        occ = occupancy(self._profile(), V100)
+        assert 0 < occ <= 1
+
+    def test_occupancy_rejects_oversized_smem(self):
+        with pytest.raises(ValueError):
+            occupancy(self._profile(smem_per_block=200 * 1024), V100)
+
+    def test_occupancy_rejects_too_many_threads(self):
+        with pytest.raises(ValueError):
+            occupancy(self._profile(threads_per_block=2048), V100)
+
+    def test_few_blocks_lower_occupancy(self):
+        few = occupancy(self._profile(num_blocks=4), V100)
+        many = occupancy(self._profile(num_blocks=4000), V100)
+        assert few < many
+
+    def test_run_returns_consistent_time(self):
+        ex = GPUExecutor(V100, noise=0.0)
+        res = ex.run(self._profile())
+        assert res.time_seconds >= max(res.compute_time, res.memory_time)
+        assert res.achieved_gflops > 0
+        assert res.bound in ("memory", "compute")
+
+    def test_memory_bound_detection(self):
+        ex = GPUExecutor(V100, noise=0.0)
+        res = ex.run(self._profile(flops=1e6, dram_bytes=1e9))
+        assert res.bound == "memory"
+
+    def test_compute_bound_detection(self):
+        ex = GPUExecutor(V100, noise=0.0)
+        res = ex.run(self._profile(flops=1e12, dram_bytes=1e6))
+        assert res.bound == "compute"
+
+    def test_deterministic_noise(self):
+        ex1 = GPUExecutor(V100, noise=0.05, seed=7)
+        ex2 = GPUExecutor(V100, noise=0.05, seed=7)
+        p = self._profile()
+        assert ex1.run(p).time_seconds == ex2.run(p).time_seconds
+
+    def test_noise_bounded(self):
+        p = self._profile()
+        base = GPUExecutor(V100, noise=0.0).run(p).time_seconds
+        noisy = GPUExecutor(V100, noise=0.1, seed=3).run(p).time_seconds
+        assert abs(noisy - base) / base <= 0.1 + 1e-9
+
+    def test_faster_gpu_is_faster(self, layer_params):
+        tile = optimal_tile_direct(layer_params, 12288)
+        prof = direct_dataflow_profile(layer_params, tile)
+        t_v100 = GPUExecutor(V100, noise=0).run(prof).time_seconds
+        t_titan = GPUExecutor(TITAN_X, noise=0).run(prof).time_seconds
+        assert t_v100 < t_titan
+
+    def test_invalid_noise(self):
+        with pytest.raises(ValueError):
+            GPUExecutor(V100, noise=0.9)
+
+    def test_describe(self):
+        res = GPUExecutor(V100, noise=0).run(self._profile())
+        assert "V100" in res.describe()
+
+
+class TestCudnnLibrary:
+    def test_direct_always_available(self, strided_params):
+        lib = CudnnLibrary(GTX_1080TI)
+        choice = lib.run_direct(strided_params)
+        assert choice.algorithm == "im2col_gemm"
+        assert choice.time_seconds > 0
+
+    def test_winograd_available_for_3x3(self, layer_params):
+        lib = CudnnLibrary(GTX_1080TI)
+        assert lib.run_winograd(layer_params).algorithm == "winograd"
+
+    def test_winograd_unavailable_for_strided(self, strided_params):
+        lib = CudnnLibrary(GTX_1080TI)
+        with pytest.raises(ValueError):
+            lib.run_winograd(strided_params)
+
+    def test_best_never_slower_than_direct(self, layer_params):
+        lib = CudnnLibrary(GTX_1080TI)
+        assert lib.run_best(layer_params).time_seconds <= lib.run_direct(layer_params).time_seconds
+
+    def test_deterministic(self, layer_params):
+        a = CudnnLibrary(V100).run_best(layer_params).time_seconds
+        b = CudnnLibrary(V100).run_best(layer_params).time_seconds
+        assert a == b
+
+    def test_dataflow_beats_cudnn_on_large_stride1_conv(self):
+        """The headline comparison of Figure 9: for a large stride-1 3x3 layer
+        the I/O-optimal dataflow outperforms the library's direct path."""
+        p = ConvParams.square(112, 256, 128, kernel=3, stride=1, padding=1)
+        spec = GTX_1080TI
+        lib = CudnnLibrary(spec)
+        tile = optimal_tile_direct(p, spec.shared_mem_per_sm // spec.dtype_size // 2)
+        ours = GPUExecutor(spec).run(direct_dataflow_profile(p, tile)).time_seconds
+        assert lib.run_direct(p).time_seconds > ours

@@ -1,0 +1,184 @@
+"""Tests for the CNN model zoo, the end-to-end runner and the analysis helpers."""
+
+import pytest
+
+from repro.analysis import (
+    FigureData,
+    ResultTable,
+    Series,
+    format_value,
+    render_figure,
+    render_rows,
+    render_table,
+    sparkline,
+)
+from repro.conv import ConvParams
+from repro.gpusim import V100
+from repro.nets import (
+    ConvLayer,
+    ConvNet,
+    ModelRunner,
+    alexnet,
+    get_model,
+    inception_v3,
+    resnet18,
+    resnet34,
+    squeezenet,
+    vgg19,
+)
+
+
+class TestConvLayer:
+    def test_params_conversion(self):
+        layer = ConvLayer("conv1", 3, 227, 96, kernel=11, stride=4)
+        p = layer.params()
+        assert p.out_height == 55 and p.out_channels == 96
+
+    def test_macs_with_repeat(self):
+        layer = ConvLayer("c", 8, 14, 8, kernel=3, padding=1, repeat=3)
+        assert layer.macs == 3 * layer.params().macs
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            ConvLayer("c", 0, 14, 8, kernel=3)
+
+    def test_describe(self):
+        assert "k=3" in ConvLayer("c", 8, 14, 8, kernel=3).describe()
+
+
+class TestConvNet:
+    def test_unique_names_enforced(self):
+        layer = ConvLayer("c", 8, 14, 8, kernel=3, padding=1)
+        with pytest.raises(ValueError):
+            ConvNet("net", (layer, layer))
+
+    def test_layer_lookup(self):
+        net = alexnet()
+        assert net.layer("conv3").out_channels == 384
+        with pytest.raises(KeyError):
+            net.layer("conv99")
+
+    def test_params_list(self):
+        net = alexnet()
+        pairs = net.params_list(batch=4)
+        assert len(pairs) == net.num_layers
+        assert all(p.batch == 4 for _, p in pairs)
+
+    def test_describe(self):
+        assert "AlexNet" in alexnet().describe()
+
+
+class TestZoo:
+    @pytest.mark.parametrize(
+        "factory,expected_gmacs",
+        [
+            (alexnet, (0.6, 1.4)),
+            (vgg19, (17.0, 22.0)),
+            (resnet18, (1.5, 2.1)),
+            (resnet34, (3.2, 4.2)),
+            (squeezenet, (0.6, 1.1)),
+            (inception_v3, (4.0, 6.5)),
+        ],
+    )
+    def test_total_macs_close_to_published(self, factory, expected_gmacs):
+        lo, hi = expected_gmacs
+        assert lo <= factory().total_macs / 1e9 <= hi
+
+    def test_alexnet_conv1_shape(self):
+        """Table 2's conv1 row: 3 channels, 227 input, 96 outputs, 11x11, stride 4."""
+        c1 = alexnet().layer("conv1")
+        assert (c1.in_channels, c1.in_size, c1.out_channels, c1.kernel, c1.stride) == (3, 227, 96, 11, 4)
+
+    def test_get_model_aliases(self):
+        assert get_model("ResNet-18").name == "ResNet-18"
+        assert get_model("vgg19").name == "Vgg-19"
+        with pytest.raises(KeyError):
+            get_model("lenet")
+
+    def test_resnet34_deeper_than_resnet18(self):
+        assert resnet34().total_macs > resnet18().total_macs
+
+    def test_all_layers_constructible(self):
+        for name in ("alexnet", "vgg19", "resnet18", "resnet34", "squeezenet", "inception_v3"):
+            for layer, params in get_model(name).params_list():
+                assert params.output_elements > 0, layer.name
+
+
+class TestModelRunner:
+    def test_analytic_mode_squeezenet(self):
+        runner = ModelRunner(V100, mode="analytic")
+        timing = runner.time_model(squeezenet())
+        assert timing.ours_seconds > 0 and timing.cudnn_seconds > 0
+        assert len(timing.layers) == squeezenet().num_layers
+
+    def test_speedup_at_least_parity_on_resnet18(self):
+        """Figure 12: the tuned dataflow is never slower end-to-end than cuDNN."""
+        runner = ModelRunner(V100, mode="analytic")
+        assert runner.time_model(resnet18()).speedup >= 0.95
+
+    def test_layer_timing_speedup(self):
+        runner = ModelRunner(V100, mode="analytic")
+        timing = runner.time_layer(ConvLayer("c", 64, 56, 64, kernel=3, padding=1))
+        assert timing.speedup > 0
+        assert timing.algorithm in ("direct", "winograd")
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            ModelRunner(V100, mode="magic")
+
+    def test_describe(self):
+        runner = ModelRunner(V100, mode="analytic")
+        assert "speedup" in runner.time_model(alexnet()).describe()
+
+
+class TestAnalysis:
+    def test_result_table(self):
+        t = ResultTable("demo", columns=["a", "b"])
+        t.add_row(a=1, b=2.5)
+        assert len(t) == 1
+        assert t.column("a") == [1]
+        with pytest.raises(ValueError):
+            t.add_row(a=1)
+        with pytest.raises(KeyError):
+            t.column("c")
+
+    def test_render_table(self):
+        t = ResultTable("demo", columns=["name", "value"])
+        t.add_row(name="x", value=3.14159)
+        text = render_table(t)
+        assert "demo" in text and "3.142" in text
+
+    def test_render_rows_alignment(self):
+        text = render_rows(["col"], [{"col": 1}, {"col": 20000}])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(l) for l in lines)) == 1  # all lines equal width
+
+    def test_format_value(self):
+        assert format_value(True) == "yes"
+        assert format_value(12345) == "12,345"
+        assert format_value(0.000123) == "1.230e-04"
+        assert format_value("abc") == "abc"
+
+    def test_series_and_figure(self):
+        s = Series("ours")
+        s.append(1, 10.0)
+        s.append(2, 20.0)
+        assert s.final() == 20.0
+        fig = FigureData("fig", "x", "y", series=[s])
+        assert fig.get("ours") is s
+        with pytest.raises(KeyError):
+            fig.get("missing")
+        text = render_figure(fig)
+        assert "fig" in text and "ours" in text
+
+    def test_sparkline_length(self):
+        assert len(sparkline(list(range(100)), width=40)) == 40
+        assert len(sparkline([1, 2, 3], width=40)) == 3
+
+    def test_sparkline_constant(self):
+        assert len(set(sparkline([5, 5, 5]))) == 1
+
+    def test_empty_series_final_raises(self):
+        with pytest.raises(ValueError):
+            Series("x").final()

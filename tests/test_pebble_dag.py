@@ -1,0 +1,247 @@
+"""Tests for the computation DAG and the DAG builders."""
+
+import pytest
+
+from repro.conv import ConvParams
+from repro.pebble import (
+    ComputationDAG,
+    direct_conv_dag,
+    linear_combination_tree,
+    matmul_dag,
+    summation_tree,
+    winograd_dag,
+)
+
+
+class TestComputationDAG:
+    def test_add_vertices_and_edges(self):
+        dag = ComputationDAG()
+        a = dag.add_input("a")
+        b = dag.add_input("b")
+        c = dag.add_vertex("product", step=1, predecessors=(a, b))
+        assert dag.num_vertices == 3
+        assert dag.num_edges == 2
+        assert dag.predecessors(c) == (a, b)
+        assert set(dag.successors(a)) == {c}
+
+    def test_input_with_predecessor_rejected(self):
+        dag = ComputationDAG()
+        a = dag.add_input()
+        with pytest.raises(ValueError):
+            dag.add_vertex("input", predecessors=(a,))
+
+    def test_noninput_without_predecessor_rejected(self):
+        dag = ComputationDAG()
+        with pytest.raises(ValueError):
+            dag.add_vertex("sum", step=1, predecessors=())
+
+    def test_forward_reference_rejected(self):
+        dag = ComputationDAG()
+        dag.add_input()
+        with pytest.raises(ValueError):
+            dag.add_vertex("sum", step=1, predecessors=(5,))
+
+    def test_inputs_outputs(self):
+        dag = ComputationDAG()
+        a, b = dag.add_input(), dag.add_input()
+        c = dag.add_vertex("sum", step=1, predecessors=(a, b))
+        d = dag.add_vertex("sum", step=1, predecessors=(c,))
+        assert dag.inputs() == [a, b]
+        assert dag.outputs() == [d]
+        assert dag.internal_and_output_vertices() == [c, d]
+
+    def test_steps(self):
+        dag = ComputationDAG()
+        a = dag.add_input()
+        b = dag.add_vertex("p", step=1, predecessors=(a,))
+        c = dag.add_vertex("s", step=2, predecessors=(b,))
+        assert dag.num_steps() == 2
+        assert dag.vertices_of_step(1) == [b]
+        assert dag.step_outputs(1) == [b]
+        assert dag.step_outputs(2) == [c]
+
+    def test_ancestors_descendants(self):
+        dag = ComputationDAG()
+        a, b = dag.add_input(), dag.add_input()
+        c = dag.add_vertex("p", step=1, predecessors=(a, b))
+        d = dag.add_vertex("s", step=2, predecessors=(c,))
+        assert dag.ancestors([d]) == {a, b, c, d}
+        assert dag.descendants([a]) == {a, c, d}
+
+    def test_generated_by(self):
+        dag = ComputationDAG()
+        a, b = dag.add_input(), dag.add_input()
+        c = dag.add_vertex("p", step=1, predecessors=(a, b))
+        d = dag.add_vertex("s", step=2, predecessors=(c,))
+        # {c} dominates d but not itself-from-inputs... c is generated only if in the set
+        assert dag.generated_by({c}) == {c, d}
+        assert dag.generated_by({a}) == {a}
+        assert dag.generated_by({a, b}) == {a, b, c, d}
+
+    def test_is_dominator(self):
+        dag = ComputationDAG()
+        a, b = dag.add_input(), dag.add_input()
+        c = dag.add_vertex("p", step=1, predecessors=(a, b))
+        d = dag.add_vertex("s", step=2, predecessors=(c,))
+        assert dag.is_dominator({c}, {d})
+        assert dag.is_dominator({a, b}, {c, d})
+        assert not dag.is_dominator({a}, {c})
+
+    def test_minimum_set(self):
+        dag = ComputationDAG()
+        a, b = dag.add_input(), dag.add_input()
+        c = dag.add_vertex("p", step=1, predecessors=(a, b))
+        d = dag.add_vertex("s", step=2, predecessors=(c,))
+        assert dag.minimum_set({c, d}) == {d}
+        assert dag.minimum_set({a, c, d}) == {d}
+
+    def test_multistep_validation_passes(self):
+        dag = ComputationDAG()
+        a = dag.add_input()
+        b = dag.add_vertex("p", step=1, predecessors=(a,))
+        dag.add_vertex("s", step=2, predecessors=(b,))
+        dag.validate_multistep_partition()
+
+    def test_multistep_validation_rejects_backward_edge(self):
+        dag = ComputationDAG()
+        a = dag.add_input()
+        b = dag.add_vertex("p", step=2, predecessors=(a,))
+        dag.add_vertex("s", step=1, predecessors=(b,))
+        with pytest.raises(ValueError):
+            dag.validate_multistep_partition()
+
+    def test_summary_counts(self):
+        dag = ComputationDAG()
+        a, b = dag.add_input(), dag.add_input()
+        dag.add_vertex("p", step=1, predecessors=(a, b))
+        s = dag.summary()
+        assert s["vertices"] == 3 and s["inputs"] == 2 and s["kind:p"] == 1
+
+
+class TestTrees:
+    def test_summation_tree_counts(self):
+        """Lemma 4.7: k inputs -> k-2 internal + 1 output vertices."""
+        for k in (2, 3, 5, 9):
+            dag = ComputationDAG()
+            leaves = [dag.add_input() for _ in range(k)]
+            root = summation_tree(dag, leaves, step=1)
+            added = dag.num_vertices - k
+            assert added == k - 1  # (k-2) internal + 1 output
+            assert dag.kind(root) == "sum_out"
+            assert dag.outputs() == [root]
+
+    def test_summation_tree_single_leaf(self):
+        dag = ComputationDAG()
+        leaf = dag.add_input()
+        root = summation_tree(dag, [leaf], step=1)
+        assert dag.predecessors(root) == (leaf,)
+
+    def test_summation_tree_empty_rejected(self):
+        dag = ComputationDAG()
+        with pytest.raises(ValueError):
+            summation_tree(dag, [], step=1)
+
+    def test_linear_combination_tree_counts(self):
+        """Lemma 4.13: k inputs -> 2k-2 internal + 1 output vertices."""
+        for k in (2, 4, 7):
+            dag = ComputationDAG()
+            leaves = [dag.add_input() for _ in range(k)]
+            linear_combination_tree(dag, leaves, step=1)
+            added = dag.num_vertices - k
+            assert added == 2 * k - 1  # (2k-2) internal + 1 output
+
+    def test_linear_combination_in_degree_bound(self):
+        dag = ComputationDAG()
+        leaves = [dag.add_input() for _ in range(6)]
+        linear_combination_tree(dag, leaves, step=1)
+        for v in dag.vertices():
+            assert len(dag.predecessors(v.vid)) <= 2
+
+
+class TestDirectConvDag:
+    def test_vertex_count_matches_lemma_4_8(self, tiny_params):
+        dag = direct_conv_dag(tiny_params)
+        k = tiny_params.ker_height * tiny_params.ker_width * tiny_params.in_channels
+        outputs = tiny_params.out_height * tiny_params.out_width * tiny_params.out_channels
+        assert len(dag.internal_and_output_vertices()) == (2 * k - 1) * outputs
+
+    def test_number_of_outputs(self, tiny_params):
+        dag = direct_conv_dag(tiny_params)
+        assert len(dag.outputs()) == tiny_params.output_elements
+
+    def test_number_of_inputs(self, tiny_params):
+        dag = direct_conv_dag(tiny_params)
+        assert len(dag.inputs()) == (
+            tiny_params.in_channels * tiny_params.in_height * tiny_params.in_width
+            + tiny_params.kernel_elements
+        )
+
+    def test_two_steps(self, tiny_params):
+        dag = direct_conv_dag(tiny_params)
+        assert dag.num_steps() == 2
+
+    def test_product_count(self, tiny_params):
+        dag = direct_conv_dag(tiny_params)
+        k = tiny_params.ker_height * tiny_params.ker_width * tiny_params.in_channels
+        products = [v for v in dag.vertices() if v.kind == "product"]
+        assert len(products) == k * tiny_params.output_elements
+
+    def test_rejects_batch(self):
+        with pytest.raises(ValueError):
+            direct_conv_dag(ConvParams.square(4, 2, 2, kernel=3, batch=2))
+
+    def test_rejects_padding(self):
+        with pytest.raises(ValueError):
+            direct_conv_dag(ConvParams.square(4, 2, 2, kernel=3, padding=1))
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            direct_conv_dag(ConvParams.square(4, 1, 1, kernel=1))
+
+
+class TestWinogradDag:
+    def test_four_steps(self):
+        p = ConvParams.square(5, 2, 2, kernel=2, stride=1)
+        dag = winograd_dag(p, e=2)
+        assert dag.num_steps() == 4
+
+    def test_output_count(self):
+        p = ConvParams.square(5, 2, 2, kernel=2, stride=1)
+        dag = winograd_dag(p, e=2)
+        assert len(dag.outputs()) == p.output_elements
+
+    def test_rejects_non_multiple_tiles(self):
+        p = ConvParams.square(5, 2, 2, kernel=3, stride=1)  # out 3, e=2
+        with pytest.raises(ValueError):
+            winograd_dag(p, e=2)
+
+    def test_rejects_strided(self):
+        p = ConvParams.square(6, 2, 2, kernel=2, stride=2)
+        with pytest.raises(ValueError):
+            winograd_dag(p, e=2)
+
+    def test_elementwise_product_count(self):
+        p = ConvParams.square(5, 3, 2, kernel=2, stride=1)
+        dag = winograd_dag(p, e=2)
+        t = 3  # e + r - 1
+        tiles = (p.out_height // 2) * (p.out_width // 2)
+        products = [v for v in dag.vertices() if v.kind == "product"]
+        assert len(products) == tiles * p.out_channels * p.in_channels * t * t
+
+
+class TestMatmulDag:
+    def test_vertex_count(self):
+        dag = matmul_dag(3, 4, 5)
+        assert len(dag.internal_and_output_vertices()) == (2 * 5 - 1) * 3 * 4
+
+    def test_outputs(self):
+        dag = matmul_dag(3, 4, 5)
+        assert len(dag.outputs()) == 12
+
+    def test_inputs(self):
+        dag = matmul_dag(3, 4, 5)
+        assert len(dag.inputs()) == 3 * 5 + 5 * 4
+
+    def test_rejects_k1(self):
+        with pytest.raises(ValueError):
+            matmul_dag(3, 3, 1)

@@ -1,0 +1,171 @@
+"""Tests for the red–blue pebble game simulator and S-partition machinery."""
+
+import pytest
+
+from repro.conv import ConvParams
+from repro.pebble import (
+    ComputationDAG,
+    direct_conv_dag,
+    greedy_s_partition,
+    greedy_schedule,
+    h_lower_bound,
+    matmul_dag,
+    natural_dominator,
+    play_schedule,
+    simulate_topological,
+    validate_s_partition,
+)
+from repro.pebble.spartition import SPartition
+
+
+def small_chain() -> ComputationDAG:
+    dag = ComputationDAG()
+    a, b = dag.add_input(), dag.add_input()
+    c = dag.add_vertex("p", step=1, predecessors=(a, b))
+    dag.add_vertex("s", step=2, predecessors=(c,))
+    return dag
+
+
+class TestPlaySchedule:
+    def test_minimal_chain_io(self):
+        dag = small_chain()
+        res = simulate_topological(dag, capacity=4)
+        # Two loads (inputs) + one store (final output) are unavoidable.
+        assert res.loads == 2
+        assert res.stores == 1
+        assert res.io_operations == 3
+
+    def test_io_nonincreasing_with_more_memory(self, tiny_params):
+        dag = direct_conv_dag(tiny_params)
+        prev = None
+        for cap in (8, 16, 32, 64, 128):
+            q = simulate_topological(dag, capacity=cap).io_operations
+            if prev is not None:
+                assert q <= prev + 1e-9
+            prev = q
+
+    def test_loads_at_least_inputs_when_all_used(self, tiny_params):
+        dag = direct_conv_dag(tiny_params)
+        res = simulate_topological(dag, capacity=32)
+        assert res.loads >= len(dag.inputs())
+
+    def test_stores_at_least_outputs(self, tiny_params):
+        dag = direct_conv_dag(tiny_params)
+        res = simulate_topological(dag, capacity=32)
+        assert res.stores >= len(dag.outputs())
+
+    def test_peak_red_within_capacity(self, tiny_params):
+        dag = direct_conv_dag(tiny_params)
+        res = simulate_topological(dag, capacity=16)
+        assert res.peak_red <= 16
+
+    def test_capacity_too_small_rejected(self):
+        dag = small_chain()
+        with pytest.raises(ValueError):
+            play_schedule(dag, capacity=1)
+
+    def test_incomplete_schedule_rejected(self):
+        dag = small_chain()
+        with pytest.raises(ValueError):
+            play_schedule(dag, capacity=4, schedule=[2])
+
+    def test_schedule_with_input_rejected(self):
+        dag = small_chain()
+        with pytest.raises(ValueError):
+            play_schedule(dag, capacity=4, schedule=[0, 2, 3])
+
+    def test_lru_vs_belady(self, tiny_params):
+        dag = direct_conv_dag(tiny_params)
+        belady = simulate_topological(dag, capacity=24, eviction="belady")
+        lru = simulate_topological(dag, capacity=24, eviction="lru")
+        # Belady (clairvoyant) should never be worse than LRU here.
+        assert belady.io_operations <= lru.io_operations
+
+    def test_unknown_eviction_rejected(self):
+        dag = small_chain()
+        with pytest.raises(ValueError):
+            play_schedule(dag, capacity=4, eviction="fifo")
+
+    def test_greedy_schedule_is_legal_and_complete(self, tiny_params):
+        dag = direct_conv_dag(tiny_params)
+        sched = greedy_schedule(dag, capacity=24)
+        assert sorted(sched) == sorted(
+            v.vid for v in dag.vertices() if dag.predecessors(v.vid)
+        )
+        res = play_schedule(dag, capacity=24, schedule=sched)
+        assert res.io_operations > 0
+
+    def test_greedy_not_worse_than_topological_much(self, tiny_params):
+        dag = direct_conv_dag(tiny_params)
+        topo = simulate_topological(dag, capacity=24).io_operations
+        greedy = play_schedule(dag, 24, schedule=greedy_schedule(dag, 24)).io_operations
+        assert greedy <= 2 * topo
+
+    def test_matmul_large_memory_touches_each_value_once(self):
+        dag = matmul_dag(3, 3, 3)
+        res = simulate_topological(dag, capacity=1000)
+        # With memory larger than the whole DAG: load every input once, store
+        # every output once — no spills.
+        assert res.loads == len(dag.inputs())
+        assert res.stores == len(dag.outputs())
+
+    def test_result_describe(self):
+        res = simulate_topological(small_chain(), capacity=4)
+        assert "Q=3" in res.describe()
+
+
+class TestSPartition:
+    def test_greedy_partition_valid(self, tiny_params):
+        dag = direct_conv_dag(tiny_params)
+        part = greedy_s_partition(dag, capacity=20)
+        validate_s_partition(dag, part)  # raises on violation
+        assert part.num_blocks >= 1
+
+    def test_partition_covers_all_vertices(self, tiny_params):
+        dag = direct_conv_dag(tiny_params)
+        part = greedy_s_partition(dag, capacity=16)
+        covered = sorted(v for block in part.blocks for v in block)
+        assert covered == list(range(dag.num_vertices))
+
+    def test_more_capacity_fewer_blocks(self, tiny_params):
+        dag = direct_conv_dag(tiny_params)
+        small = greedy_s_partition(dag, capacity=12).num_blocks
+        large = greedy_s_partition(dag, capacity=48).num_blocks
+        assert large <= small
+
+    def test_natural_dominator_is_dominator(self, tiny_params):
+        dag = direct_conv_dag(tiny_params)
+        part = greedy_s_partition(dag, capacity=16)
+        for block in part.blocks[:10]:
+            dom = natural_dominator(dag, block)
+            assert dag.is_dominator(dom, block)
+
+    def test_validate_rejects_duplicate_vertex(self):
+        dag = small_chain()
+        bad = SPartition(blocks=[[0, 1, 2, 3], [3]], capacity=4)
+        with pytest.raises(ValueError):
+            validate_s_partition(dag, bad)
+
+    def test_validate_rejects_missing_vertex(self):
+        dag = small_chain()
+        bad = SPartition(blocks=[[0, 1, 2]], capacity=4)
+        with pytest.raises(ValueError):
+            validate_s_partition(dag, bad)
+
+    def test_validate_rejects_oversized_dominator(self, tiny_params):
+        dag = direct_conv_dag(tiny_params)
+        whole = SPartition(blocks=[list(range(dag.num_vertices))], capacity=2)
+        with pytest.raises(ValueError):
+            validate_s_partition(dag, whole)
+
+    def test_h_lower_bound(self, tiny_params):
+        dag = direct_conv_dag(tiny_params)
+        part = greedy_s_partition(dag, capacity=16)
+        h = h_lower_bound(dag, part)
+        assert h >= 1.0
+        assert h <= dag.num_vertices
+
+    def test_capacity_must_be_positive(self, tiny_params):
+        dag = direct_conv_dag(tiny_params)
+        with pytest.raises(ValueError):
+            greedy_s_partition(dag, capacity=0)

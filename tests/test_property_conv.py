@@ -1,0 +1,103 @@
+"""Property-based tests (hypothesis) for the convolution algorithms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.conv import (
+    ConvParams,
+    direct_conv2d,
+    im2col_conv2d,
+    max_abs_error,
+    winograd_conv2d,
+)
+
+
+def _operands(params, seed):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(params.input_shape)
+    w = rng.standard_normal(params.kernel_shape)
+    return x, w
+
+
+def _rel_err(a, b):
+    scale = max(1.0, float(np.max(np.abs(a))))
+    return max_abs_error(a, b) / scale
+
+
+conv_problems = st.builds(
+    ConvParams.square,
+    size=st.integers(5, 14),
+    in_channels=st.integers(1, 4),
+    out_channels=st.integers(1, 4),
+    kernel=st.integers(1, 3),
+    stride=st.integers(1, 2),
+    padding=st.integers(0, 1),
+    batch=st.integers(1, 2),
+)
+
+winograd_problems = st.builds(
+    ConvParams.square,
+    size=st.integers(5, 12),
+    in_channels=st.integers(1, 3),
+    out_channels=st.integers(1, 3),
+    kernel=st.integers(2, 3),
+    stride=st.just(1),
+    padding=st.integers(0, 1),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(params=conv_problems, seed=st.integers(0, 2**16))
+def test_im2col_always_matches_direct(params, seed):
+    x, w = _operands(params, seed)
+    assert _rel_err(direct_conv2d(x, w, params), im2col_conv2d(x, w, params)) < 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(params=winograd_problems, e=st.integers(2, 4), seed=st.integers(0, 2**16))
+def test_winograd_always_matches_direct(params, e, seed):
+    x, w = _operands(params, seed)
+    assert _rel_err(direct_conv2d(x, w, params), winograd_conv2d(x, w, params, e=e)) < 1e-7
+
+
+@settings(max_examples=25, deadline=None)
+@given(params=conv_problems, seed=st.integers(0, 2**16), alpha=st.floats(-3, 3))
+def test_direct_conv_is_linear_in_kernel(params, seed, alpha):
+    x, w = _operands(params, seed)
+    w2 = np.random.default_rng(seed + 1).standard_normal(params.kernel_shape)
+    lhs = direct_conv2d(x, w + alpha * w2, params)
+    rhs = direct_conv2d(x, w, params) + alpha * direct_conv2d(x, w2, params)
+    assert _rel_err(lhs, rhs) < 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(params=conv_problems, seed=st.integers(0, 2**16))
+def test_zero_kernel_gives_zero_output(params, seed):
+    x, _ = _operands(params, seed)
+    w = np.zeros(params.kernel_shape)
+    assert np.all(direct_conv2d(x, w, params) == 0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(params=conv_problems, seed=st.integers(0, 2**16))
+def test_output_shape_matches_params(params, seed):
+    x, w = _operands(params, seed)
+    assert direct_conv2d(x, w, params).shape == params.output_shape
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    size=st.integers(5, 10),
+    cin=st.integers(1, 3),
+    cout=st.integers(1, 3),
+    seed=st.integers(0, 2**16),
+)
+def test_channel_permutation_equivariance(size, cin, cout, seed):
+    """Permuting output channels of the kernel permutes output channels."""
+    params = ConvParams.square(size, cin, cout, kernel=3, stride=1)
+    x, w = _operands(params, seed)
+    perm = np.random.default_rng(seed).permutation(cout)
+    out = direct_conv2d(x, w, params)
+    out_perm = direct_conv2d(x, w[perm], params)
+    assert np.allclose(out[:, perm], out_perm)

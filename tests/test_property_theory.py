@@ -1,0 +1,145 @@
+"""Property-based tests (hypothesis) for the bounds, dataflows and tuner spaces."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.conv import ConvParams
+from repro.core.autotune import SearchSpace, build_profile
+from repro.core.bounds import (
+    direct_conv_io_lower_bound,
+    direct_conv_t_upper,
+    direct_conv_vertex_count,
+    winograd_io_lower_bound,
+)
+from repro.core.dataflow import (
+    DirectDataflow,
+    OutputTile,
+    WinogradDataflow,
+    direct_dataflow_io,
+    optimal_tile_direct,
+    simulate_direct_dataflow,
+)
+from repro.gpusim import V100
+
+
+layer_strategy = st.builds(
+    ConvParams.square,
+    size=st.sampled_from([7, 14, 28, 56]),
+    in_channels=st.sampled_from([16, 64, 256]),
+    out_channels=st.sampled_from([32, 128, 512]),
+    kernel=st.sampled_from([1, 3, 5]),
+    stride=st.sampled_from([1, 2]),
+    padding=st.integers(0, 2),
+)
+
+stride1_layers = st.builds(
+    ConvParams.square,
+    size=st.sampled_from([14, 28, 56]),
+    in_channels=st.sampled_from([16, 64]),
+    out_channels=st.sampled_from([32, 128]),
+    kernel=st.just(3),
+    stride=st.just(1),
+    padding=st.integers(0, 1),
+)
+
+memory_strategy = st.sampled_from([1024, 4096, 12288, 32768])
+
+
+@settings(max_examples=40, deadline=None)
+@given(params=layer_strategy, s=memory_strategy)
+def test_direct_dataflow_never_below_lower_bound(params, s):
+    df = DirectDataflow(params, s)
+    assert df.io_volume().total >= direct_conv_io_lower_bound(params, s)
+
+
+@settings(max_examples=30, deadline=None)
+@given(params=stride1_layers, s=memory_strategy)
+def test_winograd_dataflow_never_below_lower_bound(params, s):
+    df = WinogradDataflow(params, s, e=2)
+    assert df.io_volume().total >= winograd_io_lower_bound(params, 2, s)
+
+
+@settings(max_examples=30, deadline=None)
+@given(params=layer_strategy, s=memory_strategy)
+def test_lower_bound_monotone_in_memory(params, s):
+    assert direct_conv_io_lower_bound(params, 2 * s) <= direct_conv_io_lower_bound(params, s)
+
+
+@settings(max_examples=30, deadline=None)
+@given(params=layer_strategy, s=memory_strategy)
+def test_t_upper_monotone_in_memory(params, s):
+    assert direct_conv_t_upper(params, s) < direct_conv_t_upper(params, 2 * s)
+
+
+@settings(max_examples=30, deadline=None)
+@given(params=layer_strategy)
+def test_vertex_count_positive_and_consistent(params):
+    v = direct_conv_vertex_count(params)
+    assert v > 0
+    # Exactly (2K-1) vertices per output element.
+    k = params.ker_height * params.ker_width * params.in_channels
+    assert v == (2 * k - 1) * params.output_elements
+
+
+@settings(max_examples=30, deadline=None)
+@given(params=layer_strategy, s=memory_strategy)
+def test_optimal_tile_fits_and_is_positive(params, s):
+    tile = optimal_tile_direct(params, s)
+    assert tile.x >= 1 and tile.y >= 1 and tile.z >= 1
+    assert tile.x <= params.out_width
+    assert tile.y <= params.out_height
+    assert tile.z <= params.out_channels
+    assert DirectDataflow(params, s, tile=tile).fits()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    params=layer_strategy,
+    tx=st.integers(1, 8),
+    ty=st.integers(1, 8),
+    tz=st.integers(1, 8),
+)
+def test_closed_form_io_at_least_simulated_weights(params, tx, ty, tz):
+    """The closed form charges full halos everywhere, so it upper-bounds the
+    border-clipped tile-loop simulation."""
+    tile = OutputTile(tx, ty, tz)
+    closed = direct_dataflow_io(params, tile)
+    sim = simulate_direct_dataflow(params, tile, count_halo_exactly=True)
+    assert sim.input_reads <= closed.input_reads + 1e-9
+    # Partial border tiles make the simulated weight traffic at most the
+    # closed form's whole-tile charge; they agree exactly when z | Cout.
+    assert sim.weight_reads <= closed.weight_reads + 1e-9
+    if params.out_channels % tz == 0:
+        assert sim.weight_reads == pytest.approx(closed.weight_reads)
+
+
+@settings(max_examples=15, deadline=None)
+@given(params=stride1_layers, seed=st.integers(0, 1000))
+def test_sampled_configurations_lower_to_valid_profiles(params, seed):
+    """Any configuration sampled from the pruned domain either lowers to a
+    valid kernel profile or is rejected with ValueError (never crashes)."""
+    space = SearchSpace(params, V100, "direct", pruned=True)
+    rng = random.Random(seed)
+    for _ in range(5):
+        cfg = space.random_configuration(rng)
+        try:
+            profile = build_profile(cfg, params, V100)
+        except ValueError:
+            continue
+        assert profile.dram_bytes > 0
+        assert profile.smem_per_block <= V100.shared_mem_per_sm
+
+
+@settings(max_examples=20, deadline=None)
+@given(params=stride1_layers)
+def test_pruned_space_subset_of_full_space(params):
+    full = SearchSpace(params, V100, "direct", pruned=False)
+    pruned = SearchSpace(params, V100, "direct", pruned=True)
+    assert pruned.size() <= full.size()
+    rng = random.Random(0)
+    for _ in range(5):
+        cfg = pruned.random_configuration(rng)
+        assert full.contains(cfg) or cfg.smem_per_block <= V100.shared_mem_per_sm // 2

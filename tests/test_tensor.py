@@ -1,0 +1,148 @@
+"""Tests for repro.conv.tensor (shapes, params, layouts, divisors)."""
+
+import dataclasses
+
+import pytest
+
+from repro.conv import ConvParams, Layout, divisors, output_extent
+
+
+class TestOutputExtent:
+    def test_basic(self):
+        assert output_extent(5, 3, 1, 0) == 3
+
+    def test_with_padding(self):
+        assert output_extent(5, 3, 1, 1) == 5
+
+    def test_with_stride(self):
+        assert output_extent(7, 3, 2, 0) == 3
+
+    def test_stride_and_padding(self):
+        assert output_extent(224, 7, 2, 3) == 112
+
+    def test_kernel_equals_input(self):
+        assert output_extent(3, 3, 1, 0) == 1
+
+    def test_rejects_nonpositive_result(self):
+        with pytest.raises(ValueError):
+            output_extent(2, 3, 1, 0)
+
+    def test_rejects_bad_stride(self):
+        with pytest.raises(ValueError):
+            output_extent(5, 3, 0, 0)
+
+    def test_rejects_negative_padding(self):
+        with pytest.raises(ValueError):
+            output_extent(5, 3, 1, -1)
+
+
+class TestConvParams:
+    def test_output_shape(self):
+        p = ConvParams.square(14, 256, 128, kernel=3, stride=1, padding=1)
+        assert p.output_shape == (1, 128, 14, 14)
+
+    def test_input_kernel_shape(self):
+        p = ConvParams.square(14, 16, 8, kernel=3)
+        assert p.input_shape == (1, 16, 14, 14)
+        assert p.kernel_shape == (8, 16, 3, 3)
+
+    def test_macs_and_flops(self):
+        p = ConvParams.square(4, 2, 3, kernel=3, stride=1)
+        # out 2x2, macs = 2*2*3 outputs * (3*3*2)
+        assert p.macs == 2 * 2 * 3 * 18
+        assert p.flops == 2 * p.macs
+
+    def test_reuse_factor_stride1(self):
+        p = ConvParams.square(14, 1, 1, kernel=3, stride=1)
+        assert p.reuse_factor == pytest.approx(9.0)
+
+    def test_reuse_factor_stride2(self):
+        p = ConvParams.square(14, 1, 1, kernel=3, stride=2)
+        assert p.reuse_factor == pytest.approx(2.25)
+
+    def test_element_counts(self):
+        p = ConvParams.square(8, 3, 5, kernel=3, padding=1, batch=2)
+        assert p.input_elements == 2 * 3 * 8 * 8
+        assert p.kernel_elements == 5 * 3 * 9
+        assert p.output_elements == 2 * 5 * 8 * 8
+
+    def test_winograd_compatible(self):
+        assert ConvParams.square(8, 3, 4, kernel=3, stride=1).winograd_compatible()
+        assert not ConvParams.square(8, 3, 4, kernel=3, stride=2).winograd_compatible()
+        assert not ConvParams(8, 8, 3, 4, ker_height=3, ker_width=5).winograd_compatible()
+
+    def test_with_batch(self):
+        p = ConvParams.square(8, 3, 4).with_batch(32)
+        assert p.batch == 32
+        assert p.output_elements == 32 * 4 * 6 * 6
+
+    def test_with_layout(self):
+        p = ConvParams.square(8, 3, 4).with_layout("HWC")
+        assert p.layout is Layout.HWC
+
+    def test_with_padding(self):
+        p = ConvParams.square(8, 3, 4, kernel=3).with_padding(1)
+        assert p.out_height == 8
+
+    def test_layout_coercion_from_string(self):
+        p = ConvParams.square(8, 3, 4, layout="CWH")
+        assert p.layout is Layout.CWH
+
+    def test_frozen(self):
+        p = ConvParams.square(8, 3, 4)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            p.in_height = 10
+
+    def test_describe_mentions_shape(self):
+        text = ConvParams.square(8, 3, 4).describe()
+        assert "Cin=3" in text and "Cout=4" in text
+
+    @pytest.mark.parametrize("field", ["in_height", "in_channels", "out_channels", "stride", "batch"])
+    def test_rejects_nonpositive(self, field):
+        kwargs = dict(in_height=8, in_width=8, in_channels=3, out_channels=4)
+        kwargs[field] = 0
+        with pytest.raises(ValueError):
+            ConvParams(**kwargs)
+
+    def test_rejects_kernel_larger_than_input(self):
+        with pytest.raises(ValueError):
+            ConvParams.square(3, 3, 4, kernel=5)
+
+    def test_kernel_fits_with_padding(self):
+        p = ConvParams.square(3, 3, 4, kernel=5, padding=1)
+        assert p.out_height == 1
+
+    def test_rejects_negative_padding(self):
+        with pytest.raises(ValueError):
+            ConvParams.square(8, 3, 4, padding=-1)
+
+
+class TestLayout:
+    def test_all_returns_three(self):
+        assert len(Layout.all()) == 3
+
+    def test_value_roundtrip(self):
+        for layout in Layout.all():
+            assert Layout(layout.value) is layout
+
+
+class TestDivisors:
+    def test_divisors_of_12(self):
+        assert divisors(12) == (1, 2, 3, 4, 6, 12)
+
+    def test_divisors_of_prime(self):
+        assert divisors(13) == (1, 13)
+
+    def test_divisors_of_one(self):
+        assert divisors(1) == (1,)
+
+    def test_divisors_square(self):
+        assert divisors(36) == (1, 2, 3, 4, 6, 9, 12, 18, 36)
+
+    def test_divisors_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            divisors(0)
+
+    def test_all_divide(self):
+        n = 360
+        assert all(n % d == 0 for d in divisors(n))

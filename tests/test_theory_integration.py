@@ -1,0 +1,130 @@
+"""Integration tests tying the theory, the pebble game and the dataflows together.
+
+These are the reproduction's core consistency checks (experiment E7 of
+DESIGN.md): every legal red–blue pebble game execution must move at least the
+lower-bound volume, the dataflow's closed forms must sit between the lower
+bound and naive schedules, and Theorem 4.5's block bound must hold for real
+S-partitions of real convolution DAGs.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.conv import ConvParams
+from repro.core.bounds import (
+    DirectConvBound,
+    direct_conv_io_lower_bound,
+    direct_conv_t_upper,
+    matmul_io_lower_bound,
+)
+from repro.core.dataflow import DirectDataflow, WinogradDataflow
+from repro.core.bounds import winograd_io_lower_bound
+from repro.pebble import (
+    direct_conv_dag,
+    greedy_s_partition,
+    greedy_schedule,
+    matmul_dag,
+    play_schedule,
+    simulate_topological,
+)
+
+SMALL_CONVS = [
+    ConvParams.square(4, 2, 2, kernel=3, stride=1),
+    ConvParams.square(5, 2, 3, kernel=2, stride=1),
+    ConvParams.square(6, 1, 4, kernel=3, stride=1),
+    ConvParams.square(6, 3, 2, kernel=3, stride=2),
+]
+
+
+class TestPebbleGameRespectsLowerBound:
+    @pytest.mark.parametrize("params", SMALL_CONVS)
+    @pytest.mark.parametrize("capacity", [12, 24, 48])
+    def test_topological_schedule_above_bound(self, params, capacity):
+        dag = direct_conv_dag(params)
+        measured = simulate_topological(dag, capacity=capacity).io_operations
+        bound = direct_conv_io_lower_bound(params, capacity)
+        assert measured >= bound
+
+    @pytest.mark.parametrize("params", SMALL_CONVS[:2])
+    def test_greedy_schedule_above_bound(self, params):
+        capacity = 24
+        dag = direct_conv_dag(params)
+        sched = greedy_schedule(dag, capacity)
+        measured = play_schedule(dag, capacity, schedule=sched).io_operations
+        assert measured >= direct_conv_io_lower_bound(params, capacity)
+
+    @pytest.mark.parametrize("capacity", [8, 16, 32])
+    def test_matmul_schedule_above_bound(self, capacity):
+        n = m = k = 6
+        dag = matmul_dag(n, m, k)
+        measured = simulate_topological(dag, capacity=capacity).io_operations
+        assert measured >= matmul_io_lower_bound(n, m, k, capacity)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        size=st.integers(4, 6),
+        cin=st.integers(1, 2),
+        cout=st.integers(1, 3),
+        capacity=st.integers(10, 40),
+    )
+    def test_property_random_small_convs(self, size, cin, cout, capacity):
+        params = ConvParams.square(size, cin, cout, kernel=3, stride=1)
+        dag = direct_conv_dag(params)
+        measured = simulate_topological(dag, capacity=capacity).io_operations
+        assert measured >= direct_conv_io_lower_bound(params, capacity)
+
+
+class TestTheorem45BlockBound:
+    @pytest.mark.parametrize("params", SMALL_CONVS[:3])
+    @pytest.mark.parametrize("capacity", [8, 16, 32])
+    def test_partition_blocks_below_t(self, params, capacity):
+        """Every block of a valid S-partition has at most T(S) vertices."""
+        dag = direct_conv_dag(params)
+        partition = greedy_s_partition(dag, capacity)
+        t_bound = direct_conv_t_upper(params, capacity)
+        assert partition.max_block_size() <= t_bound
+
+    def test_numeric_composite_t_also_bounds_blocks(self):
+        params = SMALL_CONVS[0]
+        capacity = 16
+        dag = direct_conv_dag(params)
+        partition = greedy_s_partition(dag, capacity)
+        numeric_t = DirectConvBound(params).composite(capacity).t_of_s(capacity)
+        assert partition.max_block_size() <= numeric_t
+
+
+class TestDataflowVsBound:
+    @pytest.mark.parametrize(
+        "params",
+        [
+            ConvParams.square(56, 256, 128, kernel=3, stride=1, padding=1),
+            ConvParams.square(28, 512, 128, kernel=3, stride=1, padding=1),
+            ConvParams.square(112, 64, 64, kernel=3, stride=2, padding=1),
+            ConvParams.square(14, 256, 1024, kernel=3, stride=1, padding=1),
+        ],
+    )
+    @pytest.mark.parametrize("s", [4096, 12288, 24576])
+    def test_direct_dataflow_sandwiched(self, params, s):
+        """lower bound <= dataflow I/O <= naive (no-reuse) I/O."""
+        df = DirectDataflow(params, s)
+        volume = df.io_volume().total
+        lower = direct_conv_io_lower_bound(params, s)
+        # Naive: every output reads its full input window and kernel from DRAM.
+        naive = params.macs + params.macs + params.output_elements
+        assert lower <= volume <= naive
+
+    @pytest.mark.parametrize("s", [4096, 12288])
+    def test_winograd_dataflow_above_bound(self, s):
+        params = ConvParams.square(56, 256, 128, kernel=3, stride=1, padding=1)
+        df = WinogradDataflow(params, s, e=2)
+        assert df.io_volume().total >= winograd_io_lower_bound(params, 2, s)
+
+    def test_optimality_ratio_improves_with_memory(self):
+        """With more fast memory the dataflow gets closer to scaling of the
+        bound (both fall as 1/sqrt(S); the ratio stays bounded)."""
+        params = ConvParams.square(56, 256, 128, kernel=3, stride=1, padding=1)
+        ratios = []
+        for s in (2048, 8192, 32768):
+            df = DirectDataflow(params, s)
+            ratios.append(df.io_volume().total / direct_conv_io_lower_bound(params, s))
+        assert max(ratios) / min(ratios) < 3.0

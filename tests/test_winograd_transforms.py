@@ -1,0 +1,107 @@
+"""Tests for the Cook–Toom construction of Winograd transform matrices."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.conv import cook_toom_1d, winograd_transforms
+from repro.conv.winograd_transforms import default_points
+
+
+def correlation_1d(d, g):
+    """Reference 1-D valid correlation."""
+    m = len(d) - len(g) + 1
+    return np.array([np.dot(d[i : i + len(g)], g) for i in range(m)])
+
+
+class TestDefaultPoints:
+    def test_count(self):
+        for n in range(1, 8):
+            assert len(default_points(n)) == n
+
+    def test_distinct(self):
+        pts = default_points(9)
+        assert len(set(pts)) == 9
+
+    def test_starts_at_zero(self):
+        assert default_points(3)[0] == Fraction(0)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            default_points(-1)
+
+
+class TestCookToom1D:
+    @pytest.mark.parametrize("m,r", [(2, 3), (3, 3), (4, 3), (2, 5), (6, 3), (2, 2), (5, 5)])
+    def test_algorithm_computes_correlation(self, m, r):
+        at, g_mat, bt = cook_toom_1d(m, r)
+        rng = np.random.default_rng(m * 10 + r)
+        d = rng.standard_normal(m + r - 1)
+        g = rng.standard_normal(r)
+        got = at @ ((g_mat @ g) * (bt @ d))
+        assert np.allclose(got, correlation_1d(d, g), atol=1e-9)
+
+    def test_shapes(self):
+        at, g, bt = cook_toom_1d(4, 3)
+        assert at.shape == (4, 6)
+        assert g.shape == (6, 3)
+        assert bt.shape == (6, 6)
+
+    def test_rejects_f11(self):
+        with pytest.raises(ValueError):
+            cook_toom_1d(1, 1)
+
+    def test_rejects_bad_point_count(self):
+        with pytest.raises(ValueError):
+            cook_toom_1d(2, 3, points=[Fraction(0), Fraction(1)])
+
+    def test_rejects_duplicate_points(self):
+        with pytest.raises(ValueError):
+            cook_toom_1d(2, 3, points=[Fraction(0), Fraction(0), Fraction(1)])
+
+    def test_custom_points_still_correct(self):
+        pts = [Fraction(0), Fraction(1), Fraction(-2)]
+        at, g_mat, bt = cook_toom_1d(2, 3, points=pts)
+        rng = np.random.default_rng(0)
+        d, g = rng.standard_normal(4), rng.standard_normal(3)
+        assert np.allclose(at @ ((g_mat @ g) * (bt @ d)), correlation_1d(d, g))
+
+    def test_f23_number_of_multiplications(self):
+        at, _, _ = cook_toom_1d(2, 3)
+        # F(2,3) uses m+r-1 = 4 multiplications — the defining property.
+        assert at.shape[1] == 4
+
+
+class TestWinogradTransforms2D:
+    @pytest.mark.parametrize("m,r", [(2, 3), (4, 3), (3, 2), (2, 5)])
+    def test_2d_tile_correct(self, m, r):
+        tf = winograd_transforms(m, r)
+        t = tf.tile_in
+        rng = np.random.default_rng(3)
+        d = rng.standard_normal((t, t))
+        g = rng.standard_normal((r, r))
+        got = tf.output_2d(tf.input_2d(d) * tf.filter_2d(g))
+        # Reference: 2-D valid correlation of the t x t tile with the r x r filter.
+        ref = np.array(
+            [
+                [np.sum(d[i : i + r, j : j + r] * g) for j in range(m)]
+                for i in range(m)
+            ]
+        )
+        assert np.allclose(got, ref, atol=1e-8)
+
+    def test_cached_instance(self):
+        assert winograd_transforms(2, 3) is winograd_transforms(2, 3)
+
+    def test_multiplications_property(self):
+        tf = winograd_transforms(2, 3)
+        assert tf.multiplications == 16
+
+    def test_tile_in(self):
+        assert winograd_transforms(4, 3).tile_in == 6
+
+    def test_matrices_finite(self):
+        tf = winograd_transforms(6, 3)
+        for m in (tf.AT, tf.G, tf.BT):
+            assert np.all(np.isfinite(m))
