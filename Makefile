@@ -1,0 +1,16 @@
+# Convenience entry points. The tier-1 gate is `make test` — the same
+# command CI runs (.github/workflows/ci.yml) and ROADMAP.md documents.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench bench-batched
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/bench_*.py -q -s
+
+bench-batched:
+	$(PYTHON) -m pytest benchmarks/bench_batched_measurement.py -q -s

@@ -1,0 +1,140 @@
+"""Batched measurement pipeline — wall-clock speedup over per-config runs.
+
+The tuner's hot loop is measuring batches of configurations (Figure 8's
+dataset-updating stage).  This benchmark measures 256 configurations of a
+realistic direct-convolution space three ways:
+
+* ``per-config (seed pipeline)`` — the pre-batching flow: a feasibility probe
+  that lowers the configuration, a measurement that lowers it again, and the
+  scalar executor (this is the path the tentpole replaces);
+* ``per-config (scalar)`` — today's scalar path (single lowering, memoised);
+* ``measure_batch`` — the vectorised lowering + ``run_batch`` pipeline.
+
+The batched pipeline must be at least 5x faster than the per-config pipeline
+while producing bit-identical execution times.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+import warnings
+
+import pytest
+
+from conftest import emit
+from repro.analysis import ResultTable, render_table
+from repro.conv import ConvParams
+from repro.core.autotune import Measurer, SearchSpace, build_profile
+from repro.gpusim import GPUExecutor
+
+PARAMS = ConvParams.square(28, 128, 128, kernel=3, stride=1, padding=1)
+N_CONFIGS = 256
+ROUNDS = 5
+
+
+def _configs(spec):
+    rng = random.Random(7)
+    space = SearchSpace(PARAMS, spec, "direct", pruned=True)
+    configs, seen = [], set()
+    while len(configs) < N_CONFIGS:
+        c = space.random_configuration(rng)
+        if c.key() not in seen:
+            seen.add(c.key())
+            configs.append(c)
+    return configs
+
+
+def _best_of(fn, rounds=ROUNDS):
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_batched_measurement(spec):
+    configs = _configs(spec)
+
+    def seed_pipeline():
+        # The pre-batching per-config flow: every accepted measurement lowered
+        # the configuration twice (is_feasible + measure), one at a time.
+        executor = GPUExecutor(spec)
+        for config in configs:
+            try:
+                build_profile(config, PARAMS, spec)  # feasibility probe
+            except ValueError:
+                continue
+            executor.run(build_profile(config, PARAMS, spec))
+
+    def scalar_pipeline():
+        measurer = Measurer(PARAMS, spec)
+        for config in configs:
+            if measurer.is_feasible(config):
+                measurer.measure(config)
+
+    def batched_pipeline():
+        Measurer(PARAMS, spec).measure_batch(configs)
+
+    t_seed = _best_of(seed_pipeline)
+    t_scalar = _best_of(scalar_pipeline)
+    t_batch = _best_of(batched_pipeline)
+
+    # Exactness: the batched pipeline reproduces the scalar times bit-for-bit.
+    scalar = Measurer(PARAMS, spec)
+    scalar_times = [
+        scalar.measure(c).time_seconds for c in configs if scalar.is_feasible(c)
+    ]
+    batched = [
+        r.time_seconds
+        for r in Measurer(PARAMS, spec).measure_batch(configs)
+        if r is not None
+    ]
+    assert batched == scalar_times, "batched times diverge from the scalar path"
+
+    table = ResultTable(
+        f"Batched measurement pipeline ({spec.name}, {N_CONFIGS} configurations)",
+        columns=["pipeline", "ms", "us_per_config", "speedup"],
+    )
+    for name, t in (
+        ("per-config (seed pipeline)", t_seed),
+        ("per-config (scalar)", t_scalar),
+        ("measure_batch", t_batch),
+    ):
+        table.add_row(
+            pipeline=name,
+            ms=t * 1e3,
+            us_per_config=t * 1e6 / N_CONFIGS,
+            speedup=t_seed / t,
+        )
+    return table, t_seed / t_batch, t_scalar / t_batch
+
+
+@pytest.mark.benchmark(group="batched-measurement")
+def test_batched_measurement_speedup(benchmark, gpu_v100):
+    table, speedup_vs_seed, speedup_vs_scalar = benchmark.pedantic(
+        run_batched_measurement, args=(gpu_v100,), rounds=1, iterations=1
+    )
+    emit(render_table(table, precision=2))
+    emit(
+        f"measure_batch speedup: {speedup_vs_seed:.1f}x over the per-config seed "
+        f"pipeline, {speedup_vs_scalar:.1f}x over the single-lowering scalar path"
+    )
+    # Wall-clock ratios gate by default (the bit-identity assert above always
+    # gates).  On shared CI runners, where co-tenancy can deflate the batched
+    # leg, BENCH_SPEEDUP_SOFT=1 downgrades a shortfall to a warning so an
+    # unrelated PR does not go red on scheduler noise.
+    soft = os.environ.get("BENCH_SPEEDUP_SOFT") == "1"
+    for ratio, floor, label in (
+        (speedup_vs_seed, 5.0, "per-config seed pipeline"),
+        (speedup_vs_scalar, 2.5, "single-lowering scalar path"),
+    ):
+        if ratio >= floor:
+            continue
+        message = f"speedup vs {label} is {ratio:.1f}x, below the {floor}x floor"
+        if soft:
+            warnings.warn(message)
+        else:
+            pytest.fail(message)

@@ -27,21 +27,28 @@ def run_figure10(spec, per_block):
         "Cin=256, Cout=128, 3x3, stride 1)",
         columns=["Hin=Win", "batch", "ours_ms", "cudnn_ms", "speedup"],
     )
-    for size in SIZES:
-        for batch in BATCHES:
-            params = ConvParams.square(size, 256, 128, kernel=3, stride=1, padding=1, batch=batch)
-            tile = optimal_tile_direct(params, per_block)
-            ours = executor.run(direct_dataflow_profile(params, tile, dtype_size=spec.dtype_size))
-            base = lib.run_direct(params)
-            table.add_row(
-                **{
-                    "Hin=Win": size,
-                    "batch": batch,
-                    "ours_ms": ours.time_ms,
-                    "cudnn_ms": base.result.time_ms,
-                    "speedup": base.time_seconds / ours.time_seconds,
-                }
-            )
+    # The whole sweep is one executor batch: build every profile, then run
+    # them through the vectorised pipeline in a single call.
+    cases = [
+        (size, batch, ConvParams.square(size, 256, 128, kernel=3, stride=1, padding=1, batch=batch))
+        for size in SIZES
+        for batch in BATCHES
+    ]
+    profiles = [
+        direct_dataflow_profile(params, optimal_tile_direct(params, per_block), dtype_size=spec.dtype_size)
+        for _, _, params in cases
+    ]
+    for (size, batch, params), ours in zip(cases, executor.run_batch(profiles)):
+        base = lib.run_direct(params)
+        table.add_row(
+            **{
+                "Hin=Win": size,
+                "batch": batch,
+                "ours_ms": ours.time_ms,
+                "cudnn_ms": base.result.time_ms,
+                "speedup": base.time_seconds / ours.time_seconds,
+            }
+        )
     return table
 
 

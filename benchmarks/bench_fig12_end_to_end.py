@@ -2,7 +2,9 @@
 
 SqueezeNet, VGG-19, ResNet-18, ResNet-34 and Inception-v3 on the V100 model;
 total convolution time of the paper's dataflow (per-layer best template with
-the optimality-condition tile) against the cuDNN dispatcher.
+the optimality-condition tile) against the cuDNN dispatcher.  The runner
+lowers each whole model into a single batched executor call
+(``GPUExecutor.run_batch``) rather than timing layers one at a time.
 """
 
 from __future__ import annotations

@@ -1,11 +1,17 @@
-"""I/O-lower-bound-guided auto-tuning engine (Section 6 of the paper)."""
+"""I/O-lower-bound-guided auto-tuning engine (Section 6 of the paper).
 
-from .config import Configuration, Measurer, build_profile
+Measurements flow through a batched pipeline (``Measurer.measure_batch`` →
+``GPUExecutor.run_batch``) and finished tuning runs can be shared across
+layers, networks and processes via the :class:`TuningDatabase`.
+"""
+
+from .config import Configuration, Measurer, build_profile, lower_batch
 from .space import SearchSpace
 from .features import FEATURE_NAMES, feature_matrix, feature_vector
 from .cost_model import CostModel, GradientBoostedTrees, RegressionTree
 from .explorer import ExplorerConfig, ParallelRandomWalkExplorer
 from .engine import AutoTuningEngine, TrialRecord, TuningResult
+from .database import TuningDatabase, TuningRecord
 from .baselines import (
     BaselineTuner,
     GeneticTuner,
@@ -18,7 +24,10 @@ __all__ = [
     "Configuration",
     "Measurer",
     "build_profile",
+    "lower_batch",
     "SearchSpace",
+    "TuningDatabase",
+    "TuningRecord",
     "FEATURE_NAMES",
     "feature_matrix",
     "feature_vector",

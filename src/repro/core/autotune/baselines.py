@@ -13,7 +13,12 @@ TVM-style tuner over the *unpruned* configuration space:
   unpruned space (no optimality-condition constraints).
 
 Every tuner returns the same :class:`~repro.core.autotune.engine.TuningResult`
-structure so the benchmarks can compare convergence curves directly.
+structure so the benchmarks can compare convergence curves directly.  Tuners
+whose proposals do not depend on the measurements of the current batch
+(random search, a genetic generation's brood) measure through the batched
+:meth:`~repro.core.autotune.config.Measurer.measure_batch` pipeline; the
+inherently sequential simulated-annealing walk stays on the (single-lowering)
+scalar path.
 """
 
 from __future__ import annotations
@@ -66,12 +71,13 @@ class BaselineTuner:
         self.rng = random.Random(seed)
 
     # ------------------------------------------------------------------ #
-    def _record(self, result: TuningResult, config: Configuration) -> TrialRecord:
+    def _to_record(
+        self, result: TuningResult, config: Configuration, execution
+    ) -> TrialRecord:
         index = len(result.trials)
-        if not self.measurer.is_feasible(config):
+        if execution is None:
             record = TrialRecord(index=index, config=config, time_seconds=float("inf"), gflops=0.0)
         else:
-            execution = self.measurer.measure(config)
             record = TrialRecord(
                 index=index,
                 config=config,
@@ -80,6 +86,18 @@ class BaselineTuner:
             )
         result.trials.append(record)
         return record
+
+    def _record(self, result: TuningResult, config: Configuration) -> TrialRecord:
+        return self._to_record(result, config, self.measurer.try_measure(config))
+
+    def _record_batch(
+        self, result: TuningResult, configs: Sequence[Configuration]
+    ) -> List[TrialRecord]:
+        """Measure many configurations at once through the batched pipeline."""
+        return [
+            self._to_record(result, config, execution)
+            for config, execution in zip(configs, self.measurer.measure_batch(configs))
+        ]
 
     def _new_result(self) -> TuningResult:
         return TuningResult(
@@ -102,13 +120,15 @@ class RandomSearchTuner(BaselineTuner):
         result = self._new_result()
         seen = set()
         attempts = 0
-        while result.num_measurements < self.max_measurements and attempts < 50 * self.max_measurements:
+        configs: List[Configuration] = []
+        while len(configs) < self.max_measurements and attempts < 50 * self.max_measurements:
             attempts += 1
             config = self.space.random_configuration(self.rng)
             if config.key() in seen:
                 continue
             seen.add(config.key())
-            self._record(result, config)
+            configs.append(config)
+        self._record_batch(result, configs)
         return result
 
 
@@ -181,28 +201,32 @@ class GeneticTuner(BaselineTuner):
 
     def tune(self) -> TuningResult:
         result = self._new_result()
-        population: List[TrialRecord] = []
-        for _ in range(min(self.population_size, self.max_measurements)):
-            config = self.space.random_configuration(self.rng)
-            population.append(self._record(result, config))
+        initial = [
+            self.space.random_configuration(self.rng)
+            for _ in range(min(self.population_size, self.max_measurements))
+        ]
+        population: List[TrialRecord] = self._record_batch(result, initial)
 
         while result.num_measurements < self.max_measurements:
             ranked = sorted(
                 (p for p in population if p.valid), key=lambda t: t.time_seconds
             ) or population
             elites = ranked[: self.elite]
-            children: List[TrialRecord] = []
-            while (
-                len(children) < self.population_size - len(elites)
-                and result.num_measurements < self.max_measurements
-            ):
+            # A generation's children depend only on the previous population,
+            # so breed them all first and measure the brood in one batch.
+            num_children = min(
+                self.population_size - len(elites),
+                self.max_measurements - result.num_measurements,
+            )
+            child_configs: List[Configuration] = []
+            while len(child_configs) < num_children:
                 parent_a = self._tournament(ranked)
                 parent_b = self._tournament(ranked)
                 child = self._crossover(parent_a.config, parent_b.config)
                 if self.rng.random() < self.mutation_rate:
                     child = self.space.neighbor(child, self.rng)
-                children.append(self._record(result, child))
-            population = elites + children
+                child_configs.append(child)
+            population = elites + self._record_batch(result, child_configs)
         return result
 
     def _tournament(self, ranked: Sequence[TrialRecord], k: int = 3) -> TrialRecord:

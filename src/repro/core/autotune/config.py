@@ -8,25 +8,54 @@ thread block, and — for the Winograd template — the output tile extent ``e``
 :func:`build_profile` lowers a configuration to a
 :class:`~repro.gpusim.kernels.KernelProfile` so the GPU simulator can
 "measure" it; :class:`Measurer` wraps that in the interface the tuners use.
+
+Measurement runs in two modes:
+
+* scalar — :meth:`Measurer.measure` lowers and executes one configuration
+  (the lowered profile is cached so a feasibility probe never lowers twice);
+* batched — :meth:`Measurer.measure_batch` lowers a whole tuner batch with
+  :func:`lower_batch` (NumPy array arithmetic, no per-configuration profile
+  objects) and executes it through
+  :meth:`~repro.gpusim.executor.GPUExecutor.run_batch`.  Results are
+  bit-identical to the scalar path, including the deterministic noise term.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ...conv.tensor import ConvParams, Layout
+from ...conv.winograd import winograd_flops
 from ...gpusim.executor import ExecutionResult, GPUExecutor
 from ...gpusim.kernels import (
+    _LAYOUT_COALESCING,
+    DATAFLOW_COMPUTE_EFF,
+    DIRECT_KERNEL_NAME,
     KernelProfile,
+    ProfileBatch,
     direct_dataflow_profile,
     winograd_dataflow_profile,
+    winograd_kernel_name,
 )
 from ...gpusim.spec import GPUSpec
 from ..dataflow.common import OutputTile
 
-__all__ = ["Configuration", "build_profile", "Measurer"]
+__all__ = ["Configuration", "build_profile", "lower_batch", "Measurer"]
+
+#: low-level knob gains shared by the scalar and the vectorised lowering.
+_UNROLL_GAIN = {1: 0.88, 2: 0.96, 4: 1.0, 8: 0.94}
+_CONTIGUOUS_AXIS = {Layout.CHW: "x", Layout.CWH: "y", Layout.HWC: "z"}
+#: final coalescing per (layout, loop-order-ends-on-contiguous-axis), built
+#: with the exact scalar expression so both paths agree bit-for-bit.
+_COALESCING_LUT = {
+    (layout, ends): min(1.0, _LAYOUT_COALESCING[layout] * (1.0 if ends else 0.85))
+    for layout in Layout.all()
+    for ends in (True, False)
+}
 
 
 @dataclasses.dataclass(frozen=True)
@@ -163,8 +192,8 @@ def build_profile(
     # Low-level knobs: unrolling trades register pressure against loop
     # overhead; the loop traversal order decides whether consecutive threads
     # touch consecutive addresses of the innermost (layout-dependent) axis.
-    unroll_gain = {1: 0.88, 2: 0.96, 4: 1.0, 8: 0.94}[config.unroll]
-    contiguous_axis = {Layout.CHW: "x", Layout.CWH: "y", Layout.HWC: "z"}[config.layout]
+    unroll_gain = _UNROLL_GAIN[config.unroll]
+    contiguous_axis = _CONTIGUOUS_AXIS[config.layout]
     order_gain = 1.0 if config.loop_order.endswith(contiguous_axis) else 0.85
     compute_eff = min(1.0, profile.compute_efficiency * unroll_gain)
     coalescing = min(1.0, profile.coalescing * order_gain)
@@ -175,36 +204,297 @@ def build_profile(
     )
 
 
+def _io_may_overflow_int64(params: ConvParams) -> bool:
+    """Whether the vectorised I/O products could exceed int64.
+
+    A conservative bound on the largest product formed below, (number of
+    blocks) x (per-block input/weight elements): blocks never exceed the
+    output-element count, the per-block halo is at most ``(k+s)`` per tile
+    axis unit, and the 2^59 threshold leaves an 8x margin for ceil-division
+    slack.  Within int64 range the vectorised integers are exact and convert
+    to float64 with the same rounding as the scalar Python ints."""
+    p = params
+    max_blocks = p.out_width * p.out_height * p.out_channels * p.batch
+    per_block = max(
+        (p.ker_width + p.stride) * (p.ker_height + p.stride), p.ker_height * p.ker_width
+    ) * p.in_channels
+    return max_blocks * per_block >= 2**59
+
+
+def _lower_scalar_into(
+    config: Configuration,
+    i: int,
+    params: ConvParams,
+    spec: GPUSpec,
+    feasible: np.ndarray,
+    flops: np.ndarray,
+    dram: np.ndarray,
+    threads: np.ndarray,
+    blocks: np.ndarray,
+    eff: np.ndarray,
+    coal: np.ndarray,
+    names: List[str],
+) -> None:
+    """Scalar-lowering fallback: fill row ``i`` of the batch arrays from
+    :func:`build_profile` (bit-identical by construction)."""
+    try:
+        profile = build_profile(config, params, spec)
+    except ValueError:
+        return
+    if (
+        profile.threads_per_block > spec.max_threads_per_block
+        or profile.threads_per_block > spec.max_threads_per_sm
+    ):
+        # The executor would reject the launch (same rule as the vectorised
+        # feasibility mask): infeasible, not a batch-wide error.
+        return
+    feasible[i] = True
+    flops[i] = profile.flops
+    dram[i] = profile.dram_bytes
+    threads[i] = profile.threads_per_block
+    blocks[i] = profile.num_blocks
+    eff[i] = profile.compute_efficiency
+    coal[i] = profile.coalescing
+    names[i] = profile.name
+
+
+def lower_batch(
+    configs: Sequence[Configuration], params: ConvParams, spec: GPUSpec
+) -> Tuple[np.ndarray, ProfileBatch]:
+    """Vectorised :func:`build_profile` over a whole batch of configurations.
+
+    Returns ``(feasible, batch)`` where ``feasible`` is a boolean mask over
+    ``configs`` (exactly the configurations for which :func:`build_profile`
+    would succeed) and ``batch`` is the :class:`ProfileBatch` of the feasible
+    configurations, in input order.  All quantities are computed with the same
+    arithmetic as the scalar lowering, so executing the batch reproduces the
+    scalar measurements bit-for-bit.
+    """
+    n = len(configs)
+    feasible = np.zeros(n, dtype=bool)
+    flops = np.zeros(n, dtype=np.float64)
+    dram = np.zeros(n, dtype=np.float64)
+    threads = np.zeros(n, dtype=np.int64)
+    blocks = np.zeros(n, dtype=np.int64)
+    eff = np.zeros(n, dtype=np.float64)
+    coal = np.zeros(n, dtype=np.float64)
+    names: List[str] = [""] * n
+
+    p = params
+    smem_cfg = np.fromiter((c.smem_per_block for c in configs), np.int64, n)
+    layout_values = [c.layout.value for c in configs]
+
+    # Group by (algorithm, e): within a group the FLOP count and kernel name
+    # are constants and every other quantity vectorises over the tile knobs.
+    groups: Dict[Tuple[str, int], List[int]] = {}
+    for i, c in enumerate(configs):
+        groups.setdefault((c.algorithm, c.e if c.algorithm == "winograd" else 0), []).append(i)
+
+    for (algorithm, e), idx_list in groups.items():
+        if algorithm == "winograd" and not p.winograd_compatible():
+            continue  # the whole group is infeasible, exactly as build_profile raises
+        idx = np.asarray(idx_list, dtype=np.intp)
+        group = [configs[i] for i in idx_list]
+        if _io_may_overflow_int64(p):
+            # Astronomically large problems would wrap the int64 I/O products
+            # below (the scalar path uses unbounded Python ints); lower those
+            # through the scalar constructors instead of producing garbage.
+            for i in idx_list:
+                _lower_scalar_into(
+                    configs[i], i, p, spec,
+                    feasible, flops, dram, threads, blocks, eff, coal, names,
+                )
+            continue
+        m = len(group)
+        knobs = np.array(
+            [
+                (c.tile_x, c.tile_y, c.tile_z, c.threads_x * c.threads_y * c.threads_z)
+                for c in group
+            ],
+            dtype=np.int64,
+        )
+        tx, ty, tz, treq = knobs[:, 0], knobs[:, 1], knobs[:, 2], knobs[:, 3]
+
+        # What follows is the vectorised counterpart of the scalar lowering:
+        # tile clipping / block grid / smem from the profile constructors in
+        # repro.gpusim.kernels, I/O volumes from repro.core.dataflow.direct
+        # and .winograd (Eq. 20/22). Any edit there must be mirrored here —
+        # the bit-identity property tests in tests/test_batched_measurement.py
+        # enforce the contract.
+        x = np.minimum(tx, p.out_width)
+        y = np.minimum(ty, p.out_height)
+        z = np.minimum(tz, p.out_channels)
+        blocks_g = (
+            -(-p.out_width // x) * -(-p.out_height // y) * -(-p.out_channels // z)
+        ) * p.batch
+
+        if algorithm == "winograd":
+            r = p.ker_height
+            t = e + r - 1
+            halo = (x + r - 1) * (y + r - 1)
+            input_reads = blocks_g * halo * p.in_channels
+            weight_reads = blocks_g * z * r * r * p.in_channels
+            overhead = 2.0 * t * t / (e * e)
+            temp_elems = np.ceil(overhead * (x * y * z)).astype(np.int64)
+            smem_elems = temp_elems + halo + z * r * r
+            flops_const = float(winograd_flops(p, e=e))
+            name = winograd_kernel_name(e)
+            base_eff = DATAFLOW_COMPUTE_EFF["winograd"]
+        else:
+            foot = ((x - 1) * p.stride + p.ker_width) * ((y - 1) * p.stride + p.ker_height)
+            input_reads = blocks_g * (foot * p.in_channels)
+            weight_reads = blocks_g * (p.ker_height * p.ker_width * p.in_channels * z)
+            smem_elems = x * y * z + foot + p.ker_height * p.ker_width * z
+            flops_const = float(p.flops)
+            name = DIRECT_KERNEL_NAME
+            base_eff = DATAFLOW_COMPUTE_EFF["direct"]
+
+        # IOVolume.total evaluates ((input + weight) + output) + extra.
+        total = (
+            input_reads.astype(np.float64)
+            + weight_reads.astype(np.float64)
+            + float(p.output_elements)
+            + 0.0
+        )
+        profile_smem = smem_elems * spec.dtype_size
+
+        smem_g = smem_cfg[idx]
+        threads_g = np.maximum(32, np.minimum(1024, treq))
+        ok = (
+            (smem_g <= spec.shared_mem_per_sm)
+            & (treq <= spec.max_threads_per_block)
+            & (profile_smem <= smem_g)
+            # The clamped launch must also fit the device, or the executor
+            # rejects it (threads above the per-block or per-SM limits);
+            # such configurations are infeasible, not batch-wide errors.
+            & (threads_g <= spec.max_threads_per_block)
+            & (threads_g <= spec.max_threads_per_sm)
+        )
+        eff_lut = {u: min(1.0, base_eff * g) for u, g in _UNROLL_GAIN.items()}
+
+        feasible[idx] = ok
+        flops[idx] = flops_const
+        dram[idx] = total * spec.dtype_size
+        threads[idx] = threads_g
+        blocks[idx] = blocks_g
+        eff[idx] = np.fromiter((eff_lut[c.unroll] for c in group), np.float64, m)
+        coal[idx] = np.fromiter(
+            (
+                _COALESCING_LUT[c.layout, c.loop_order.endswith(_CONTIGUOUS_AXIS[c.layout])]
+                for c in group
+            ),
+            np.float64,
+            m,
+        )
+        for i in idx_list:
+            names[i] = name
+
+    sel = np.flatnonzero(feasible)
+    batch = ProfileBatch(
+        names=[names[i] for i in sel],
+        flops=flops[sel],
+        dram_bytes=dram[sel],
+        smem_per_block=smem_cfg[sel],
+        threads_per_block=threads[sel],
+        num_blocks=blocks[sel],
+        coalescing=coal[sel],
+        compute_efficiency=eff[sel],
+        layout_values=[layout_values[i] for i in sel],
+    )
+    return feasible, batch
+
+
 class Measurer:
-    """Measurement harness: run a configuration on the simulated GPU.
+    """Measurement harness: run configurations on the simulated GPU.
 
     Plays the role of the paper's template manager + hardware measurements.
     Results are memoised because the simulator is deterministic for a given
-    configuration (it models the *averaged* runtime of repeated runs).
+    configuration (it models the *averaged* runtime of repeated runs); a
+    configuration found infeasible is memoised as ``None`` so feasibility
+    probes and measurements never lower the same configuration twice.
     """
 
     def __init__(self, params: ConvParams, spec: GPUSpec, noise: float = 0.05, seed: int = 2021):
         self.params = params
         self.spec = spec
         self.executor = GPUExecutor(spec, noise=noise, seed=seed)
-        self._cache: Dict[Tuple, ExecutionResult] = {}
+        #: key -> ExecutionResult, or None for configurations that failed to lower.
+        self._cache: Dict[Tuple, Optional[ExecutionResult]] = {}
         self.num_measurements = 0
 
-    def is_feasible(self, config: Configuration) -> bool:
+    # -- scalar path --------------------------------------------------- #
+    def _measure_uncached(self, config: Configuration) -> Optional[ExecutionResult]:
         try:
-            build_profile(config, self.params, self.spec)
+            profile = build_profile(config, self.params, self.spec)
+            # The executor applies its own launch limits (e.g. more threads
+            # per block than an SM can keep resident); a rejected launch is
+            # an infeasible configuration, same as a failed lowering.
+            execution = self.executor.run(profile)
         except ValueError:
-            return False
-        return True
+            return None
+        self.num_measurements += 1
+        return execution
+
+    def try_measure(self, config: Configuration) -> Optional[ExecutionResult]:
+        """Measure a configuration, or return ``None`` if it is infeasible.
+
+        The single lowering produced here serves both the feasibility check
+        and the measurement (previously each accepted measurement lowered the
+        configuration twice, once in ``is_feasible`` and once in ``measure``).
+        """
+        key = config.key()
+        if key not in self._cache:
+            self._cache[key] = self._measure_uncached(config)
+        return self._cache[key]
+
+    def is_feasible(self, config: Configuration) -> bool:
+        return self.try_measure(config) is not None
 
     def measure(self, config: Configuration) -> ExecutionResult:
         """Simulated execution of the configuration (memoised)."""
-        key = config.key()
-        if key not in self._cache:
-            profile = build_profile(config, self.params, self.spec)
-            self._cache[key] = self.executor.run(profile)
-            self.num_measurements += 1
-        return self._cache[key]
+        execution = self.try_measure(config)
+        if execution is None:
+            raise ValueError(f"infeasible configuration {config.describe()}")
+        return execution
+
+    # -- batched path -------------------------------------------------- #
+    def measure_batch(
+        self, configs: Sequence[Configuration]
+    ) -> List[Optional[ExecutionResult]]:
+        """Measure a whole batch at once; ``None`` marks infeasible entries.
+
+        Uncached configurations are lowered with :func:`lower_batch` and
+        executed through the vectorised
+        :meth:`~repro.gpusim.executor.GPUExecutor.run_batch`, producing
+        results bit-identical to the scalar path (same noise term included).
+        """
+        results: List[Optional[ExecutionResult]] = [None] * len(configs)
+        pending: Dict[Tuple, List[int]] = {}
+        pending_configs: List[Configuration] = []
+        pending_keys: List[Tuple] = []
+        for i, config in enumerate(configs):
+            key = config.key()
+            if key in self._cache:
+                results[i] = self._cache[key]
+            elif key in pending:
+                pending[key].append(i)
+            else:
+                pending[key] = [i]
+                pending_configs.append(config)
+                pending_keys.append(key)
+        if not pending_configs:
+            return results
+
+        feasible, batch = lower_batch(pending_configs, self.params, self.spec)
+        executions = iter(self.executor.run_batch(batch))
+        for key, ok in zip(pending_keys, feasible.tolist()):
+            execution = next(executions) if ok else None
+            if execution is not None:
+                self.num_measurements += 1
+            self._cache[key] = execution
+            for i in pending[key]:
+                results[i] = execution
+        return results
 
     def time_seconds(self, config: Configuration) -> float:
         return self.measure(config).time_seconds

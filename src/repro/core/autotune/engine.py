@@ -14,13 +14,19 @@ Tuning stops when the measurement budget is exhausted or the best runtime has
 not improved for ``patience`` consecutive iterations.  The engine records the
 best-so-far trajectory (used by the Figure 11 benchmark) and the total number
 of measurements (Table 2's *Iterations* column).
+
+Measurement batches go through the vectorised
+:meth:`~repro.core.autotune.config.Measurer.measure_batch` pipeline, and an
+optional :class:`~repro.core.autotune.database.TuningDatabase` lets the engine
+skip tuning entirely for ``(ConvParams, GPUSpec, algorithm)`` triples that
+were already tuned (by this run or a previous, persisted one).
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -31,6 +37,9 @@ from .cost_model import CostModel
 from .explorer import ExplorerConfig, ParallelRandomWalkExplorer
 from .features import feature_matrix
 from .space import SearchSpace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (database imports us)
+    from .database import TuningDatabase
 
 __all__ = ["TrialRecord", "TuningResult", "AutoTuningEngine"]
 
@@ -58,6 +67,8 @@ class TuningResult:
     gpu: str
     trials: List[TrialRecord] = field(default_factory=list)
     space_size: int = 0
+    #: True when the result was served from a TuningDatabase instead of tuning.
+    from_cache: bool = False
 
     @property
     def num_measurements(self) -> int:
@@ -98,7 +109,10 @@ class TuningResult:
         if not (0.0 < fraction <= 1.0):
             raise ValueError("fraction must be in (0, 1]")
         curve = self.best_gflops_curve()
-        if not curve:
+        if not curve or curve[-1] <= 0.0:
+            # No valid trial was ever recorded: the curve is identically zero
+            # and "fraction of the final best" is meaningless — report 0
+            # instead of pretending convergence at the first measurement.
             return 0
         target = fraction * curve[-1]
         for i, v in enumerate(curve):
@@ -123,6 +137,7 @@ class AutoTuningEngine:
         pruned: bool = True,
         measurer: Optional[Measurer] = None,
         cost_model: Optional[CostModel] = None,
+        database: Optional["TuningDatabase"] = None,
     ) -> None:
         if batch_size < 1 or max_measurements < 1:
             raise ValueError("batch_size and max_measurements must be >= 1")
@@ -141,20 +156,22 @@ class AutoTuningEngine:
         self.explorer = ParallelRandomWalkExplorer(
             self.space, params, spec, config=explorer_config, seed=seed
         )
+        self.database = database
         self.rng = random.Random(seed)
 
     # ------------------------------------------------------------------ #
     def _measure_batch(
         self, configs: Sequence[Configuration], result: TuningResult
     ) -> None:
-        for config in configs:
+        """Measure a batch through the vectorised pipeline; infeasible
+        configurations are recorded as invalid (infinite-time) trials."""
+        for config, execution in zip(configs, self.measurer.measure_batch(configs)):
             index = len(result.trials)
-            if not self.measurer.is_feasible(config):
+            if execution is None:
                 result.trials.append(
                     TrialRecord(index=index, config=config, time_seconds=float("inf"), gflops=0.0)
                 )
                 continue
-            execution = self.measurer.measure(config)
             result.trials.append(
                 TrialRecord(
                     index=index,
@@ -173,7 +190,42 @@ class AutoTuningEngine:
 
     # ------------------------------------------------------------------ #
     def tune(self, initial_random: int = 16) -> TuningResult:
-        """Run the full tuning loop and return the result."""
+        """Run the full tuning loop and return the result.
+
+        When a :class:`TuningDatabase` is attached, a previously recorded
+        result for this ``(params, gpu, algorithm)`` triple is returned
+        directly (no measurements), and a freshly tuned result is stored back
+        for later runs and for identical layers elsewhere in a network.
+        Two guards keep cached results honest: only engines searching the
+        canonical pruned domain use the database (an unpruned TVM-style run
+        must not serve or consume ATE records), and a record only satisfies
+        requests whose measurement budget it covers (a quick low-budget
+        record never pre-empts a more thorough search).
+        """
+        use_database = self.database is not None and self.space.pruned
+        executor = self.measurer.executor
+        if use_database:
+            record = self.database.lookup(
+                self.params,
+                self.spec,
+                self.algorithm,
+                budget=self.max_measurements,
+                noise=executor.noise,
+                noise_seed=executor.seed,
+            )
+            if record is not None:
+                return record.as_result()
+        result = self._tune(initial_random)
+        if use_database and any(t.valid for t in result.trials):
+            self.database.add_result(
+                result,
+                budget=self.max_measurements,
+                noise=executor.noise,
+                noise_seed=executor.seed,
+            )
+        return result
+
+    def _tune(self, initial_random: int) -> TuningResult:
         result = TuningResult(
             tuner="ate" if self.space.pruned else "ate_unpruned",
             params=self.params,

@@ -131,18 +131,13 @@ class ParallelRandomWalkExplorer:
             visited.add(candidate.key())
             if len(batch) >= num_guided:
                 break
+        # One uniform-random fill covers both the reserved ε-greedy slots and
+        # any guided slots the walks could not fill with unvisited candidates.
+        # (The previous code had two identical fill loops — both targeting
+        # batch_size, since num_guided + num_random == batch_size — whose
+        # attempt caps added up; the single loop keeps the combined cap.)
         attempts = 0
-        while len(batch) < num_guided + num_random and attempts < 20 * batch_size:
-            attempts += 1
-            candidate = self.space.random_configuration(self.rng)
-            if candidate.key() in visited:
-                continue
-            batch.append(candidate)
-            visited.add(candidate.key())
-        # Top up with random configurations if the walks did not surface
-        # enough unvisited candidates.
-        attempts = 0
-        while len(batch) < batch_size and attempts < 20 * batch_size:
+        while len(batch) < batch_size and attempts < 40 * batch_size:
             attempts += 1
             candidate = self.space.random_configuration(self.rng)
             if candidate.key() in visited:

@@ -61,6 +61,7 @@ class SearchSpace:
         )
         self._unrolls = Configuration.UNROLL_FACTORS
         self._orders = Configuration.LOOP_ORDERS
+        self._size: Optional[int] = None
 
     # ------------------------------------------------------------------ #
     # Option enumeration
@@ -117,7 +118,17 @@ class SearchSpace:
     # Size and iteration
     # ------------------------------------------------------------------ #
     def size(self) -> int:
-        """Number of configurations in the space (computed exactly)."""
+        """Number of configurations in the space (computed exactly).
+
+        The full enumeration is expensive for unpruned spaces, so the count
+        is memoised: every tuning run, result record and benchmark that asks
+        for the size of the same space pays for the enumeration at most once.
+        """
+        if self._size is None:
+            self._size = self._compute_size()
+        return self._size
+
+    def _compute_size(self) -> int:
         total = 0
         per_layout_order_unroll = len(self._layouts) * len(self._orders) * len(self._unrolls)
         for smem in self._smem_opts:

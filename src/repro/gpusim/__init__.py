@@ -8,6 +8,7 @@ and a cuDNN/MIOpen-style baseline library (see DESIGN.md substitution table).
 from .spec import GFX906, GTX_1080TI, KNOWN_GPUS, TITAN_X, V100, GPUSpec, get_gpu
 from .kernels import (
     KernelProfile,
+    ProfileBatch,
     direct_dataflow_profile,
     gemm_traffic,
     im2col_profile,
@@ -25,6 +26,7 @@ __all__ = [
     "TITAN_X",
     "GFX906",
     "KernelProfile",
+    "ProfileBatch",
     "direct_dataflow_profile",
     "winograd_dataflow_profile",
     "im2col_profile",

@@ -17,6 +17,14 @@ The model is a refined roofline:
 The executor never claims to predict absolute hardware runtimes — it provides
 a *consistent* machine for comparing schedules, which is what the paper's
 experiments need (see DESIGN.md).
+
+Two execution paths are offered:
+
+* :meth:`GPUExecutor.run` — one profile at a time (scalar Python);
+* :meth:`GPUExecutor.run_batch` — N profiles at once, with the occupancy,
+  memory/compute legs and deterministic noise computed as NumPy array
+  operations.  The batched path is bit-identical to the scalar path and is
+  what the auto-tuner's measurement pipeline uses.
 """
 
 from __future__ import annotations
@@ -24,12 +32,39 @@ from __future__ import annotations
 import hashlib
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence, Union
 
-from .kernels import KernelProfile
+import numpy as np
+
+from .kernels import KernelProfile, ProfileBatch
 from .spec import GPUSpec
 
 __all__ = ["ExecutionResult", "GPUExecutor", "occupancy"]
+
+#: 2**64 as a float, the normaliser of the deterministic noise hash.
+_TWO_POW_64 = float(2**64)
+
+
+def _noise_key(
+    seed: int,
+    gpu: str,
+    name: str,
+    threads_per_block: int,
+    num_blocks: int,
+    smem_per_block: int,
+    layout_value: str,
+    dram_bytes: float,
+    flops: float,
+) -> str:
+    """The configuration-keyed identity the noise hash is computed over.
+
+    Single definition used by both the scalar and the batched path, so the
+    two can never disagree on the key format."""
+    return (
+        f"{seed}|{gpu}|{name}|{threads_per_block}"
+        f"|{num_blocks}|{smem_per_block}|{layout_value}"
+        f"|{dram_bytes:.0f}|{flops:.0f}"
+    )
 
 
 @dataclass(frozen=True)
@@ -46,6 +81,20 @@ class ExecutionResult:
     achieved_bandwidth: float  # bytes / s
     dram_bytes: float
     flops: float
+
+    @classmethod
+    def _fast_new(cls, **fields) -> "ExecutionResult":
+        """Construct without the frozen-dataclass ``__init__`` overhead.
+
+        The generated ``__init__`` of a frozen dataclass goes through
+        ``object.__setattr__`` once per field, which dominates the batched
+        executor's result-building loop; there is no validation to skip, so
+        populating ``__dict__`` directly is equivalent.  (Revisit if this
+        dataclass ever grows ``__slots__`` or a ``__post_init__``.)
+        """
+        self = cls.__new__(cls)
+        self.__dict__.update(fields)
+        return self
 
     @property
     def time_ms(self) -> float:
@@ -80,13 +129,21 @@ def occupancy(profile: KernelProfile, spec: GPUSpec) -> float:
             f"kernel {profile.name!r} uses {profile.threads_per_block} threads per "
             f"block; {spec.name} allows at most {spec.max_threads_per_block}"
         )
+    if profile.threads_per_block > spec.max_threads_per_sm:
+        # A block that cannot be resident at all must not be scored as if one
+        # block were running; such a launch simply does not fit the device.
+        raise ValueError(
+            f"kernel {profile.name!r} uses {profile.threads_per_block} threads per "
+            f"block but {spec.name} can only keep {spec.max_threads_per_sm} "
+            f"threads resident per SM; the launch is infeasible"
+        )
     blocks_by_smem = (
         spec.shared_mem_per_sm // max(1, profile.smem_per_block)
         if profile.smem_per_block
         else spec.max_blocks_per_sm
     )
     blocks_by_threads = spec.max_threads_per_sm // profile.threads_per_block
-    blocks_per_sm = max(1, min(spec.max_blocks_per_sm, blocks_by_smem, blocks_by_threads))
+    blocks_per_sm = min(spec.max_blocks_per_sm, blocks_by_smem, blocks_by_threads)
     resident_threads = min(
         spec.max_threads_per_sm, blocks_per_sm * profile.threads_per_block
     )
@@ -108,6 +165,35 @@ class GPUExecutor:
         self.seed = seed
 
     # ------------------------------------------------------------------ #
+    def _noise_factor_fields(
+        self,
+        name: str,
+        threads_per_block: int,
+        num_blocks: int,
+        smem_per_block: int,
+        layout_value: str,
+        dram_bytes: float,
+        flops: float,
+    ) -> float:
+        """Noise multiplier from the salient configuration fields.
+
+        The batched path inlines the hash arithmetic for speed but builds
+        its keys with the same :func:`_noise_key`."""
+        key = _noise_key(
+            self.seed,
+            self.spec.name,
+            name,
+            threads_per_block,
+            num_blocks,
+            smem_per_block,
+            layout_value,
+            dram_bytes,
+            flops,
+        )
+        digest = hashlib.sha256(key.encode()).digest()
+        unit = int.from_bytes(digest[:8], "little") / _TWO_POW_64
+        return 1.0 + self.noise * (2.0 * unit - 1.0)
+
     def _noise_factor(self, profile: KernelProfile) -> float:
         """Deterministic pseudo-random multiplier in [1-noise, 1+noise].
 
@@ -116,14 +202,15 @@ class GPUExecutor:
         repeated hardware runs; we model the averaged value)."""
         if self.noise == 0:
             return 1.0
-        key = (
-            f"{self.seed}|{self.spec.name}|{profile.name}|{profile.threads_per_block}"
-            f"|{profile.num_blocks}|{profile.smem_per_block}|{profile.layout.value}"
-            f"|{profile.dram_bytes:.0f}|{profile.flops:.0f}"
+        return self._noise_factor_fields(
+            profile.name,
+            profile.threads_per_block,
+            profile.num_blocks,
+            profile.smem_per_block,
+            profile.layout.value,
+            profile.dram_bytes,
+            profile.flops,
         )
-        digest = hashlib.sha256(key.encode()).digest()
-        unit = int.from_bytes(digest[:8], "little") / float(2**64)
-        return 1.0 + self.noise * (2.0 * unit - 1.0)
 
     def run(self, profile: KernelProfile) -> ExecutionResult:
         """Predict the execution time of one kernel launch."""
@@ -166,6 +253,152 @@ class GPUExecutor:
             dram_bytes=profile.dram_bytes,
             flops=profile.flops,
         )
+
+    # ------------------------------------------------------------------ #
+    def run_batch(
+        self, profiles: Union[ProfileBatch, Sequence[KernelProfile]]
+    ) -> List[ExecutionResult]:
+        """Predict the execution times of N kernel launches at once.
+
+        Accepts either a list of :class:`KernelProfile` or a pre-built
+        :class:`ProfileBatch` (structure-of-arrays).  The occupancy, roofline
+        legs and noise terms are computed with NumPy array operations; every
+        returned :class:`ExecutionResult` is bit-identical to what
+        :meth:`run` produces for the same profile.
+        """
+        batch = (
+            profiles
+            if isinstance(profiles, ProfileBatch)
+            else ProfileBatch.from_profiles(profiles)
+        )
+        n = len(batch)
+        if n == 0:
+            return []
+        spec = self.spec
+
+        smem = batch.smem_per_block
+        threads = batch.threads_per_block
+        num_blocks = batch.num_blocks
+        # Same feasibility rules as the scalar occupancy() helper.
+        for mask, what, limit in (
+            (smem > spec.shared_mem_per_sm, "shared memory per block", spec.shared_mem_per_sm),
+            (threads > spec.max_threads_per_block, "threads per block", spec.max_threads_per_block),
+            (threads > spec.max_threads_per_sm, "resident threads per SM", spec.max_threads_per_sm),
+        ):
+            if np.any(mask):
+                i = int(np.argmax(mask))
+                raise ValueError(
+                    f"kernel {batch.names[i]!r} exceeds the {spec.name} limit on "
+                    f"{what} ({limit})"
+                )
+
+        # Occupancy (vectorised copy of occupancy()).
+        blocks_by_smem = np.where(
+            smem > 0,
+            spec.shared_mem_per_sm // np.maximum(1, smem),
+            spec.max_blocks_per_sm,
+        )
+        blocks_by_threads = spec.max_threads_per_sm // threads
+        blocks_per_sm = np.minimum(
+            spec.max_blocks_per_sm, np.minimum(blocks_by_smem, blocks_by_threads)
+        )
+        resident = np.minimum(spec.max_threads_per_sm, blocks_per_sm * threads)
+        thread_occ = resident / spec.max_threads_per_sm
+        fill = np.minimum(1.0, num_blocks / (spec.num_sms * np.maximum(1, blocks_per_sm)))
+        wave_fill = np.minimum(1.0, num_blocks / spec.num_sms)
+        occ = np.maximum(
+            0.01, thread_occ * np.maximum(fill, 0.25) * np.maximum(wave_fill, 0.25)
+        )
+
+        # Memory leg.
+        bw_eff = spec.dram_bandwidth * batch.coalescing * np.minimum(1.0, 0.35 + 0.65 * occ)
+        memory_time = np.where(batch.dram_bytes > 0, batch.dram_bytes / bw_eff, 0.0)
+
+        # Compute leg.
+        rem = threads % spec.warp_size
+        warp_eff = np.where(
+            rem > 0, threads / (threads + (spec.warp_size - rem)), 1.0
+        )
+        flop_rate = (
+            spec.peak_flops
+            * batch.compute_efficiency
+            * warp_eff
+            * np.minimum(1.0, 0.25 + 0.75 * occ)
+        )
+        compute_time = np.where(batch.flops > 0, batch.flops / flop_rate, 0.0)
+
+        base = np.maximum(memory_time, compute_time) + spec.kernel_launch_overhead
+        threads_l = threads.tolist()
+        blocks_l = num_blocks.tolist()
+        smem_l = smem.tolist()
+        dram_l = batch.dram_bytes.tolist()
+        flops_l = batch.flops.tolist()
+        if self.noise == 0:
+            noise = 1.0
+        else:
+            # Hash arithmetic inlined (it is the hot loop of the batched
+            # path); the key itself comes from the shared _noise_key, so the
+            # scalar and batched paths cannot drift apart on the format.
+            seed, gpu = self.seed, spec.name
+            amplitude = self.noise
+            sha256 = hashlib.sha256
+            from_bytes = int.from_bytes
+            noise = np.fromiter(
+                (
+                    1.0
+                    + amplitude
+                    * (
+                        2.0
+                        * (
+                            from_bytes(
+                                sha256(
+                                    _noise_key(seed, gpu, nm, t, b, s, lv, d, f).encode()
+                                ).digest()[:8],
+                                "little",
+                            )
+                            / _TWO_POW_64
+                        )
+                        - 1.0
+                    )
+                    for nm, t, b, s, lv, d, f in zip(
+                        batch.names, threads_l, blocks_l, smem_l,
+                        batch.layout_values, dram_l, flops_l,
+                    )
+                ),
+                dtype=np.float64,
+                count=n,
+            )
+        time = base * noise
+
+        gflops = np.where(time > 0, (batch.flops / time) / 1e9, 0.0)
+        bandwidth = np.where(time > 0, batch.dram_bytes / time, 0.0)
+        gpu_name = spec.name
+        fast_new = ExecutionResult._fast_new
+        return [
+            fast_new(
+                kernel=nm,
+                gpu=gpu_name,
+                time_seconds=t,
+                compute_time=ct,
+                memory_time=mt,
+                occupancy=o,
+                achieved_gflops=g,
+                achieved_bandwidth=bw,
+                dram_bytes=d,
+                flops=f,
+            )
+            for nm, t, ct, mt, o, g, bw, d, f in zip(
+                batch.names,
+                time.tolist(),
+                compute_time.tolist(),
+                memory_time.tolist(),
+                occ.tolist(),
+                gflops.tolist(),
+                bandwidth.tolist(),
+                dram_l,
+                flops_l,
+            )
+        ]
 
     def gflops(self, profile: KernelProfile) -> float:
         """Convenience: achieved GFLOP/s of one profile."""

@@ -21,7 +21,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import List, Optional, Sequence
+
+import numpy as np
 
 from ..conv.tensor import ConvParams, Layout
 from ..conv.winograd import winograd_flops
@@ -32,6 +34,7 @@ from ..core.dataflow.winograd import winograd_dataflow_io
 
 __all__ = [
     "KernelProfile",
+    "ProfileBatch",
     "direct_dataflow_profile",
     "winograd_dataflow_profile",
     "im2col_profile",
@@ -76,11 +79,91 @@ class KernelProfile:
         return replace(self, **kwargs)
 
 
+@dataclass
+class ProfileBatch:
+    """Structure-of-arrays view of N kernel profiles.
+
+    The batched executor (:meth:`repro.gpusim.executor.GPUExecutor.run_batch`)
+    consumes this form directly; the auto-tuner's vectorised lowering
+    (:func:`repro.core.autotune.config.lower_batch`) produces it without ever
+    materialising per-configuration :class:`KernelProfile` objects, which is
+    where the batched measurement pipeline gets its speed.
+    """
+
+    names: List[str]
+    flops: np.ndarray  # float64
+    dram_bytes: np.ndarray  # float64
+    smem_per_block: np.ndarray  # int64, bytes
+    threads_per_block: np.ndarray  # int64
+    num_blocks: np.ndarray  # int64
+    coalescing: np.ndarray  # float64
+    compute_efficiency: np.ndarray  # float64
+    layout_values: List[str]
+
+    def __post_init__(self) -> None:
+        n = len(self.names)
+        for field in (
+            "flops",
+            "dram_bytes",
+            "smem_per_block",
+            "threads_per_block",
+            "num_blocks",
+            "coalescing",
+            "compute_efficiency",
+        ):
+            arr = np.asarray(getattr(self, field))
+            if arr.shape != (n,):
+                raise ValueError(f"{field} must have shape ({n},), got {arr.shape}")
+            setattr(self, field, arr)
+        if len(self.layout_values) != n:
+            raise ValueError("layout_values must match names in length")
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    @classmethod
+    def from_profiles(cls, profiles: Sequence[KernelProfile]) -> "ProfileBatch":
+        """Pack a list of profiles into the structure-of-arrays form."""
+        return cls(
+            names=[p.name for p in profiles],
+            flops=np.fromiter((p.flops for p in profiles), np.float64, len(profiles)),
+            dram_bytes=np.fromiter(
+                (p.dram_bytes for p in profiles), np.float64, len(profiles)
+            ),
+            smem_per_block=np.fromiter(
+                (p.smem_per_block for p in profiles), np.int64, len(profiles)
+            ),
+            threads_per_block=np.fromiter(
+                (p.threads_per_block for p in profiles), np.int64, len(profiles)
+            ),
+            num_blocks=np.fromiter(
+                (p.num_blocks for p in profiles), np.int64, len(profiles)
+            ),
+            coalescing=np.fromiter(
+                (p.coalescing for p in profiles), np.float64, len(profiles)
+            ),
+            compute_efficiency=np.fromiter(
+                (p.compute_efficiency for p in profiles), np.float64, len(profiles)
+            ),
+            layout_values=[p.layout.value for p in profiles],
+        )
+
+
 _LAYOUT_COALESCING = {
     Layout.CHW: 1.0,  # contiguous along W: fully coalesced row accesses
     Layout.HWC: 0.85,  # channel-interleaved: good for pointwise, slight penalty here
     Layout.CWH: 0.65,  # column-major spatial: strided accesses
 }
+
+#: intrinsic compute efficiency and kernel name of each dataflow template —
+#: single source for the scalar constructors below AND the vectorised
+#: lowering (repro.core.autotune.config.lower_batch); edit here, not there.
+DATAFLOW_COMPUTE_EFF = {"direct": 0.65, "winograd": 0.55}
+DIRECT_KERNEL_NAME = "direct_dataflow"
+
+
+def winograd_kernel_name(e: int) -> str:
+    return f"winograd_dataflow_f{e}"
 
 
 def _threads_for_tile(tile: OutputTile, requested: Optional[int], warp: int = 32) -> int:
@@ -116,14 +199,14 @@ def direct_dataflow_profile(
         + params.ker_height * params.ker_width * tile.z
     )
     return KernelProfile(
-        name="direct_dataflow",
+        name=DIRECT_KERNEL_NAME,
         flops=float(params.flops),
         dram_bytes=io.total * dtype_size,
         smem_per_block=smem_elems * dtype_size,
         threads_per_block=_threads_for_tile(tile, threads_per_block),
         num_blocks=blocks,
         coalescing=_LAYOUT_COALESCING[layout],
-        compute_efficiency=0.65,
+        compute_efficiency=DATAFLOW_COMPUTE_EFF["direct"],
         layout=layout,
     )
 
@@ -151,14 +234,14 @@ def winograd_dataflow_profile(
     temp_elems = int(math.ceil(2.0 * t * t / (e * e) * tile.outputs))
     smem_elems = temp_elems + (tile.x + r - 1) * (tile.y + r - 1) + tile.z * r * r
     return KernelProfile(
-        name=f"winograd_dataflow_f{e}",
+        name=winograd_kernel_name(e),
         flops=float(winograd_flops(params, e=e)),
         dram_bytes=io.total * dtype_size,
         smem_per_block=smem_elems * dtype_size,
         threads_per_block=_threads_for_tile(tile, threads_per_block),
         num_blocks=blocks,
         coalescing=_LAYOUT_COALESCING[layout],
-        compute_efficiency=0.55,
+        compute_efficiency=DATAFLOW_COMPUTE_EFF["winograd"],
         layout=layout,
     )
 

@@ -10,19 +10,34 @@ For every convolution layer of a model the runner obtains
 Total model time is the sum over convolution layers (weighted by each
 layer's repeat count), which matches the paper's claim that convolutions
 dominate CNN inference.
+
+Two whole-network optimisations keep the runner fast:
+
+* analytic mode lowers every (layer, algorithm) candidate of a model into one
+  profile list and executes it through the batched
+  :meth:`~repro.gpusim.executor.GPUExecutor.run_batch` pipeline;
+* tuned mode shares a :class:`~repro.core.autotune.database.TuningDatabase`
+  across layers, models and runs, so each distinct ``(ConvParams, algorithm)``
+  pair is tuned exactly once — ResNet-style networks repeat identical
+  convolution shapes many times and hit the database for all repeats.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Literal, Optional
+from typing import Dict, List, Literal, Optional, Sequence, Tuple
 
 from ..conv.tensor import ConvParams
+from ..core.autotune.database import TuningDatabase
 from ..core.autotune.engine import AutoTuningEngine
 from ..core.dataflow.optimality import optimal_tile_direct, optimal_tile_winograd
 from ..gpusim.cudnn import CudnnLibrary
 from ..gpusim.executor import GPUExecutor
-from ..gpusim.kernels import direct_dataflow_profile, winograd_dataflow_profile
+from ..gpusim.kernels import (
+    KernelProfile,
+    direct_dataflow_profile,
+    winograd_dataflow_profile,
+)
 from ..gpusim.spec import GPUSpec
 from .layers import ConvLayer, ConvNet
 
@@ -84,6 +99,7 @@ class ModelRunner:
         batch: int = 1,
         max_measurements: int = 96,
         seed: int = 0,
+        database: Optional[TuningDatabase] = None,
     ) -> None:
         if mode not in ("analytic", "tuned"):
             raise ValueError("mode must be 'analytic' or 'tuned'")
@@ -94,6 +110,9 @@ class ModelRunner:
         self.seed = seed
         self.library = CudnnLibrary(spec)
         self.executor = GPUExecutor(spec)
+        #: shared across every layer/model this runner times; pass one in to
+        #: persist records across runners or processes (JSON save/load).
+        self.database = database if database is not None else TuningDatabase()
 
     # ------------------------------------------------------------------ #
     def _choose_algorithm(self, params: ConvParams) -> str:
@@ -106,15 +125,26 @@ class ModelRunner:
             return "winograd"
         return "direct"
 
-    def _ours_analytic(self, params: ConvParams, algorithm: str) -> float:
+    def _candidate_algorithms(self, params: ConvParams) -> List[str]:
+        """Every applicable template, the way the auto-tuner's template
+        manager would pick between schedules."""
+        candidates = ["direct"]
+        if self._choose_algorithm(params) == "winograd":
+            candidates.append("winograd")
+        return candidates
+
+    def _analytic_profile(self, params: ConvParams, algorithm: str) -> KernelProfile:
         per_block = self.spec.shared_mem_per_sm // self.spec.dtype_size // 2
         if algorithm == "winograd":
             tile = optimal_tile_winograd(params, per_block, e=2)
-            profile = winograd_dataflow_profile(params, tile, e=2, dtype_size=self.spec.dtype_size)
-        else:
-            tile = optimal_tile_direct(params, per_block)
-            profile = direct_dataflow_profile(params, tile, dtype_size=self.spec.dtype_size)
-        return self.executor.run(profile).time_seconds
+            return winograd_dataflow_profile(
+                params, tile, e=2, dtype_size=self.spec.dtype_size
+            )
+        tile = optimal_tile_direct(params, per_block)
+        return direct_dataflow_profile(params, tile, dtype_size=self.spec.dtype_size)
+
+    def _ours_analytic(self, params: ConvParams, algorithm: str) -> float:
+        return self.executor.run(self._analytic_profile(params, algorithm)).time_seconds
 
     def _ours_tuned(self, params: ConvParams, algorithm: str) -> float:
         engine = AutoTuningEngine(
@@ -123,29 +153,55 @@ class ModelRunner:
             algorithm=algorithm,
             max_measurements=self.max_measurements,
             seed=self.seed,
+            database=self.database,
         )
         return engine.tune().best_time
 
+    def _best_timing(
+        self, layer: ConvLayer, params: ConvParams, timings: Dict[str, float]
+    ) -> LayerTiming:
+        """Pick the fastest candidate template and pair it with the cuDNN
+        baseline (shared by the per-layer and the whole-model paths)."""
+        algorithm = min(timings, key=timings.get)
+        return LayerTiming(
+            layer=layer,
+            algorithm=algorithm,
+            ours_seconds=timings[algorithm],
+            cudnn_seconds=self.library.run_best(params).time_seconds,
+        )
+
     def time_layer(self, layer: ConvLayer) -> LayerTiming:
         params = layer.params(batch=self.batch)
-        # Evaluate every applicable template and keep the fastest, the way the
-        # auto-tuner's template manager would pick between schedules.
-        candidates = ["direct"]
-        if self._choose_algorithm(params) == "winograd":
-            candidates.append("winograd")
         timings = {}
-        for algorithm in candidates:
+        for algorithm in self._candidate_algorithms(params):
             if self.mode == "tuned":
                 timings[algorithm] = self._ours_tuned(params, algorithm)
             else:
                 timings[algorithm] = self._ours_analytic(params, algorithm)
-        algorithm = min(timings, key=timings.get)
-        ours = timings[algorithm]
-        cudnn = self.library.run_best(params).time_seconds
-        return LayerTiming(
-            layer=layer, algorithm=algorithm, ours_seconds=ours, cudnn_seconds=cudnn
-        )
+        return self._best_timing(layer, params, timings)
+
+    def _time_layers_analytic(self, layers: Sequence[ConvLayer]) -> List[LayerTiming]:
+        """Analytic timing of many layers with one batched executor call."""
+        entries: List[Tuple[int, str]] = []  # (layer index, algorithm)
+        profiles: List[KernelProfile] = []
+        all_params = [layer.params(batch=self.batch) for layer in layers]
+        for li, params in enumerate(all_params):
+            for algorithm in self._candidate_algorithms(params):
+                entries.append((li, algorithm))
+                profiles.append(self._analytic_profile(params, algorithm))
+        executions = self.executor.run_batch(profiles)
+
+        per_layer: Dict[int, Dict[str, float]] = {}
+        for (li, algorithm), execution in zip(entries, executions):
+            per_layer.setdefault(li, {})[algorithm] = execution.time_seconds
+        return [
+            self._best_timing(layer, all_params[li], per_layer[li])
+            for li, layer in enumerate(layers)
+        ]
 
     def time_model(self, model: ConvNet) -> ModelTiming:
-        timings = [self.time_layer(layer) for layer in model.layers]
+        if self.mode == "analytic":
+            timings = self._time_layers_analytic(model.layers)
+        else:
+            timings = [self.time_layer(layer) for layer in model.layers]
         return ModelTiming(model=model.name, gpu=self.spec.name, layers=timings)

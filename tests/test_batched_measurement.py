@@ -1,0 +1,251 @@
+"""Property tests for the batched measurement pipeline.
+
+The contract of the batched path is exact: ``GPUExecutor.run_batch`` and
+``Measurer.measure_batch`` must reproduce the scalar results bit-for-bit,
+including the deterministic configuration-keyed noise term, and must agree
+with the scalar path on which configurations are infeasible.
+"""
+
+import random
+
+import pytest
+
+from repro.conv import ConvParams, Layout
+from repro.core.autotune import Configuration, Measurer, SearchSpace, lower_batch
+from repro.core.dataflow import OutputTile
+from repro.gpusim import (
+    GFX906,
+    GTX_1080TI,
+    V100,
+    GPUExecutor,
+    GPUSpec,
+    KernelProfile,
+    ProfileBatch,
+    direct_dataflow_profile,
+    occupancy,
+    winograd_dataflow_profile,
+)
+
+LAYER = ConvParams.square(13, 64, 96, kernel=3, stride=1, padding=1)
+
+
+def _random_configs(n_per_space=60, seed=0):
+    """Random configurations over direct/winograd, pruned/full spaces, plus
+    handcrafted edge cases (clipped tiles, infeasible shared memory)."""
+    rng = random.Random(seed)
+    configs = []
+    for algorithm in ("direct", "winograd"):
+        for pruned in (True, False):
+            space = SearchSpace(LAYER, V100, algorithm, pruned=pruned)
+            configs.extend(space.random_configuration(rng) for _ in range(n_per_space))
+    configs.extend(
+        [
+            # Tile larger than the output extents: exercises clipping.
+            Configuration("direct", 64, 64, 96, 4, 4, 2),
+            # Working set exceeding the configured shared memory: infeasible.
+            Configuration("direct", 13, 13, 96, 1, 1, 1, smem_per_block=8 * 1024),
+            # Thread count above the device limit: infeasible.
+            Configuration("direct", 13, 13, 96, 13, 13, 32),
+            # Tiny thread count: the lowering clamps to a full warp.
+            Configuration("direct", 13, 13, 8, 1, 1, 1),
+            # Winograd with a larger output tile extent.
+            Configuration("winograd", 13, 13, 8, 1, 13, 2, e=4),
+        ]
+    )
+    rng.shuffle(configs)
+    return configs
+
+
+class TestRunBatch:
+    def _profiles(self, spec, n=40, seed=1):
+        """Random profiles that fit the device (run() would raise otherwise,
+        and run_batch mirrors that by rejecting the whole batch)."""
+        rng = random.Random(seed)
+        profiles = []
+        while len(profiles) < n:
+            tile = OutputTile(rng.choice((1, 2, 4, 13)), rng.choice((1, 13)), rng.choice((2, 8, 96)))
+            layout = rng.choice(Layout.all())
+            if rng.random() < 0.5:
+                profile = direct_dataflow_profile(LAYER, tile, layout=layout)
+            else:
+                profile = winograd_dataflow_profile(
+                    LAYER, tile, e=rng.choice((2, 3)), layout=layout
+                )
+            if profile.smem_per_block <= spec.shared_mem_per_sm:
+                profiles.append(profile)
+        return profiles
+
+    @pytest.mark.parametrize("spec", [V100, GTX_1080TI, GFX906], ids=lambda s: s.name)
+    @pytest.mark.parametrize("noise", [0.0, 0.05])
+    def test_bit_identical_to_scalar(self, spec, noise):
+        executor = GPUExecutor(spec, noise=noise, seed=7)
+        profiles = self._profiles(spec)
+        batched = executor.run_batch(profiles)
+        for profile, got in zip(profiles, batched):
+            assert got == executor.run(profile)
+
+    def test_accepts_profile_batch(self):
+        executor = GPUExecutor(V100)
+        profiles = self._profiles(V100, n=10)
+        packed = ProfileBatch.from_profiles(profiles)
+        assert len(packed) == 10
+        assert executor.run_batch(packed) == executor.run_batch(profiles)
+
+    def test_empty_batch(self):
+        assert GPUExecutor(V100).run_batch([]) == []
+
+    def test_rejects_oversized_smem_like_scalar(self):
+        bad = KernelProfile(
+            "big", flops=1e9, dram_bytes=1e7, smem_per_block=200 * 1024,
+            threads_per_block=256, num_blocks=64,
+        )
+        executor = GPUExecutor(V100)
+        with pytest.raises(ValueError):
+            executor.run(bad)
+        with pytest.raises(ValueError):
+            executor.run_batch([bad])
+
+
+class TestOccupancyInfeasible:
+    def test_threads_above_sm_capacity_raise(self):
+        # A device whose per-block limit exceeds what an SM can keep resident:
+        # the launch must be rejected, not silently scored as one resident block.
+        spec = GPUSpec(
+            name="tiny-sm",
+            num_sms=4,
+            shared_mem_per_sm=64 * 1024,
+            dram_bandwidth=100e9,
+            peak_flops=1e12,
+            max_threads_per_sm=512,
+            max_threads_per_block=1024,
+        )
+        profile = KernelProfile(
+            "k", flops=1e9, dram_bytes=1e7, smem_per_block=0,
+            threads_per_block=1024, num_blocks=64,
+        )
+        with pytest.raises(ValueError):
+            occupancy(profile, spec)
+        with pytest.raises(ValueError):
+            GPUExecutor(spec, noise=0).run_batch([profile])
+
+    def test_measurer_treats_unresident_launch_as_infeasible(self):
+        """On a device where a block that satisfies the per-block limit still
+        cannot be resident on an SM, the Measurer must report infeasible (in
+        both scalar and batched form), not crash mid-batch."""
+        spec = GPUSpec(
+            name="tiny-sm",
+            num_sms=4,
+            shared_mem_per_sm=64 * 1024,
+            dram_bandwidth=100e9,
+            peak_flops=1e12,
+            max_threads_per_sm=512,
+            max_threads_per_block=1024,
+        )
+        params = ConvParams.square(32, 16, 32, kernel=3, stride=1, padding=1)
+        too_wide = Configuration("direct", 32, 32, 1, 32, 32, 1, smem_per_block=16 * 1024)
+        fits = Configuration("direct", 8, 8, 4, 8, 8, 4, smem_per_block=16 * 1024)
+        m = Measurer(params, spec)
+        assert not m.is_feasible(too_wide)
+        batched = Measurer(params, spec).measure_batch([too_wide, fits])
+        assert batched[0] is None
+        assert batched[1] is not None
+        assert batched[1] == m.try_measure(fits)
+
+    def test_threads_at_sm_capacity_ok(self):
+        assert 0 < occupancy(
+            KernelProfile(
+                "k", flops=1e9, dram_bytes=1e7, smem_per_block=0,
+                threads_per_block=1024, num_blocks=64,
+            ),
+            V100,
+        ) <= 1
+
+
+class TestLowerBatch:
+    def test_feasibility_matches_scalar(self):
+        configs = _random_configs()
+        feasible, batch = lower_batch(configs, LAYER, V100)
+        scalar = Measurer(LAYER, V100)
+        expected = [scalar.is_feasible(c) for c in configs]
+        assert feasible.tolist() == expected
+        assert len(batch) == sum(expected)
+
+    def test_empty(self):
+        feasible, batch = lower_batch([], LAYER, V100)
+        assert feasible.tolist() == []
+        assert len(batch) == 0
+
+
+class TestMeasureBatch:
+    @pytest.mark.parametrize("noise", [0.0, 0.05])
+    def test_bit_identical_to_scalar(self, noise):
+        configs = _random_configs()
+        scalar = Measurer(LAYER, V100, noise=noise)
+        batched = Measurer(LAYER, V100, noise=noise)
+        results = batched.measure_batch(configs)
+        assert len(results) == len(configs)
+        for config, got in zip(configs, results):
+            want = scalar.try_measure(config)
+            if want is None:
+                assert got is None
+            else:
+                assert got == want  # all fields, including the noise term
+        assert batched.num_measurements == scalar.num_measurements
+
+    def test_large_batch_bit_identical(self):
+        """The acceptance-criterion shape: 256 configurations, exact equality."""
+        rng = random.Random(3)
+        space = SearchSpace(LAYER, V100, "direct", pruned=True)
+        configs, seen = [], set()
+        while len(configs) < 256:
+            c = space.random_configuration(rng)
+            if c.key() not in seen:
+                seen.add(c.key())
+                configs.append(c)
+        scalar = Measurer(LAYER, V100)
+        batched = Measurer(LAYER, V100)
+        results = batched.measure_batch(configs)
+        times = [r.time_seconds for r in results]
+        assert times == [scalar.measure(c).time_seconds for c in configs]
+
+    def test_duplicates_and_cache_interop(self):
+        space = SearchSpace(LAYER, V100, "direct", pruned=True)
+        config = space.random_configuration(random.Random(5))
+        m = Measurer(LAYER, V100)
+        first, second = m.measure_batch([config, config])
+        assert first is second
+        assert m.num_measurements == 1
+        # Scalar measure afterwards is a cache hit with the identical result.
+        assert m.measure(config) is first
+        assert m.num_measurements == 1
+
+    def test_infeasible_cached_as_none(self):
+        bad = Configuration("direct", 13, 13, 96, 1, 1, 1, smem_per_block=8 * 1024)
+        m = Measurer(LAYER, V100)
+        assert m.measure_batch([bad]) == [None]
+        assert not m.is_feasible(bad)
+        with pytest.raises(ValueError):
+            m.measure(bad)
+        assert m.num_measurements == 0
+
+
+class TestSingleLowering:
+    def test_feasibility_then_measure_lowers_once(self, monkeypatch):
+        """is_feasible + measure must not lower the configuration twice."""
+        import repro.core.autotune.config as config_mod
+
+        calls = {"n": 0}
+        real = config_mod.build_profile
+
+        def counting(*args, **kwargs):
+            calls["n"] += 1
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(config_mod, "build_profile", counting)
+        m = Measurer(LAYER, V100)
+        config = SearchSpace(LAYER, V100, "direct", pruned=True).random_configuration(
+            random.Random(9)
+        )
+        assert m.is_feasible(config)
+        m.measure(config)
+        assert calls["n"] == 1

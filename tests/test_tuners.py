@@ -75,6 +75,22 @@ class TestExplorer:
         with pytest.raises(ValueError):
             ExplorerConfig(restart_fraction=1.5)
 
+    @pytest.mark.parametrize("epsilon", [0.0, 0.25, 1.0])
+    def test_epsilon_greedy_fills_batch(self, epsilon):
+        """Regression for the collapsed random-fill loop: whatever fraction of
+        the batch is reserved for ε-greedy exploration, the proposal always
+        returns a full batch of unique, unvisited configurations."""
+        space = SearchSpace(LAYER, V100, "direct", pruned=True)
+        explorer = ParallelRandomWalkExplorer(
+            space, LAYER, V100, config=ExplorerConfig(epsilon=epsilon), seed=4
+        )
+        visited = {c.key() for c in space.sample(random.Random(0), 50)}
+        batch = explorer.propose(None, batch_size=12, visited=set(visited))
+        assert len(batch) == 12
+        keys = {c.key() for c in batch}
+        assert len(keys) == 12
+        assert not keys & visited
+
 
 class TestTuningResult:
     def test_best_and_curve(self, ate_result):
@@ -97,6 +113,21 @@ class TestTuningResult:
         r = TuningResult(tuner="x", params=LAYER, gpu="V100")
         with pytest.raises(RuntimeError):
             _ = r.best_trial
+
+    def test_measurements_to_reach_all_invalid_is_zero(self):
+        """An all-invalid run has a flat-zero curve; it must not report
+        convergence at measurement 1 (target would be 0.0)."""
+        r = TuningResult(tuner="x", params=LAYER, gpu="V100")
+        for i in range(5):
+            r.trials.append(
+                TrialRecord(index=i, config=None, time_seconds=float("inf"), gflops=0.0)
+            )
+        assert r.measurements_to_reach(0.99) == 0
+        assert r.measurements_to_reach(0.5) == 0
+
+    def test_measurements_to_reach_empty_is_zero(self):
+        r = TuningResult(tuner="x", params=LAYER, gpu="V100")
+        assert r.measurements_to_reach(0.99) == 0
 
 
 class TestAutoTuningEngine:

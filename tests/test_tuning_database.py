@@ -1,0 +1,248 @@
+"""Tests for the persistent tuning database and its engine/runner wiring."""
+
+import random
+
+import pytest
+
+from repro.conv import ConvParams
+from repro.core.autotune import (
+    AutoTuningEngine,
+    Measurer,
+    SearchSpace,
+    TuningDatabase,
+    TuningRecord,
+)
+from repro.gpusim import V100
+from repro.nets import ConvLayer, ConvNet, ModelRunner
+
+LAYER = ConvParams.square(13, 64, 96, kernel=3, stride=1, padding=1)
+SMALL = ConvParams.square(8, 16, 32, kernel=3, stride=1, padding=1)
+
+
+def _record(params=LAYER, gpu="V100", algorithm="direct", time_seconds=1e-3, **kw):
+    space = SearchSpace(params, V100, algorithm, pruned=True)
+    config = space.random_configuration(random.Random(0))
+    return TuningRecord(
+        params=params,
+        gpu=gpu,
+        algorithm=algorithm,
+        config=config,
+        time_seconds=time_seconds,
+        gflops=123.0,
+        **kw,
+    )
+
+
+class TestDatabaseBasics:
+    def test_put_and_lookup(self):
+        db = TuningDatabase()
+        record = _record()
+        db.put(record)
+        assert len(db) == 1
+        assert db.lookup(LAYER, V100, "direct") is record
+        assert db.lookup(LAYER, "V100", "direct") is record  # name or spec
+        assert db.lookup(LAYER, V100, "winograd") is None
+        assert (db.hits, db.misses) == (2, 1)
+
+    def test_contains_does_not_count(self):
+        db = TuningDatabase([_record()])
+        assert db.contains(LAYER, V100, "direct")
+        assert not db.contains(SMALL, V100, "direct")
+        assert (db.hits, db.misses) == (0, 0)
+
+    def test_collision_keeps_faster_record(self):
+        db = TuningDatabase()
+        slow = _record(time_seconds=2e-3)
+        fast = _record(time_seconds=1e-3)
+        db.put(slow)
+        assert db.put(fast) is fast
+        assert db.put(slow) is fast  # slower record does not evict the faster
+        assert len(db) == 1
+
+    def test_distinct_params_are_distinct_keys(self):
+        db = TuningDatabase([_record(), _record(params=LAYER.with_batch(4))])
+        assert len(db) == 2
+
+    def test_as_result_round_trip(self):
+        record = _record(num_measurements=40, space_size=1000)
+        result = record.as_result()
+        assert result.from_cache
+        assert result.best_config == record.config
+        assert result.best_time == record.time_seconds
+        assert result.space_size == 1000
+        assert result.num_measurements == 1
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        db = TuningDatabase()
+        db.put(_record(tuner="ate", num_measurements=64, space_size=4096))
+        db.put(_record(params=SMALL, algorithm="winograd", time_seconds=5e-4))
+        path = tmp_path / "tuning.json"
+        db.save(path)
+        loaded = TuningDatabase.load(path)
+        assert len(loaded) == len(db)
+        for original in db.records():
+            restored = loaded.lookup(original.params, original.gpu, original.algorithm)
+            assert restored == original
+
+    def test_load_rejects_unknown_version(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"version": 99, "records": []}')
+        with pytest.raises(ValueError):
+            TuningDatabase.load(path)
+
+    def test_merge(self):
+        a = TuningDatabase([_record()])
+        b = TuningDatabase([_record(params=SMALL)])
+        a.merge(b)
+        assert len(a) == 2
+
+
+class TestEngineWiring:
+    def test_second_tune_served_from_database(self):
+        db = TuningDatabase()
+        measurer = Measurer(SMALL, V100)
+        engine = AutoTuningEngine(
+            SMALL, V100, "direct", max_measurements=24, seed=1,
+            measurer=measurer, database=db,
+        )
+        first = engine.tune()
+        assert not first.from_cache
+        assert len(db) == 1
+        spent = measurer.num_measurements
+
+        again = AutoTuningEngine(
+            SMALL, V100, "direct", max_measurements=24, seed=99,
+            measurer=measurer, database=db,
+        ).tune()
+        assert again.from_cache
+        assert again.best_time == first.best_time
+        assert again.best_config == first.best_config
+        assert measurer.num_measurements == spent  # zero new measurements
+
+    def test_tune_without_database_unchanged(self):
+        result = AutoTuningEngine(SMALL, V100, "direct", max_measurements=16, seed=1).tune()
+        assert not result.from_cache
+
+    def test_unpruned_engine_bypasses_database(self):
+        # A TVM-style (unpruned) run must neither consume nor pollute the
+        # database of pruned ATE records.
+        db = TuningDatabase()
+        AutoTuningEngine(
+            SMALL, V100, "direct", max_measurements=16, seed=1, database=db
+        ).tune()
+        assert len(db) == 1
+        unpruned = AutoTuningEngine(
+            SMALL, V100, "direct", max_measurements=16, seed=1,
+            pruned=False, database=db,
+        ).tune()
+        assert not unpruned.from_cache
+        assert len(db) == 1  # nothing stored for the unpruned space
+
+    def test_low_budget_record_does_not_serve_bigger_request(self):
+        db = TuningDatabase()
+        measurer = Measurer(SMALL, V100)
+        AutoTuningEngine(
+            SMALL, V100, "direct", max_measurements=8, seed=1,
+            measurer=measurer, database=db,
+        ).tune()
+        thorough = AutoTuningEngine(
+            SMALL, V100, "direct", max_measurements=32, seed=1,
+            measurer=measurer, database=db,
+        ).tune()
+        assert not thorough.from_cache  # the 8-budget record did not pin it
+        record = db.lookup(SMALL, V100, "direct")
+        assert record.budget == 32  # upgraded by the thorough run
+        # A smaller request is now happily served from the cache.
+        small = AutoTuningEngine(
+            SMALL, V100, "direct", max_measurements=8, seed=5,
+            measurer=measurer, database=db,
+        ).tune()
+        assert small.from_cache
+
+    def test_put_collision_inherits_larger_budget(self):
+        db = TuningDatabase()
+        db.put(_record(time_seconds=2e-3, budget=96))
+        kept = db.put(_record(time_seconds=1e-3, budget=8))
+        assert kept.time_seconds == 1e-3
+        assert kept.budget == 96  # the faster config also covers the 96-budget
+
+    def test_mismatched_measurement_conditions_are_misses(self):
+        db = TuningDatabase()
+        noisy = Measurer(SMALL, V100)  # default noise=0.05, seed=2021
+        AutoTuningEngine(
+            SMALL, V100, "direct", max_measurements=16, seed=1,
+            measurer=noisy, database=db,
+        ).tune()
+        # A noiseless measurer must not be served times measured with noise.
+        clean = Measurer(SMALL, V100, noise=0.0)
+        result = AutoTuningEngine(
+            SMALL, V100, "direct", max_measurements=16, seed=1,
+            measurer=clean, database=db,
+        ).tune()
+        assert not result.from_cache
+        # Both condition sets coexist under the problem key — alternating
+        # runners keep hitting their own records instead of evicting each
+        # other (no retune ping-pong).
+        assert len(db) == 2
+        assert db.lookup(SMALL, V100, "direct", noise=0.05, noise_seed=2021).noise == 0.05
+        assert db.lookup(SMALL, V100, "direct", noise=0.0, noise_seed=2021).noise == 0.0
+        again = AutoTuningEngine(
+            SMALL, V100, "direct", max_measurements=16, seed=7,
+            measurer=noisy, database=db,
+        ).tune()
+        assert again.from_cache
+
+    def test_unknown_condition_records_serve_any_caller(self):
+        db = TuningDatabase([_record(time_seconds=1e-3)])  # noise=None: unknown
+        assert db.lookup(LAYER, V100, "direct", noise=0.0, noise_seed=5) is not None
+
+
+class TestRunnerReuse:
+    def test_repeated_layers_tune_once(self):
+        # Two identically-shaped layers under different names plus one distinct
+        # layer: the database must collapse the duplicates to one tuning run.
+        net = ConvNet(
+            name="toy",
+            layers=(
+                ConvLayer("a", 16, 8, 32, kernel=3, padding=1),
+                ConvLayer("b", 16, 8, 32, kernel=3, padding=1, repeat=3),
+                ConvLayer("c", 16, 8, 16, kernel=3, padding=1),
+            ),
+        )
+        runner = ModelRunner(V100, mode="tuned", max_measurements=16)
+        timing = runner.time_model(net)
+        # Layers a and b share (ConvParams, algorithm): a tunes, b hits.
+        distinct = 2  # distinct ConvParams among a/b/c
+        algorithms_per_layer = 2  # direct + winograd candidates (3x3, Cin>=16)
+        assert len(runner.database) == distinct * algorithms_per_layer
+        assert runner.database.hits > 0
+        assert timing.layers[0].ours_seconds == timing.layers[1].ours_seconds
+
+    def test_database_shared_across_models(self):
+        net = ConvNet(name="m1", layers=(ConvLayer("a", 16, 8, 32, kernel=3, padding=1),))
+        db = TuningDatabase()
+        ModelRunner(V100, mode="tuned", max_measurements=16, database=db).time_model(net)
+        stored = len(db)
+        assert stored > 0
+        hits_before = db.hits
+        ModelRunner(V100, mode="tuned", max_measurements=16, database=db).time_model(net)
+        assert len(db) == stored  # nothing re-tuned
+        assert db.hits > hits_before
+
+    def test_analytic_mode_matches_scalar_layer_path(self):
+        net = ConvNet(
+            name="toy",
+            layers=(
+                ConvLayer("a", 16, 8, 32, kernel=3, padding=1),
+                ConvLayer("b", 3, 16, 8, kernel=5, stride=2),
+            ),
+        )
+        runner = ModelRunner(V100, mode="analytic")
+        timing = runner.time_model(net)
+        for layer, got in zip(net.layers, timing.layers):
+            want = runner.time_layer(layer)
+            assert got.ours_seconds == want.ours_seconds
+            assert got.algorithm == want.algorithm
+            assert got.cudnn_seconds == want.cudnn_seconds
