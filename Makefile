@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-batched
+.PHONY: test bench bench-batched bench-service
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -14,3 +14,6 @@ bench:
 
 bench-batched:
 	$(PYTHON) -m pytest benchmarks/bench_batched_measurement.py -q -s
+
+bench-service:
+	$(PYTHON) -m pytest benchmarks/bench_tuning_service.py -q -s

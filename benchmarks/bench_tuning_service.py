@@ -1,0 +1,134 @@
+"""Tuning-service throughput — coalescing + packing vs sequential tuning.
+
+A production tuning tier serves many concurrent requests whose layers repeat
+heavily (model zoos share ResNet-style shapes).  This benchmark answers a
+mixed 16-request workload (5 distinct (layer, algorithm) problems, realistic
+duplication) two ways:
+
+* ``sequential per-request`` — the pre-service flow: one
+  ``AutoTuningEngine.tune`` per request, no shared state, so duplicated
+  requests re-tune from scratch;
+* ``tuning service`` — one :class:`~repro.service.TuningService`: duplicate
+  in-flight requests coalesce onto a single run and the surviving runs'
+  measurement batches are packed into shared executor calls.
+
+The service must be at least 3x faster on the workload while returning
+bit-identical best configurations for every request.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import warnings
+
+import pytest
+
+from conftest import emit
+from repro.analysis import ResultTable, render_table
+from repro.conv import ConvParams
+from repro.service import TuningRequest, TuningService
+
+BUDGET = 48
+ROUNDS = 2
+
+#: 5 distinct problems, duplicated into a mixed 16-request workload the way
+#: concurrent clients tuning overlapping models would submit them.
+_DISTINCT = [
+    (ConvParams.square(28, 128, 128, kernel=3, stride=1, padding=1), "direct"),
+    (ConvParams.square(13, 64, 96, kernel=3, stride=1, padding=1), "direct"),
+    (ConvParams.square(16, 32, 48, kernel=3, stride=1, padding=1), "direct"),
+    (ConvParams.square(28, 128, 128, kernel=3, stride=1, padding=1), "winograd"),
+    (ConvParams.square(8, 16, 32, kernel=3, stride=1, padding=1), "direct"),
+]
+_MIX = [0, 1, 0, 2, 3, 1, 0, 4, 1, 3, 2, 0, 1, 3, 4, 2]  # 16 requests
+
+
+def _requests(spec):
+    return [
+        TuningRequest(
+            _DISTINCT[i][0],
+            spec,
+            algorithm=_DISTINCT[i][1],
+            max_measurements=BUDGET,
+            seed=1,
+        )
+        for i in _MIX
+    ]
+
+
+def _best_of(fn, rounds=ROUNDS):
+    best_time, result = float("inf"), None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn()
+        best_time = min(best_time, time.perf_counter() - start)
+    return best_time, result
+
+
+def run_tuning_service_throughput(spec):
+    requests = _requests(spec)
+
+    def sequential():
+        return [
+            request.make_engine().tune(initial_random=request.initial_random)
+            for request in requests
+        ]
+
+    last_service = {}
+
+    def service():
+        svc = TuningService()
+        last_service["svc"] = svc  # deterministic: every round has equal stats
+        return svc.tune(requests)
+
+    t_sequential, sequential_results = _best_of(sequential)
+    t_service, service_results = _best_of(service)
+    stats = last_service["svc"].stats
+
+    # Exactness: every request's best configuration is bit-identical.
+    for got, want in zip(service_results, sequential_results):
+        assert got.best_config == want.best_config, "service best config diverges"
+        assert got.best_time == want.best_time, "service best time diverges"
+
+    table = ResultTable(
+        f"Tuning service throughput ({spec.name}, {len(requests)} requests, "
+        f"{len(_DISTINCT)} distinct, budget {BUDGET})",
+        columns=["pipeline", "ms", "ms_per_request", "speedup"],
+    )
+    for name, t in (
+        ("sequential per-request", t_sequential),
+        ("tuning service", t_service),
+    ):
+        table.add_row(
+            pipeline=name,
+            ms=t * 1e3,
+            ms_per_request=t * 1e3 / len(requests),
+            speedup=t_sequential / t,
+        )
+    return table, t_sequential / t_service, stats
+
+
+@pytest.mark.benchmark(group="tuning-service")
+def test_tuning_service_throughput(benchmark, gpu_v100):
+    table, speedup, stats = benchmark.pedantic(
+        run_tuning_service_throughput, args=(gpu_v100,), rounds=1, iterations=1
+    )
+    emit(render_table(table, precision=2))
+    emit(
+        f"service speedup: {speedup:.1f}x over sequential per-request tuning; "
+        f"{stats.describe()}"
+    )
+    # The coalescing accounting always gates (it is deterministic); the
+    # wall-clock ratio gates by default but BENCH_SPEEDUP_SOFT=1 downgrades a
+    # shortfall to a warning for shared CI runners, mirroring
+    # bench_batched_measurement.py.
+    assert stats.tuning_runs == len(_DISTINCT), "duplicates did not coalesce"
+    assert stats.coalesced == len(_MIX) - len(_DISTINCT)
+    floor = 3.0
+    if speedup < floor:
+        message = f"service speedup is {speedup:.1f}x, below the {floor}x floor"
+        if os.environ.get("BENCH_SPEEDUP_SOFT") == "1":
+            warnings.warn(message)
+        else:
+            pytest.fail(message)

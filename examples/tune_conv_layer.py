@@ -5,11 +5,15 @@ Tunes AlexNet conv3 on the simulated V100 with the I/O-lower-bound-guided
 engine (ATE) and with the TVM-style baseline, then prints both convergence
 curves and the cuDNN reference.
 
+ATE results persist in the default on-disk tuning database
+(``~/.cache/repro-tuning.json``, override with ``$REPRO_TUNING_DB``): run the
+example twice and the second ATE "search" is a zero-measurement cache hit.
+
 Run with:  python examples/tune_conv_layer.py
 """
 
 from repro.analysis import Series, render_series
-from repro.core.autotune import AutoTuningEngine, TVMStyleTuner
+from repro.core.autotune import AutoTuningEngine, TVMStyleTuner, TuningDatabase
 from repro.gpusim import V100, CudnnLibrary
 from repro.nets import alexnet
 
@@ -20,7 +24,10 @@ def main() -> None:
     params = alexnet().layer("conv3").params()
     print("Tuning", params.describe(), "on", V100.describe())
 
-    ate = AutoTuningEngine(params, V100, "direct", max_measurements=BUDGET, seed=1).tune()
+    database = TuningDatabase.default()
+    ate = AutoTuningEngine(
+        params, V100, "direct", max_measurements=BUDGET, seed=1, database=database
+    ).tune()
     tvm = TVMStyleTuner(params, V100, "direct", max_measurements=BUDGET, seed=1).tune()
     cudnn = CudnnLibrary(V100).run_direct(params)
 
@@ -38,6 +45,11 @@ def main() -> None:
     print(f"\ncuDNN baseline: {cudnn.gflops:.0f} GFLOP/s")
     print(f"ATE speedup over cuDNN: {cudnn.time_seconds / ate.best_time:.2f}x")
     print(f"ATE speedup over TVM-style best: {tvm.best_time / ate.best_time:.2f}x")
+
+    if ate.from_cache:
+        print("\nATE result served from the tuning database (zero measurements).")
+    saved = database.save()
+    print(f"Tuning database: {database.describe()} -> {saved}")
 
 
 if __name__ == "__main__":

@@ -9,11 +9,15 @@ The package is organised into:
 * :mod:`repro.gpusim`  — analytical GPU memory-hierarchy simulator
   (substitute for the paper's physical GPUs).
 * :mod:`repro.nets`    — CNN layer specifications (AlexNet, VGG, ResNet, ...).
+* :mod:`repro.service` — concurrent tuning service: request coalescing,
+  cross-request measurement batching, sharded worker pools.
 * :mod:`repro.analysis` — table/figure formatting used by the benchmark harness.
 """
 
 __version__ = "1.0.0"
 
-from . import analysis, conv, core, gpusim, nets, pebble  # noqa: F401
+from . import analysis, conv, core, gpusim, nets, pebble, service  # noqa: F401
 
-__all__ = ["analysis", "conv", "core", "gpusim", "nets", "pebble", "__version__"]
+__all__ = [
+    "analysis", "conv", "core", "gpusim", "nets", "pebble", "service", "__version__",
+]

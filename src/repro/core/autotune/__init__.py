@@ -5,16 +5,17 @@ Measurements flow through a batched pipeline (``Measurer.measure_batch`` →
 layers, networks and processes via the :class:`TuningDatabase`.
 """
 
-from .config import Configuration, Measurer, build_profile, lower_batch
+from .config import Configuration, Measurer, PendingBatch, build_profile, lower_batch
 from .space import SearchSpace
-from .features import FEATURE_NAMES, feature_matrix, feature_vector
+from .features import FEATURE_NAMES, FeatureCache, feature_matrix, feature_vector
 from .cost_model import CostModel, GradientBoostedTrees, RegressionTree
 from .explorer import ExplorerConfig, ParallelRandomWalkExplorer
-from .engine import AutoTuningEngine, TrialRecord, TuningResult
-from .database import TuningDatabase, TuningRecord
+from .engine import AutoTuningEngine, TrialRecord, TuningResult, TuningSession
+from .database import TuningDatabase, TuningRecord, default_database_path
 from .baselines import (
     BaselineTuner,
     GeneticTuner,
+    ParallelTemperingSATuner,
     RandomSearchTuner,
     SimulatedAnnealingTuner,
     TVMStyleTuner,
@@ -23,12 +24,15 @@ from .baselines import (
 __all__ = [
     "Configuration",
     "Measurer",
+    "PendingBatch",
     "build_profile",
     "lower_batch",
     "SearchSpace",
     "TuningDatabase",
     "TuningRecord",
+    "default_database_path",
     "FEATURE_NAMES",
+    "FeatureCache",
     "feature_matrix",
     "feature_vector",
     "CostModel",
@@ -39,8 +43,10 @@ __all__ = [
     "AutoTuningEngine",
     "TrialRecord",
     "TuningResult",
+    "TuningSession",
     "BaselineTuner",
     "GeneticTuner",
+    "ParallelTemperingSATuner",
     "RandomSearchTuner",
     "SimulatedAnnealingTuner",
     "TVMStyleTuner",

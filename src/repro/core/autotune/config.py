@@ -44,7 +44,7 @@ from ...gpusim.kernels import (
 from ...gpusim.spec import GPUSpec
 from ..dataflow.common import OutputTile
 
-__all__ = ["Configuration", "build_profile", "lower_batch", "Measurer"]
+__all__ = ["Configuration", "build_profile", "lower_batch", "PendingBatch", "Measurer"]
 
 #: low-level knob gains shared by the scalar and the vectorised lowering.
 _UNROLL_GAIN = {1: 0.88, 2: 0.96, 4: 1.0, 8: 0.94}
@@ -404,6 +404,32 @@ def lower_batch(
     return feasible, batch
 
 
+@dataclasses.dataclass
+class PendingBatch:
+    """A lowered-but-not-yet-executed slice of a :meth:`Measurer.measure_batch`.
+
+    Produced by :meth:`Measurer.prepare_batch` and consumed by
+    :meth:`Measurer.finish_batch`; ``batch`` holds the feasible uncached
+    configurations in input order (the work an executor must run), while
+    ``results`` already carries the cache hits.
+    """
+
+    #: per-input-config results; cache hits prefilled, the rest ``None``.
+    results: List[Optional[ExecutionResult]]
+    #: configuration key -> input indices awaiting that key's execution.
+    pending: Dict[Tuple, List[int]]
+    #: keys of the uncached configurations, in lowering order.
+    pending_keys: List[Tuple]
+    #: feasibility mask over ``pending_keys`` (from :func:`lower_batch`).
+    feasible: np.ndarray
+    #: the lowered feasible configurations, ready for the executor.
+    batch: ProfileBatch
+
+    def __len__(self) -> int:
+        """Number of configurations the executor must run."""
+        return len(self.batch)
+
+
 class Measurer:
     """Measurement harness: run configurations on the simulated GPU.
 
@@ -458,15 +484,16 @@ class Measurer:
         return execution
 
     # -- batched path -------------------------------------------------- #
-    def measure_batch(
-        self, configs: Sequence[Configuration]
-    ) -> List[Optional[ExecutionResult]]:
-        """Measure a whole batch at once; ``None`` marks infeasible entries.
+    def prepare_batch(self, configs: Sequence[Configuration]) -> "PendingBatch":
+        """Lower a batch without executing it (the front half of
+        :meth:`measure_batch`).
 
-        Uncached configurations are lowered with :func:`lower_batch` and
-        executed through the vectorised
-        :meth:`~repro.gpusim.executor.GPUExecutor.run_batch`, producing
-        results bit-identical to the scalar path (same noise term included).
+        Cache hits and duplicate keys are resolved immediately; the
+        not-yet-measured configurations are lowered with :func:`lower_batch`
+        into ``PendingBatch.batch``, ready to be executed — possibly packed
+        together with pending batches of *other* measurers via
+        :meth:`~repro.gpusim.executor.GPUExecutor.run_batch_groups` — and
+        handed back to :meth:`finish_batch`.
         """
         results: List[Optional[ExecutionResult]] = [None] * len(configs)
         pending: Dict[Tuple, List[int]] = {}
@@ -482,19 +509,48 @@ class Measurer:
                 pending[key] = [i]
                 pending_configs.append(config)
                 pending_keys.append(key)
-        if not pending_configs:
-            return results
-
         feasible, batch = lower_batch(pending_configs, self.params, self.spec)
-        executions = iter(self.executor.run_batch(batch))
-        for key, ok in zip(pending_keys, feasible.tolist()):
-            execution = next(executions) if ok else None
+        return PendingBatch(results, pending, pending_keys, feasible, batch)
+
+    def finish_batch(
+        self, prepared: "PendingBatch", executions: Sequence[ExecutionResult]
+    ) -> List[Optional[ExecutionResult]]:
+        """Record the executor results of a prepared batch (the back half of
+        :meth:`measure_batch`).
+
+        ``executions`` must be the executor's results for exactly
+        ``prepared.batch`` (one entry per feasible lowered configuration, in
+        order); the measurement cache and counter are updated exactly as the
+        one-call path does.
+        """
+        it = iter(executions)
+        for key, ok in zip(prepared.pending_keys, prepared.feasible.tolist()):
+            execution = next(it) if ok else None
             if execution is not None:
                 self.num_measurements += 1
             self._cache[key] = execution
-            for i in pending[key]:
-                results[i] = execution
-        return results
+            for i in prepared.pending[key]:
+                prepared.results[i] = execution
+        return prepared.results
+
+    def measure_batch(
+        self, configs: Sequence[Configuration]
+    ) -> List[Optional[ExecutionResult]]:
+        """Measure a whole batch at once; ``None`` marks infeasible entries.
+
+        Uncached configurations are lowered with :func:`lower_batch` and
+        executed through the vectorised
+        :meth:`~repro.gpusim.executor.GPUExecutor.run_batch`, producing
+        results bit-identical to the scalar path (same noise term included).
+        The call is ``prepare_batch`` + ``run_batch`` + ``finish_batch``;
+        callers that want to pack several measurers' work into one executor
+        call use the two halves directly.
+        """
+        prepared = self.prepare_batch(configs)
+        executions = (
+            self.executor.run_batch(prepared.batch) if len(prepared.batch) else ()
+        )
+        return self.finish_batch(prepared, executions)
 
     def time_seconds(self, config: Configuration) -> float:
         return self.measure(config).time_seconds

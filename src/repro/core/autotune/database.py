@@ -21,6 +21,8 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
+import tempfile
+import threading
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from ...conv.tensor import ConvParams, Layout
@@ -28,9 +30,25 @@ from ...gpusim.spec import GPUSpec
 from .config import Configuration
 from .engine import TrialRecord, TuningResult
 
-__all__ = ["TuningRecord", "TuningDatabase"]
+__all__ = ["TuningRecord", "TuningDatabase", "default_database_path"]
 
 _FORMAT_VERSION = 1
+
+#: environment variable overriding the default on-disk database location.
+DATABASE_ENV_VAR = "REPRO_TUNING_DB"
+
+
+def default_database_path() -> str:
+    """The default on-disk database location.
+
+    ``$REPRO_TUNING_DB`` when set, otherwise ``~/.cache/repro-tuning.json``
+    (honouring ``$XDG_CACHE_HOME``).
+    """
+    override = os.environ.get(DATABASE_ENV_VAR)
+    if override:
+        return os.path.expanduser(override)
+    cache_home = os.environ.get("XDG_CACHE_HOME") or os.path.expanduser("~/.cache")
+    return os.path.join(cache_home, "repro-tuning.json")
 
 
 def _gpu_name(spec: Union[GPUSpec, str]) -> str:
@@ -164,24 +182,62 @@ class TuningDatabase:
     ``hits``/``misses`` count :meth:`lookup` outcomes so callers (tests, the
     model runner) can verify that repeated layers reuse tuning work instead
     of re-measuring.
+
+    The map is protected by an internal re-entrant lock, so a database can be
+    shared between a :class:`~repro.service.TuningService` driver thread and
+    submitting threads; :meth:`save` writes atomically (temp file +
+    ``os.replace``), so a crash mid-save never corrupts an existing file.
     """
 
-    def __init__(self, records: Iterable[TuningRecord] = ()) -> None:
+    def __init__(
+        self,
+        records: Iterable[TuningRecord] = (),
+        path: Optional[Union[str, os.PathLike]] = None,
+    ) -> None:
         #: problem key -> {measurement conditions -> record}; records for the
         #: same problem measured under different conditions coexist, so two
         #: runners with different executors never evict each other's entries.
         self._records: Dict[Tuple, Dict[Tuple, TuningRecord]] = {}
+        self._lock = threading.RLock()
+        #: where :meth:`save` persists when called without a path (set by
+        #: :meth:`default` / :meth:`load`, or explicitly).
+        self.path = os.fspath(path) if path is not None else None
         self.hits = 0
         self.misses = 0
         for record in records:
             self.put(record)
 
+    # -- default on-disk location --------------------------------------- #
+    @classmethod
+    def default(cls) -> "TuningDatabase":
+        """Open the default on-disk database (see :func:`default_database_path`).
+
+        Loads the file when it exists, otherwise starts empty; either way the
+        returned database remembers the location, so a bare :meth:`save`
+        persists back to it.  A corrupt or unreadable file is treated as
+        empty rather than aborting the caller — tuning can always proceed and
+        the next save rewrites the file atomically.
+        """
+        path = default_database_path()
+        if os.path.exists(path):
+            try:
+                db = cls.load(path)
+                db.path = path
+                return db
+            except (OSError, ValueError, KeyError, TypeError, AttributeError):
+                # Unreadable, bad version, or structurally invalid payload
+                # (wrong JSON shape / malformed records) all start empty.
+                pass
+        return cls(path=path)
+
     # -- core map ------------------------------------------------------- #
     def __len__(self) -> int:
-        return sum(len(bucket) for bucket in self._records.values())
+        with self._lock:
+            return sum(len(bucket) for bucket in self._records.values())
 
     def records(self) -> List[TuningRecord]:
-        return [r for bucket in self._records.values() for r in bucket.values()]
+        with self._lock:
+            return [r for bucket in self._records.values() for r in bucket.values()]
 
     def put(self, record: TuningRecord) -> TuningRecord:
         """Insert a record; the faster one wins among same-conditions records.
@@ -191,18 +247,19 @@ class TuningDatabase:
         surviving record of a same-conditions collision inherits the larger
         budget of the two: a configuration that beats the outcome of a more
         thorough search also satisfies requests at that search's budget."""
-        bucket = self._records.setdefault(record.key(), {})
-        cond = record.conditions()
-        existing = bucket.get(cond)
-        if existing is None:
-            bucket[cond] = record
-        else:
-            winner = record if record.time_seconds < existing.time_seconds else existing
-            budget = max(record.budget, existing.budget)
-            if budget != winner.budget:
-                winner = dataclasses.replace(winner, budget=budget)
-            bucket[cond] = winner
-        return bucket[cond]
+        with self._lock:
+            bucket = self._records.setdefault(record.key(), {})
+            cond = record.conditions()
+            existing = bucket.get(cond)
+            if existing is None:
+                bucket[cond] = record
+            else:
+                winner = record if record.time_seconds < existing.time_seconds else existing
+                budget = max(record.budget, existing.budget)
+                if budget != winner.budget:
+                    winner = dataclasses.replace(winner, budget=budget)
+                bucket[cond] = winner
+            return bucket[cond]
 
     def lookup(
         self,
@@ -225,29 +282,33 @@ class TuningDatabase:
           reproducible by the caller's measurer.  Records of unknown
           conditions serve any caller; a caller with unknown conditions is
           served the fastest record on file."""
-        bucket = self._records.get((_params_key(params), _gpu_name(spec), algorithm), {})
-        if noise is None:
-            candidates = list(bucket.values())
-        else:
+        with self._lock:
+            bucket = self._records.get(
+                (_params_key(params), _gpu_name(spec), algorithm), {}
+            )
+            if noise is None:
+                candidates = list(bucket.values())
+            else:
+                candidates = [
+                    r
+                    for cond, r in bucket.items()
+                    if cond == (noise, noise_seed) or cond == (None, None)
+                ]
             candidates = [
-                r
-                for cond, r in bucket.items()
-                if cond == (noise, noise_seed) or cond == (None, None)
+                r for r in candidates if not (budget and r.budget and r.budget < budget)
             ]
-        candidates = [
-            r for r in candidates if not (budget and r.budget and r.budget < budget)
-        ]
-        if not candidates:
-            self.misses += 1
-            return None
-        self.hits += 1
-        return min(candidates, key=lambda r: r.time_seconds)
+            if not candidates:
+                self.misses += 1
+                return None
+            self.hits += 1
+            return min(candidates, key=lambda r: r.time_seconds)
 
     def contains(
         self, params: ConvParams, spec: Union[GPUSpec, str], algorithm: str
     ) -> bool:
         """Membership probe that does not touch the hit/miss counters."""
-        return (_params_key(params), _gpu_name(spec), algorithm) in self._records
+        with self._lock:
+            return (_params_key(params), _gpu_name(spec), algorithm) in self._records
 
     def add_result(
         self,
@@ -280,19 +341,54 @@ class TuningDatabase:
             )
         )
 
-    def merge(self, other: "TuningDatabase") -> "TuningDatabase":
-        for record in other.records():
+    def merge(
+        self, other: Union["TuningDatabase", Iterable[TuningRecord]]
+    ) -> "TuningDatabase":
+        """Fold another database (or a bare record iterable) into this one.
+
+        Collisions resolve through :meth:`put` — per (problem, conditions)
+        the better (faster, larger-covered-budget) record survives — which is
+        what makes the worker pool's merge of independently tuned shard
+        databases safe: no worker's result can regress another's.
+        """
+        records = other.records() if isinstance(other, TuningDatabase) else other
+        for record in records:
             self.put(record)
         return self
 
     # -- persistence ---------------------------------------------------- #
-    def save(self, path: Union[str, os.PathLike]) -> None:
+    def save(self, path: Optional[Union[str, os.PathLike]] = None) -> str:
+        """Atomically persist to ``path`` (default: :attr:`path`).
+
+        The payload is written to a temporary sibling file and moved into
+        place with ``os.replace``, so readers never observe a half-written
+        database and a crash mid-save leaves any previous file intact.
+        Parent directories are created as needed.  Returns the path written.
+        """
+        target = os.fspath(path) if path is not None else self.path
+        if target is None:
+            raise ValueError("no path given and the database has no default path")
         payload = {
             "version": _FORMAT_VERSION,
             "records": [r.to_dict() for r in self.records()],
         }
-        with open(path, "w", encoding="utf-8") as fh:
-            json.dump(payload, fh, indent=1, sort_keys=True)
+        directory = os.path.dirname(os.path.abspath(target))
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(
+            prefix=os.path.basename(target) + ".", suffix=".tmp", dir=directory
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, indent=1, sort_keys=True)
+            os.replace(tmp_path, target)
+        except BaseException:
+            # The half-written temp file must not survive a failed save.
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        return target
 
     @classmethod
     def load(cls, path: Union[str, os.PathLike]) -> "TuningDatabase":
@@ -301,7 +397,9 @@ class TuningDatabase:
         version = payload.get("version")
         if version != _FORMAT_VERSION:
             raise ValueError(f"unsupported tuning-database version {version!r}")
-        return cls(TuningRecord.from_dict(d) for d in payload.get("records", []))
+        db = cls(TuningRecord.from_dict(d) for d in payload.get("records", []))
+        db.path = os.fspath(path)
+        return db
 
     def describe(self) -> str:
         return (

@@ -15,11 +15,34 @@ not improved for ``patience`` consecutive iterations.  The engine records the
 best-so-far trajectory (used by the Figure 11 benchmark) and the total number
 of measurements (Table 2's *Iterations* column).
 
-Measurement batches go through the vectorised
-:meth:`~repro.core.autotune.config.Measurer.measure_batch` pipeline, and an
-optional :class:`~repro.core.autotune.database.TuningDatabase` lets the engine
-skip tuning entirely for ``(ConvParams, GPUSpec, algorithm)`` triples that
-were already tuned (by this run or a previous, persisted one).
+**Step-wise protocol.**  The loop above is implemented by
+:class:`TuningSession`, a resumable *propose → measure → update* core that
+never measures anything itself:
+
+* :meth:`TuningSession.propose` returns the next batch of configurations to
+  measure (the random initialisation on the first call, explorer batches
+  afterwards) or ``[]`` once the run is finished;
+* the caller measures the batch however it likes — the synchronous
+  :meth:`AutoTuningEngine.tune` sends it through the engine's own
+  :meth:`~repro.core.autotune.config.Measurer.measure_batch`, while the
+  concurrent :class:`~repro.service.TuningService` packs batches from *many*
+  sessions into shared executor calls;
+* :meth:`TuningSession.update` appends the measurements to the dataset and
+  advances the stopping logic.
+
+Because a session owns all tuning state (RNG, visited set, patience counter,
+cost model) and consumes measurements in exactly the order it proposed them,
+any driver that feeds back faithful measurements reproduces the synchronous
+path bit-for-bit.
+
+Model retraining featurises the dataset incrementally: a
+:class:`~repro.core.autotune.features.FeatureCache` keeps the per-config
+feature rows, so each iteration appends the rows of the newly measured
+configurations instead of rebuilding the whole matrix.
+
+An optional :class:`~repro.core.autotune.database.TuningDatabase` lets the
+engine skip tuning entirely for ``(ConvParams, GPUSpec, algorithm)`` triples
+that were already tuned (by this run or a previous, persisted one).
 """
 
 from __future__ import annotations
@@ -31,17 +54,18 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ...conv.tensor import ConvParams
+from ...gpusim.executor import ExecutionResult
 from ...gpusim.spec import GPUSpec
 from .config import Configuration, Measurer
 from .cost_model import CostModel
 from .explorer import ExplorerConfig, ParallelRandomWalkExplorer
-from .features import feature_matrix
+from .features import FeatureCache
 from .space import SearchSpace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (database imports us)
     from .database import TuningDatabase
 
-__all__ = ["TrialRecord", "TuningResult", "AutoTuningEngine"]
+__all__ = ["TrialRecord", "TuningResult", "TuningSession", "AutoTuningEngine"]
 
 
 @dataclass(frozen=True)
@@ -121,6 +145,172 @@ class TuningResult:
         return len(curve)
 
 
+class TuningSession:
+    """One resumable tuning run, driven step-wise from outside.
+
+    The session is the engine's Figure 8 loop with the measurement stage cut
+    out: :meth:`propose` hands the caller the next batch of configurations,
+    :meth:`update` takes the caller's measurements back.  Strict alternation
+    is required — every proposed batch must be measured and reported via
+    :meth:`update` (in proposal order, with ``None`` marking infeasible
+    entries) before the next :meth:`propose`.
+
+    Drivers:
+
+    * :meth:`AutoTuningEngine.tune` — the synchronous API; measures each
+      batch immediately with the engine's own measurer;
+    * :class:`repro.service.TuningService` — interleaves many sessions and
+      packs their batches into shared executor calls.
+
+    Both produce bit-identical :class:`TuningResult` values because all
+    randomness (dataset initialisation, explorer walks, cost-model
+    subsampling) lives inside the session and is consumed in proposal order.
+    """
+
+    def __init__(self, engine: "AutoTuningEngine", initial_random: int = 16) -> None:
+        self.engine = engine
+        self.initial_random = initial_random
+        self.result = TuningResult(
+            tuner="ate" if engine.space.pruned else "ate_unpruned",
+            params=engine.params,
+            gpu=engine.spec.name,
+            space_size=engine.space.size(),
+        )
+        self._visited: set = set()
+        self._started = False
+        self._finished = False
+        self._awaiting_update = False
+        self._init_pending = True  # the next update() is the random-init batch
+        self._best_time = float("inf")
+        self._stale_iterations = 0
+        # Incremental featurisation of the measured dataset: rows are appended
+        # as trials arrive (via the engine's FeatureCache), never rebuilt.
+        self._trained_rows: List[np.ndarray] = []
+        self._trained_times: List[float] = []
+        self._featurised = 0  # trials already scanned into the rows above
+
+    # ------------------------------------------------------------------ #
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    def propose(self) -> List[Configuration]:
+        """Next batch of configurations to measure; ``[]`` when finished."""
+        if self._finished:
+            return []
+        if self._awaiting_update:
+            raise RuntimeError("propose() called before update() of the previous batch")
+        engine = self.engine
+        if not self._started:
+            self._started = True
+            # Stage 0: random initialisation of the dataset.
+            init: List[Configuration] = []
+            for _ in range(min(self.initial_random, engine.max_measurements)):
+                c = engine.space.random_configuration(engine.rng)
+                if c.key() not in self._visited:
+                    self._visited.add(c.key())
+                    init.append(c)
+            if not init:
+                # No initialisation requested (initial_random=0): an empty
+                # batch must not read as "run finished" — skip straight to
+                # the explorer phase, exactly like the pre-session loop did.
+                self._init_pending = False
+                return self.propose()
+            self._awaiting_update = True
+            return init
+
+        if self.result.num_measurements >= engine.max_measurements:
+            self._finished = True
+            return []
+        self._retrain()
+        seeds = [
+            t.config
+            for t in sorted(
+                (t for t in self.result.trials if t.valid), key=lambda t: t.time_seconds
+            )[:8]
+        ]
+        batch_size = min(
+            engine.batch_size, engine.max_measurements - self.result.num_measurements
+        )
+        batch = engine.explorer.propose(
+            engine.cost_model, batch_size, seeds=seeds, visited=self._visited
+        )
+        if not batch:
+            self._finished = True
+            return []
+        for c in batch:
+            self._visited.add(c.key())
+        self._awaiting_update = True
+        return batch
+
+    def update(
+        self,
+        configs: Sequence[Configuration],
+        executions: Sequence[Optional[ExecutionResult]],
+    ) -> None:
+        """Feed back the measurements of the last proposed batch.
+
+        ``executions`` must align with ``configs`` (the proposal order);
+        ``None`` marks an infeasible configuration and is recorded as an
+        invalid (infinite-time) trial, exactly like the synchronous path.
+        """
+        if not self._awaiting_update:
+            raise RuntimeError("update() called without a pending proposal")
+        if len(configs) != len(executions):
+            raise ValueError("configs and executions must have the same length")
+        self._awaiting_update = False
+        result = self.result
+        first_batch = self._init_pending
+        self._init_pending = False
+        for config, execution in zip(configs, executions):
+            index = len(result.trials)
+            if execution is None:
+                result.trials.append(
+                    TrialRecord(
+                        index=index, config=config, time_seconds=float("inf"), gflops=0.0
+                    )
+                )
+                continue
+            result.trials.append(
+                TrialRecord(
+                    index=index,
+                    config=config,
+                    time_seconds=execution.time_seconds,
+                    gflops=execution.achieved_gflops,
+                )
+            )
+
+        new_best = min(
+            (t.time_seconds for t in result.trials if t.valid), default=float("inf")
+        )
+        if first_batch:
+            # The initialisation batch seeds the best-so-far time; the
+            # patience counter only starts with the explorer batches.
+            self._best_time = new_best
+            return
+        if new_best < self._best_time * (1 - 1e-3):
+            self._best_time = new_best
+            self._stale_iterations = 0
+        else:
+            self._stale_iterations += 1
+            if self._stale_iterations >= self.engine.patience:
+                self._finished = True
+
+    # ------------------------------------------------------------------ #
+    def _retrain(self) -> None:
+        """Refit the cost model, featurising only the new valid trials."""
+        trials = self.result.trials
+        cache = self.engine.features
+        for t in trials[self._featurised :]:
+            if t.valid:
+                self._trained_rows.append(cache.vector(t.config))
+                self._trained_times.append(t.time_seconds)
+        self._featurised = len(trials)
+        if not self._trained_rows:
+            return
+        self.engine.cost_model.fit(np.stack(self._trained_rows), self._trained_times)
+
+
 class AutoTuningEngine:
     """I/O-lower-bound-guided auto-tuner (the paper's ATE)."""
 
@@ -153,40 +343,25 @@ class AutoTuningEngine:
         self.space = SearchSpace(params, spec, algorithm, pruned=pruned)
         self.measurer = measurer or Measurer(params, spec)
         self.cost_model = cost_model if cost_model is not None else CostModel(seed=seed)
+        #: per-config feature rows, shared between retraining and the
+        #: explorer so each configuration is featurised exactly once.
+        self.features = FeatureCache(params, spec)
         self.explorer = ParallelRandomWalkExplorer(
-            self.space, params, spec, config=explorer_config, seed=seed
+            self.space, params, spec, config=explorer_config, seed=seed,
+            feature_cache=self.features,
         )
         self.database = database
         self.rng = random.Random(seed)
 
     # ------------------------------------------------------------------ #
-    def _measure_batch(
-        self, configs: Sequence[Configuration], result: TuningResult
-    ) -> None:
-        """Measure a batch through the vectorised pipeline; infeasible
-        configurations are recorded as invalid (infinite-time) trials."""
-        for config, execution in zip(configs, self.measurer.measure_batch(configs)):
-            index = len(result.trials)
-            if execution is None:
-                result.trials.append(
-                    TrialRecord(index=index, config=config, time_seconds=float("inf"), gflops=0.0)
-                )
-                continue
-            result.trials.append(
-                TrialRecord(
-                    index=index,
-                    config=config,
-                    time_seconds=execution.time_seconds,
-                    gflops=execution.achieved_gflops,
-                )
-            )
+    def session(self, initial_random: int = 16) -> TuningSession:
+        """Start a step-wise tuning session (see :class:`TuningSession`).
 
-    def _retrain(self, result: TuningResult) -> None:
-        valid = [t for t in result.trials if t.valid]
-        if not valid:
-            return
-        features = feature_matrix([t.config for t in valid], self.params, self.spec)
-        self.cost_model.fit(features, [t.time_seconds for t in valid])
+        The session borrows the engine's mutable tuning state (RNG, explorer,
+        cost model), so at most one session per engine may run to completion;
+        :meth:`tune` is simply a session driven by the engine's own measurer.
+        """
+        return TuningSession(self, initial_random=initial_random)
 
     # ------------------------------------------------------------------ #
     def tune(self, initial_random: int = 16) -> TuningResult:
@@ -226,54 +401,11 @@ class AutoTuningEngine:
         return result
 
     def _tune(self, initial_random: int) -> TuningResult:
-        result = TuningResult(
-            tuner="ate" if self.space.pruned else "ate_unpruned",
-            params=self.params,
-            gpu=self.spec.name,
-            space_size=self.space.size(),
-        )
-        visited: set = set()
-
-        # Stage 0: random initialisation of the dataset.
-        init = []
-        for _ in range(min(initial_random, self.max_measurements)):
-            c = self.space.random_configuration(self.rng)
-            if c.key() not in visited:
-                visited.add(c.key())
-                init.append(c)
-        self._measure_batch(init, result)
-
-        best_time = min(
-            (t.time_seconds for t in result.trials if t.valid), default=float("inf")
-        )
-        stale_iterations = 0
-
-        while result.num_measurements < self.max_measurements:
-            self._retrain(result)
-            seeds = [
-                t.config
-                for t in sorted(
-                    (t for t in result.trials if t.valid), key=lambda t: t.time_seconds
-                )[:8]
-            ]
-            batch_size = min(self.batch_size, self.max_measurements - result.num_measurements)
-            batch = self.explorer.propose(
-                self.cost_model, batch_size, seeds=seeds, visited=visited
-            )
+        """Drive a session with the engine's own measurer (synchronous API)."""
+        session = self.session(initial_random)
+        while True:
+            batch = session.propose()
             if not batch:
                 break
-            for c in batch:
-                visited.add(c.key())
-            self._measure_batch(batch, result)
-
-            new_best = min(
-                (t.time_seconds for t in result.trials if t.valid), default=float("inf")
-            )
-            if new_best < best_time * (1 - 1e-3):
-                best_time = new_best
-                stale_iterations = 0
-            else:
-                stale_iterations += 1
-                if stale_iterations >= self.patience:
-                    break
-        return result
+            session.update(batch, self.measurer.measure_batch(batch))
+        return session.result

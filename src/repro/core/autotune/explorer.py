@@ -21,7 +21,7 @@ from ...conv.tensor import ConvParams
 from ...gpusim.spec import GPUSpec
 from .config import Configuration
 from .cost_model import CostModel
-from .features import feature_matrix, feature_vector
+from .features import FeatureCache
 from .space import SearchSpace
 
 __all__ = ["ExplorerConfig", "ParallelRandomWalkExplorer"]
@@ -58,18 +58,22 @@ class ParallelRandomWalkExplorer:
         spec: GPUSpec,
         config: Optional[ExplorerConfig] = None,
         seed: int = 0,
+        feature_cache: Optional[FeatureCache] = None,
     ) -> None:
         self.space = space
         self.params = params
         self.spec = spec
         self.config = config or ExplorerConfig()
         self.rng = random.Random(seed)
+        #: walkers revisit configurations across proposals; cache their rows
+        #: (pass the engine's cache in so measured configs featurise once).
+        self._features = feature_cache or FeatureCache(params, spec)
 
     # ------------------------------------------------------------------ #
     def _score(self, model: Optional[CostModel], configs: Sequence[Configuration]) -> np.ndarray:
         """Predicted score (higher = faster); random scores when untrained."""
         if model is not None and model.is_trained:
-            return model.predict_score(feature_matrix(configs, self.params, self.spec))
+            return model.predict_score(self._features.matrix(configs))
         return np.asarray([self.rng.random() for _ in configs])
 
     def propose(

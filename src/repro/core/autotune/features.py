@@ -12,7 +12,7 @@ learn the mapping from measurements.
 from __future__ import annotations
 
 import math
-from typing import List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -23,7 +23,7 @@ from ..dataflow.direct import direct_dataflow_io
 from ..dataflow.winograd import winograd_dataflow_io
 from .config import Configuration
 
-__all__ = ["FEATURE_NAMES", "feature_vector", "feature_matrix"]
+__all__ = ["FEATURE_NAMES", "feature_vector", "feature_matrix", "FeatureCache"]
 
 
 FEATURE_NAMES: List[str] = [
@@ -120,3 +120,37 @@ def feature_matrix(
     if not configs:
         return np.zeros((0, len(FEATURE_NAMES)), dtype=np.float64)
     return np.stack([feature_vector(c, params, spec) for c in configs])
+
+
+class FeatureCache:
+    """Memoised :func:`feature_vector` for one ``(params, spec)`` problem.
+
+    A tuning run featurises the same configurations many times — every
+    retraining iteration rebuilds the feature matrix of the whole measured
+    dataset, and the explorer re-scores configurations its walkers revisit.
+    The cache computes each configuration's vector once (keyed by
+    :meth:`Configuration.key`) and reuses the stored row, so a growing
+    dataset only pays for its *new* rows.  ``matrix`` stacks the cached rows
+    exactly like :func:`feature_matrix`, hence bit-identical features.
+    """
+
+    def __init__(self, params: ConvParams, spec: GPUSpec) -> None:
+        self.params = params
+        self.spec = spec
+        self._rows: Dict[Tuple, np.ndarray] = {}
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def vector(self, config: Configuration) -> np.ndarray:
+        key = config.key()
+        row = self._rows.get(key)
+        if row is None:
+            row = feature_vector(config, self.params, self.spec)
+            self._rows[key] = row
+        return row
+
+    def matrix(self, configs: Sequence[Configuration]) -> np.ndarray:
+        if not configs:
+            return np.zeros((0, len(FEATURE_NAMES)), dtype=np.float64)
+        return np.stack([self.vector(c) for c in configs])

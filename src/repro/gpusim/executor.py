@@ -400,6 +400,33 @@ class GPUExecutor:
             )
         ]
 
+    def run_batch_groups(
+        self, batches: Sequence[ProfileBatch]
+    ) -> List[List[ExecutionResult]]:
+        """Execute several profile batches in one :meth:`run_batch` call.
+
+        The batched model computes every quantity element-wise (occupancy,
+        roofline legs, and the configuration-keyed noise term), so the
+        concatenated execution is bit-identical to running each batch on its
+        own — only the per-call Python overhead is shared.  This is the
+        entry point of the tuning service's cross-request measurement
+        packing: each concurrent tuning session lowers its own slice, and the
+        scheduler fuses the slices into a single executor call per device.
+
+        Returns one result list per input batch, in order.
+        """
+        batches = list(batches)
+        sizes = [len(b) for b in batches]
+        if sum(sizes) == 0:
+            return [[] for _ in batches]
+        flat = self.run_batch(ProfileBatch.concat(batches))
+        out: List[List[ExecutionResult]] = []
+        offset = 0
+        for size in sizes:
+            out.append(flat[offset : offset + size])
+            offset += size
+        return out
+
     def gflops(self, profile: KernelProfile) -> float:
         """Convenience: achieved GFLOP/s of one profile."""
         return self.run(profile).achieved_gflops

@@ -148,6 +148,32 @@ class ProfileBatch:
             layout_values=[p.layout.value for p in profiles],
         )
 
+    @classmethod
+    def concat(cls, batches: Sequence["ProfileBatch"]) -> "ProfileBatch":
+        """Concatenate several batches into one (order preserved).
+
+        The executor's batched model is element-wise, so running the
+        concatenation is equivalent to running each batch separately — this
+        is what lets the tuning service pack measurement slices from many
+        concurrent requests into a single executor call.
+        """
+        batches = list(batches)
+        if len(batches) == 1:
+            return batches[0]
+        if not batches:
+            return cls.from_profiles([])
+        return cls(
+            names=[n for b in batches for n in b.names],
+            flops=np.concatenate([b.flops for b in batches]),
+            dram_bytes=np.concatenate([b.dram_bytes for b in batches]),
+            smem_per_block=np.concatenate([b.smem_per_block for b in batches]),
+            threads_per_block=np.concatenate([b.threads_per_block for b in batches]),
+            num_blocks=np.concatenate([b.num_blocks for b in batches]),
+            coalescing=np.concatenate([b.coalescing for b in batches]),
+            compute_efficiency=np.concatenate([b.compute_efficiency for b in batches]),
+            layout_values=[v for b in batches for v in b.layout_values],
+        )
+
 
 _LAYOUT_COALESCING = {
     Layout.CHW: 1.0,  # contiguous along W: fully coalesced row accesses

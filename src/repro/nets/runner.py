@@ -16,10 +16,13 @@ Two whole-network optimisations keep the runner fast:
 * analytic mode lowers every (layer, algorithm) candidate of a model into one
   profile list and executes it through the batched
   :meth:`~repro.gpusim.executor.GPUExecutor.run_batch` pipeline;
-* tuned mode shares a :class:`~repro.core.autotune.database.TuningDatabase`
-  across layers, models and runs, so each distinct ``(ConvParams, algorithm)``
-  pair is tuned exactly once — ResNet-style networks repeat identical
-  convolution shapes many times and hit the database for all repeats.
+* tuned mode submits every (layer, algorithm) candidate of a model to a
+  :class:`~repro.service.TuningService` sharing the runner's
+  :class:`~repro.core.autotune.database.TuningDatabase`: identical layers
+  coalesce onto one tuning run (ResNet-style networks repeat convolution
+  shapes many times), layers already tuned by earlier models/runs are served
+  from the database, and the concurrently tuning layers' measurement batches
+  are packed into shared executor calls.
 """
 
 from __future__ import annotations
@@ -39,6 +42,7 @@ from ..gpusim.kernels import (
     winograd_dataflow_profile,
 )
 from ..gpusim.spec import GPUSpec
+from ..service import TuningRequest, TuningService
 from .layers import ConvLayer, ConvNet
 
 __all__ = ["LayerTiming", "ModelTiming", "ModelRunner"]
@@ -157,6 +161,44 @@ class ModelRunner:
         )
         return engine.tune().best_time
 
+    def _tuning_request(self, params: ConvParams, algorithm: str) -> TuningRequest:
+        """The service request equivalent of :meth:`_ours_tuned`'s engine."""
+        return TuningRequest(
+            params,
+            self.spec,
+            algorithm=algorithm,
+            max_measurements=self.max_measurements,
+            seed=self.seed,
+        )
+
+    def _time_layers_tuned(self, layers: Sequence[ConvLayer]) -> List[LayerTiming]:
+        """Tuned timing of many layers through one tuning service.
+
+        All (layer, algorithm) candidates are submitted up front and drained
+        together: repeated shapes coalesce to one run, previously tuned
+        shapes are served from the shared database, and the remaining runs'
+        measurement batches are packed into shared executor calls.  Results
+        (and the database's hit/miss accounting) are identical to tuning the
+        layers one at a time against the same database.
+        """
+        service = TuningService(database=self.database)
+        entries: List[Tuple[int, str]] = []  # (layer index, algorithm)
+        futures = []
+        all_params = [layer.params(batch=self.batch) for layer in layers]
+        for li, params in enumerate(all_params):
+            for algorithm in self._candidate_algorithms(params):
+                entries.append((li, algorithm))
+                futures.append(service.submit(self._tuning_request(params, algorithm)))
+        service.drain()
+
+        per_layer: Dict[int, Dict[str, float]] = {}
+        for (li, algorithm), future in zip(entries, futures):
+            per_layer.setdefault(li, {})[algorithm] = future.result().best_time
+        return [
+            self._best_timing(layer, all_params[li], per_layer[li])
+            for li, layer in enumerate(layers)
+        ]
+
     def _best_timing(
         self, layer: ConvLayer, params: ConvParams, timings: Dict[str, float]
     ) -> LayerTiming:
@@ -203,5 +245,5 @@ class ModelRunner:
         if self.mode == "analytic":
             timings = self._time_layers_analytic(model.layers)
         else:
-            timings = [self.time_layer(layer) for layer in model.layers]
+            timings = self._time_layers_tuned(model.layers)
         return ModelTiming(model=model.name, gpu=self.spec.name, layers=timings)

@@ -1,0 +1,39 @@
+"""Concurrent tuning service (the production front end of the auto-tuner).
+
+Real deployments tune whole model zoos at once; this package schedules many
+conv-tuning requests over the shared fast primitives so concurrent clients
+never redundantly re-tune identical layers or under-fill measurement
+batches:
+
+* :class:`TuningRequest` / :class:`TuningFuture` — the submit/await API; a
+  request pins down everything that determines a tuning outcome, so equal
+  requests are interchangeable.
+* :class:`RequestCoalescer` — identical in-flight requests share one run.
+* :class:`TuningService` — the scheduler: serves database hits at submit
+  time, drives every active run's step-wise
+  :class:`~repro.core.autotune.engine.TuningSession`, and packs proposal
+  batches from different requests into shared executor calls
+  (:meth:`~repro.gpusim.executor.GPUExecutor.run_batch_groups`).
+* :class:`TuningWorkerPool` — shards big workloads across worker processes
+  and merges the per-worker databases.
+
+Everything is bit-identical to driving
+:meth:`~repro.core.autotune.engine.AutoTuningEngine.tune` per request — the
+service only removes redundant and per-call work, never changes the search.
+"""
+
+from .coalescer import InFlightRun, RequestCoalescer
+from .futures import TuningFuture
+from .pool import TuningWorkerPool
+from .request import TuningRequest
+from .scheduler import ServiceStats, TuningService
+
+__all__ = [
+    "InFlightRun",
+    "RequestCoalescer",
+    "ServiceStats",
+    "TuningFuture",
+    "TuningRequest",
+    "TuningService",
+    "TuningWorkerPool",
+]

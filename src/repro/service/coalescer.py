@@ -1,0 +1,77 @@
+"""Request coalescing: identical in-flight requests share one tuning run.
+
+Concurrent clients tuning the same model zoo hammer the service with
+duplicate work — every ResNet replica asks for the same 3x3 layers.  The
+coalescer keeps one :class:`InFlightRun` per distinct
+:class:`~repro.service.TuningRequest` (the request *is* the key — see
+``request.py``); the first submission creates the entry and every identical
+submission that arrives while it is still running just attaches its future.
+When the run completes, the scheduler pops the entry and answers every
+attached future, so N concurrent identical requests cost exactly one search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .futures import TuningFuture
+from .request import TuningRequest
+
+__all__ = ["InFlightRun", "RequestCoalescer"]
+
+
+@dataclass
+class InFlightRun:
+    """All futures waiting on one distinct in-flight request."""
+
+    request: TuningRequest
+    futures: List[TuningFuture] = field(default_factory=list)
+
+    @property
+    def primary(self) -> TuningFuture:
+        """The future that triggered the run (the first submission)."""
+        return self.futures[0]
+
+    @property
+    def attached(self) -> List[TuningFuture]:
+        """The coalesced futures (everyone but the primary)."""
+        return self.futures[1:]
+
+
+class RequestCoalescer:
+    """Deduplicate in-flight tuning requests.
+
+    Not thread-safe on its own — the owning
+    :class:`~repro.service.scheduler.TuningService` serialises access under
+    its lock.
+    """
+
+    def __init__(self) -> None:
+        self._inflight: Dict[TuningRequest, InFlightRun] = {}
+
+    def __len__(self) -> int:
+        return len(self._inflight)
+
+    def join(self, future: TuningFuture) -> Tuple[InFlightRun, bool]:
+        """Attach ``future`` to its request's run, creating the run if it is
+        the first in-flight submission.  Returns ``(run, created)``.
+
+        Coalescing accounting lives in the owning service's
+        :class:`~repro.service.scheduler.ServiceStats`, not here."""
+        entry = self._inflight.get(future.request)
+        if entry is not None:
+            entry.futures.append(future)
+            future.coalesced = True
+            return entry, False
+        entry = InFlightRun(request=future.request, futures=[future])
+        self._inflight[future.request] = entry
+        return entry, True
+
+    def get(self, request: TuningRequest) -> Optional[InFlightRun]:
+        return self._inflight.get(request)
+
+    def discard(self, request: TuningRequest) -> None:
+        """Retire a run's entry (idempotent: the scheduler's failure path
+        may race a partially completed finalisation)."""
+        self._inflight.pop(request, None)

@@ -1,0 +1,65 @@
+"""Futures: the result-delivery half of the tuning service's API.
+
+:meth:`~repro.service.scheduler.TuningService.submit` returns immediately
+with a :class:`TuningFuture`; the caller blocks on :meth:`TuningFuture.result`
+(or polls :meth:`TuningFuture.done`) while the service coalesces, schedules
+and batch-measures the request.  The flags record how the request was
+satisfied — served straight from the database at submit time, coalesced onto
+an identical in-flight request, or tuned by its own run.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.autotune.engine import TuningResult
+    from .request import TuningRequest
+
+__all__ = ["TuningFuture"]
+
+
+class TuningFuture:
+    """Pending outcome of one submitted :class:`~repro.service.TuningRequest`."""
+
+    def __init__(self, request: "TuningRequest") -> None:
+        self.request = request
+        #: True when this request joined an identical in-flight run instead
+        #: of starting its own.
+        self.coalesced = False
+        #: True when the result came from the shared TuningDatabase (either a
+        #: submit-time hit or a coalesced request answered by the record the
+        #: primary run stored).
+        self.from_database = False
+        self._event = threading.Event()
+        self._result: Optional["TuningResult"] = None
+        self._exception: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------ #
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> "TuningResult":
+        """Block until the result is available and return it.
+
+        Raises the run's exception if tuning failed, or ``TimeoutError`` if
+        ``timeout`` (seconds) elapses first.
+        """
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"tuning result not ready within {timeout}s for {self.request.describe()}"
+            )
+        if self._exception is not None:
+            raise self._exception
+        assert self._result is not None
+        return self._result
+
+    # -- service-side completion ---------------------------------------- #
+    def _set_result(self, result: "TuningResult") -> None:
+        self._result = result
+        self._event.set()
+
+    def _set_exception(self, exc: BaseException) -> None:
+        self._exception = exc
+        self._event.set()

@@ -1,0 +1,167 @@
+"""Sharded tuning across a multiprocessing worker pool.
+
+For workloads whose search spaces are too large for one process, the pool
+shards a batch of :class:`~repro.service.TuningRequest` across worker
+processes.  Each worker runs its own :class:`~repro.service.TuningService`
+(so coalescing and cross-request batching still apply *within* a shard) with
+its own private :class:`~repro.core.autotune.database.TuningDatabase`; the
+parent merges the worker databases into the caller's database when the
+workload finishes (``TuningDatabase.merge`` keeps the best record per
+problem).
+
+Sharding is by request identity: identical requests always land in the same
+shard, so duplicates coalesce in-process instead of being tuned twice in two
+workers.  Results are therefore bit-identical to running the whole workload
+through one in-process service.
+
+Worker processes are started with the ``fork`` method where available (the
+requests and results are plain picklable dataclasses, so ``spawn`` works too
+when the caller's ``__main__`` is importable).  When no worker processes can
+be created at all — restricted sandboxes, missing semaphores — the pool
+degrades to running the shards serially in-process, producing the same
+results.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.autotune.database import TuningDatabase, TuningRecord
+from ..core.autotune.engine import TuningResult
+from .request import TuningRequest
+from .scheduler import TuningService
+
+__all__ = ["TuningWorkerPool"]
+
+
+def _tune_shard(
+    requests: Sequence[TuningRequest],
+) -> Tuple[List[TuningResult], List[dict]]:
+    """Worker entry point: run one shard through a private service.
+
+    Module-level so it pickles under every start method.  Returns the shard's
+    results (in shard submission order) plus the worker database as plain
+    dicts, ready for the parent to merge.
+    """
+    service = TuningService()
+    results = service.tune(list(requests))
+    return results, [r.to_dict() for r in service.database.records()]
+
+
+class TuningWorkerPool:
+    """Shard tuning workloads across processes and merge the databases."""
+
+    def __init__(
+        self,
+        num_workers: int = 0,
+        start_method: Optional[str] = None,
+        allow_serial_fallback: bool = True,
+    ) -> None:
+        if num_workers < 0:
+            raise ValueError("num_workers must be >= 0 (0 = one per CPU, capped)")
+        self.num_workers = num_workers or min(4, os.cpu_count() or 1)
+        self.start_method = start_method
+        self.allow_serial_fallback = allow_serial_fallback
+        #: True when the last workload ran in worker processes (False = the
+        #: serial in-process fallback was used).
+        self.used_processes = False
+
+    # ------------------------------------------------------------------ #
+    def _shard(
+        self, requests: Sequence[TuningRequest]
+    ) -> Tuple[List[List[TuningRequest]], List[Tuple[int, int]]]:
+        """Round-robin distinct requests over shards; duplicates follow their
+        first occurrence so they coalesce inside one worker.
+
+        ``placement`` indexes into the returned shard list, so every shard is
+        returned even in the (currently impossible: the shard count never
+        exceeds the distinct-request count) case of an empty one.
+        """
+        num_shards = max(1, min(self.num_workers, len(set(requests)) or 1))
+        shards: List[List[TuningRequest]] = [[] for _ in range(num_shards)]
+        shard_of: dict = {}
+        placement: List[Tuple[int, int]] = []
+        for request in requests:
+            shard = shard_of.get(request)
+            if shard is None:
+                shard = len(shard_of) % num_shards
+                shard_of[request] = shard
+            shards[shard].append(request)
+            placement.append((shard, len(shards[shard]) - 1))
+        return shards, placement
+
+    def _context(self):
+        if self.start_method is not None:
+            return multiprocessing.get_context(self.start_method)
+        methods = multiprocessing.get_all_start_methods()
+        return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+    def tune(
+        self,
+        requests: Sequence[TuningRequest],
+        database: Optional[TuningDatabase] = None,
+    ) -> List[TuningResult]:
+        """Tune a workload across the pool; results in submission order.
+
+        ``database`` (optional) plays the same role as the in-process
+        service's shared database: requests it already covers are served in
+        the parent with zero measurements (workers never see them), and when
+        the workload finishes it receives every worker's records via
+        :meth:`~repro.core.autotune.database.TuningDatabase.merge`.
+        """
+        requests = list(requests)
+        if not requests:
+            return []
+        # Serve covered requests from the caller's database up front, exactly
+        # like TuningService.submit does — workers start with empty private
+        # databases and must not re-tune what the caller already knows.
+        served: dict = {}
+        pending_indices: List[int] = []
+        for i, request in enumerate(requests):
+            record = None
+            if database is not None and request.pruned:
+                record = database.lookup(
+                    request.params,
+                    request.spec,
+                    request.algorithm,
+                    budget=request.max_measurements,
+                    noise=request.noise,
+                    noise_seed=request.noise_seed,
+                )
+            if record is not None:
+                served[i] = record.as_result()
+            else:
+                pending_indices.append(i)
+        if not pending_indices:
+            self.used_processes = False
+            return [served[i] for i in range(len(requests))]
+        pending = [requests[i] for i in pending_indices]
+        shards, placement = self._shard(pending)
+        try:
+            if len(shards) == 1:
+                raise _SerialShortcut  # one shard: a pool buys nothing
+            ctx = self._context()
+            with ctx.Pool(processes=len(shards)) as pool:
+                shard_outputs = pool.map(_tune_shard, shards)
+            self.used_processes = True
+        except _SerialShortcut:
+            shard_outputs = [_tune_shard(s) for s in shards]
+            self.used_processes = False
+        except (OSError, PermissionError, ImportError):
+            if not self.allow_serial_fallback:
+                raise
+            shard_outputs = [_tune_shard(s) for s in shards]
+            self.used_processes = False
+
+        if database is not None:
+            for _, record_dicts in shard_outputs:
+                database.merge(TuningRecord.from_dict(d) for d in record_dicts)
+        for i, (shard, pos) in zip(pending_indices, placement):
+            served[i] = shard_outputs[shard][0][pos]
+        return [served[i] for i in range(len(requests))]
+
+
+class _SerialShortcut(Exception):
+    """Internal control flow: the workload fits one shard."""

@@ -1,0 +1,102 @@
+"""Tuning requests: the unit of work the tuning service schedules.
+
+A :class:`TuningRequest` pins down *everything* that determines the outcome
+of an auto-tuning run — the convolution problem, the target GPU, the
+algorithm template, the search budget and batch shape, the RNG seed, and the
+measurement conditions (executor noise amplitude/seed).  Because the request
+is a frozen dataclass of hashable fields, the request itself is the
+coalescing key: two requests compare equal exactly when driving
+:class:`~repro.core.autotune.engine.AutoTuningEngine` with their parameters
+would produce bit-identical results, so the service can safely answer both
+from one tuning run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from ..conv.tensor import ConvParams
+from ..core.autotune.config import Measurer
+from ..core.autotune.engine import AutoTuningEngine
+from ..gpusim.spec import GPUSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.autotune.database import TuningDatabase
+
+__all__ = ["TuningRequest"]
+
+#: defaults mirroring Measurer's measurement conditions.
+_DEFAULT_NOISE = 0.05
+_DEFAULT_NOISE_SEED = 2021
+
+
+@dataclass(frozen=True)
+class TuningRequest:
+    """One conv-tuning request: layer parameters + GPU + algorithm + budget.
+
+    ``pruned`` selects the searching domain (the ATE's Table 1 domain when
+    True, the unpruned TVM-style space when False; only pruned requests may
+    be served from or stored to a shared
+    :class:`~repro.core.autotune.database.TuningDatabase`).  ``noise`` and
+    ``noise_seed`` are the executor's measurement conditions — requests
+    measured under different conditions never coalesce because their times
+    would not be comparable.
+    """
+
+    params: ConvParams
+    spec: GPUSpec
+    algorithm: str = "direct"
+    max_measurements: int = 256
+    batch_size: int = 16
+    initial_random: int = 16
+    patience: int = 6
+    seed: int = 0
+    pruned: bool = True
+    noise: float = _DEFAULT_NOISE
+    noise_seed: int = _DEFAULT_NOISE_SEED
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in ("direct", "winograd"):
+            raise ValueError(f"unknown algorithm {self.algorithm!r}")
+        if self.max_measurements < 1 or self.batch_size < 1:
+            raise ValueError("max_measurements and batch_size must be >= 1")
+        if self.patience < 1:
+            raise ValueError("patience must be >= 1")
+
+    # ------------------------------------------------------------------ #
+    def executor_group(self) -> tuple:
+        """Measurement-compatibility key: requests in the same group may be
+        packed into one executor call (same device, same noise conditions)."""
+        return (self.spec, self.noise, self.noise_seed)
+
+    def make_measurer(self) -> Measurer:
+        return Measurer(self.params, self.spec, noise=self.noise, seed=self.noise_seed)
+
+    def make_engine(
+        self, database: Optional["TuningDatabase"] = None
+    ) -> AutoTuningEngine:
+        """Instantiate the engine this request describes.
+
+        Driving ``engine.tune(initial_random=self.initial_random)`` directly
+        and scheduling the request through the service yield bit-identical
+        results — that equivalence is the service's core contract.
+        """
+        return AutoTuningEngine(
+            self.params,
+            self.spec,
+            algorithm=self.algorithm,
+            batch_size=self.batch_size,
+            max_measurements=self.max_measurements,
+            patience=self.patience,
+            seed=self.seed,
+            pruned=self.pruned,
+            measurer=self.make_measurer(),
+            database=database,
+        )
+
+    def describe(self) -> str:
+        return (
+            f"TuningRequest[{self.algorithm} {self.params.describe()} on "
+            f"{self.spec.name}, budget={self.max_measurements}, seed={self.seed}]"
+        )

@@ -1,0 +1,286 @@
+"""The concurrent tuning service: coalesce, schedule, batch, serve.
+
+:class:`TuningService` accepts conv-tuning requests
+(:class:`~repro.service.request.TuningRequest`: layer parameters + GPU +
+algorithm + budget) and answers each with a
+:class:`~repro.service.futures.TuningFuture`.  Three mechanisms remove the
+redundancy a naive per-request loop would pay:
+
+1. **Database serving** — a request whose ``(params, GPU, algorithm)`` triple
+   is already covered by the shared
+   :class:`~repro.core.autotune.database.TuningDatabase` (budget and
+   measurement conditions included) is answered at submit time with zero
+   measurements.
+2. **Request coalescing** — identical requests that arrive while a matching
+   run is in flight attach to it instead of starting their own
+   (:mod:`repro.service.coalescer`); N concurrent requests for the same
+   layer cost exactly one search.
+3. **Cross-request measurement batching** — every scheduling round
+   (:meth:`TuningService.step`) collects the next proposal batch of *every*
+   active tuning session, lowers each with its own
+   :meth:`~repro.core.autotune.config.Measurer.prepare_batch`, and packs all
+   slices that share a device and measurement conditions into one
+   :meth:`~repro.gpusim.executor.GPUExecutor.run_batch_groups` call, keeping
+   the vectorised executor's batches full even when individual requests
+   propose small batches.
+
+Results are **bit-identical** to driving
+:meth:`~repro.core.autotune.engine.AutoTuningEngine.tune` directly for every
+request: sessions own all randomness and consume measurements in proposal
+order, and the packed executor call is element-wise (see
+``GPUExecutor.run_batch_groups``).  For duplicate (coalesced) requests the
+service mirrors the sequential shared-database semantics: the primary future
+receives the full fresh :class:`~repro.core.autotune.engine.TuningResult`,
+and each coalesced future is answered from the database record the run just
+stored (a ``from_cache`` single-trial result — exactly what a later
+sequential ``tune()`` against the shared database would have returned).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.autotune.database import TuningDatabase
+from ..core.autotune.engine import AutoTuningEngine, TuningResult, TuningSession
+from .coalescer import RequestCoalescer
+from .futures import TuningFuture
+from .request import TuningRequest
+
+__all__ = ["ServiceStats", "TuningService"]
+
+
+@dataclass
+class ServiceStats:
+    """Accounting of how the service's work was satisfied.
+
+    ``measurements`` counts actual simulator executions across all finished
+    runs — the coalescing tests assert that N identical requests leave this
+    equal to a single direct run's count.
+    """
+
+    requests: int = 0
+    coalesced: int = 0
+    database_hits: int = 0
+    tuning_runs: int = 0
+    completed_runs: int = 0
+    measurements: int = 0
+    #: shared executor calls and how many lowered configs they carried.
+    executor_calls: int = 0
+    packed_configs: int = 0
+
+    def describe(self) -> str:
+        return (
+            f"ServiceStats[{self.requests} requests -> {self.tuning_runs} runs "
+            f"({self.coalesced} coalesced, {self.database_hits} db hits), "
+            f"{self.measurements} measurements over {self.executor_calls} "
+            f"executor calls]"
+        )
+
+
+@dataclass
+class _ActiveRun:
+    """One scheduled tuning run and its step-wise session."""
+
+    request: TuningRequest
+    engine: AutoTuningEngine
+    session: TuningSession
+
+
+class TuningService:
+    """Schedule many tuning requests over shared measurement batches.
+
+    Thread-safe: ``submit`` may be called from any thread, concurrently with
+    a driver thread running :meth:`drain`.  Scheduling rounds serialise with
+    submissions under one lock, so a request submitted mid-round joins the
+    next round.
+    """
+
+    def __init__(self, database: Optional[TuningDatabase] = None) -> None:
+        #: shared across all requests; pruned-domain results are stored here
+        #: and repeat requests are answered from it.
+        self.database = database if database is not None else TuningDatabase()
+        self.coalescer = RequestCoalescer()
+        self.stats = ServiceStats()
+        self._active: List[_ActiveRun] = []
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_active(self) -> int:
+        with self._lock:
+            return len(self._active)
+
+    def submit(self, request: TuningRequest) -> TuningFuture:
+        """Accept a request; returns immediately with a future.
+
+        The request is answered from the database when covered, attached to
+        an identical in-flight run when one exists, and scheduled as a new
+        step-wise tuning session otherwise.
+        """
+        future = TuningFuture(request)
+        with self._lock:
+            self.stats.requests += 1
+            entry = self.coalescer.get(request)
+            if entry is not None:
+                self.coalescer.join(future)
+                self.stats.coalesced += 1
+                return future
+            if request.pruned:
+                record = self.database.lookup(
+                    request.params,
+                    request.spec,
+                    request.algorithm,
+                    budget=request.max_measurements,
+                    noise=request.noise,
+                    noise_seed=request.noise_seed,
+                )
+                if record is not None:
+                    self.stats.database_hits += 1
+                    future.from_database = True
+                    future._set_result(record.as_result())
+                    return future
+            self.coalescer.join(future)
+            # The session consults no database itself — lookups and stores
+            # are the service's job, so an in-flight run is never pre-empted.
+            engine = request.make_engine(database=None)
+            self._active.append(
+                _ActiveRun(
+                    request=request,
+                    engine=engine,
+                    session=engine.session(request.initial_random),
+                )
+            )
+            self.stats.tuning_runs += 1
+        return future
+
+    # ------------------------------------------------------------------ #
+    def step(self) -> bool:
+        """Run one scheduling round; returns False once no work remains.
+
+        A round asks every active session for its next proposal batch,
+        finalises the sessions that are done, and executes everyone else's
+        lowered slices grouped per ``(GPU, noise conditions)`` through single
+        packed executor calls.
+        """
+        with self._lock:
+            if not self._active:
+                return False
+            # Phase 1: collect proposals; finalise finished sessions.
+            work: List[Tuple[_ActiveRun, list, object]] = []
+            for run in list(self._active):
+                try:
+                    configs = run.session.propose()
+                    if not configs:
+                        self._finalize(run)
+                        continue
+                    prepared = run.engine.measurer.prepare_batch(configs)
+                except Exception as exc:  # defensive: fail only this run
+                    self._fail(run, exc)
+                    continue
+                work.append((run, configs, prepared))
+
+            # Phase 2: pack compatible slices into shared executor calls.
+            groups: Dict[tuple, List[Tuple[_ActiveRun, list, object]]] = {}
+            for item in work:
+                groups.setdefault(item[0].request.executor_group(), []).append(item)
+            for items in groups.values():
+                to_run = [it for it in items if len(it[2]) > 0]
+                executions_for = dict.fromkeys(map(id, items), ())
+                if to_run:
+                    executor = to_run[0][0].engine.measurer.executor
+                    batches = [it[2].batch for it in to_run]
+                    grouped = executor.run_batch_groups(batches)
+                    self.stats.executor_calls += 1
+                    self.stats.packed_configs += sum(len(b) for b in batches)
+                    for it, executions in zip(to_run, grouped):
+                        executions_for[id(it)] = executions
+                # Phase 3: hand each session its own measurements back.
+                for it in items:
+                    run, configs, prepared = it
+                    try:
+                        results = run.engine.measurer.finish_batch(
+                            prepared, executions_for[id(it)]
+                        )
+                        run.session.update(configs, results)
+                    except Exception as exc:
+                        self._fail(run, exc)
+            return True
+
+    def drain(self) -> None:
+        """Run scheduling rounds until every submitted request is answered."""
+        while self.step():
+            pass
+
+    def tune(self, requests: Sequence[TuningRequest]) -> List[TuningResult]:
+        """Convenience: submit a workload, drain it, return results in order."""
+        futures = [self.submit(r) for r in requests]
+        self.drain()
+        return [f.result() for f in futures]
+
+    # ------------------------------------------------------------------ #
+    def _finalize(self, run: _ActiveRun) -> None:
+        """Store, answer and retire a finished run (lock held).
+
+        The coalescer entry is popped only after every future is answered, so
+        that a failure partway through (a raising database, say) leaves the
+        entry reachable for :meth:`_fail` to answer the remaining futures
+        with the exception.
+        """
+        result = run.session.result
+        entry = self.coalescer.get(run.request)
+        request = run.request
+        stored = False
+        if request.pruned and any(t.valid for t in result.trials):
+            executor = run.engine.measurer.executor
+            self.database.add_result(
+                result,
+                budget=request.max_measurements,
+                noise=executor.noise,
+                noise_seed=executor.seed,
+            )
+            stored = True
+        entry.primary._set_result(result)
+        for future in entry.attached:
+            if stored:
+                # Sequential shared-database semantics: a later identical
+                # request would have been served the stored record.
+                record = self.database.lookup(
+                    request.params,
+                    request.spec,
+                    request.algorithm,
+                    budget=request.max_measurements,
+                    noise=request.noise,
+                    noise_seed=request.noise_seed,
+                )
+                if record is not None:
+                    future.from_database = True
+                    future._set_result(record.as_result())
+                    continue
+            future._set_result(result)
+        self.coalescer.discard(request)
+        self._active.remove(run)
+        self.stats.measurements += run.engine.measurer.num_measurements
+        self.stats.completed_runs += 1
+
+    def _fail(self, run: _ActiveRun, exc: BaseException) -> None:
+        """Propagate a run's failure to all of its futures (lock held).
+
+        Also reached when :meth:`_finalize` itself raises (e.g. a failing
+        user-supplied database), so it must tolerate a run whose coalescer
+        entry was already popped or whose futures are partially answered.
+        """
+        self.stats.completed_runs += 1
+        self.stats.measurements += run.engine.measurer.num_measurements
+        entry = self.coalescer.get(run.request)
+        if entry is not None:
+            self.coalescer.discard(run.request)
+            for future in entry.futures:
+                if not future.done():
+                    future._set_exception(exc)
+        if run in self._active:
+            self._active.remove(run)
+
+    def describe(self) -> str:
+        return f"TuningService[{self.num_active} active, {self.stats.describe()}]"

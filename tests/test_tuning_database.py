@@ -1,6 +1,9 @@
 """Tests for the persistent tuning database and its engine/runner wiring."""
 
+import json
+import os
 import random
+import threading
 
 import pytest
 
@@ -11,6 +14,7 @@ from repro.core.autotune import (
     SearchSpace,
     TuningDatabase,
     TuningRecord,
+    default_database_path,
 )
 from repro.gpusim import V100
 from repro.nets import ConvLayer, ConvNet, ModelRunner
@@ -97,6 +101,133 @@ class TestPersistence:
         b = TuningDatabase([_record(params=SMALL)])
         a.merge(b)
         assert len(a) == 2
+
+    def test_merge_keeps_better_config(self):
+        # Worker databases tuned independently may disagree on the same
+        # problem; the merged database must keep the faster configuration
+        # regardless of merge direction.
+        fast, slow = _record(time_seconds=1e-3), _record(time_seconds=2e-3)
+        a = TuningDatabase([slow]).merge(TuningDatabase([fast]))
+        b = TuningDatabase([fast]).merge(TuningDatabase([slow]))
+        for db in (a, b):
+            assert len(db) == 1
+            assert db.lookup(LAYER, V100, "direct").time_seconds == 1e-3
+
+    def test_merge_accepts_record_iterables(self):
+        db = TuningDatabase()
+        db.merge([_record(), _record(params=SMALL)])
+        db.merge(r for r in [_record(params=LAYER.with_batch(4))])
+        assert len(db) == 3
+
+
+class TestDefaultLocation:
+    def test_env_override(self, tmp_path, monkeypatch):
+        target = tmp_path / "nested" / "db.json"
+        monkeypatch.setenv("REPRO_TUNING_DB", str(target))
+        assert default_database_path() == str(target)
+        db = TuningDatabase.default()
+        assert db.path == str(target)
+        db.put(_record())
+        saved = db.save()  # bare save persists to the remembered location
+        assert saved == str(target) and target.exists()
+        reloaded = TuningDatabase.default()
+        assert len(reloaded) == 1
+
+    def test_default_cache_home(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TUNING_DB", raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", "/tmp/xdg-cache-test")
+        assert default_database_path() == "/tmp/xdg-cache-test/repro-tuning.json"
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "{not json",  # invalid syntax
+            "[]",  # valid JSON, wrong shape
+            '{"version": 1, "records": [42]}',  # malformed record
+            '{"version": 1, "records": [{"gpu": "V100"}]}',  # missing fields
+        ],
+    )
+    def test_corrupt_default_file_starts_empty(self, tmp_path, monkeypatch, payload):
+        target = tmp_path / "db.json"
+        target.write_text(payload)
+        monkeypatch.setenv("REPRO_TUNING_DB", str(target))
+        db = TuningDatabase.default()
+        assert len(db) == 0
+        db.put(_record())
+        db.save()
+        assert len(TuningDatabase.default()) == 1  # rewritten atomically
+
+    def test_save_without_path_raises(self):
+        with pytest.raises(ValueError):
+            TuningDatabase().save()
+
+
+class TestAtomicSave:
+    def test_crash_during_write_preserves_existing_file(self, tmp_path, monkeypatch):
+        path = tmp_path / "db.json"
+        TuningDatabase([_record()]).save(path)
+        before = path.read_text()
+
+        # Simulated crash: the dump dies halfway through writing the payload.
+        def exploding_dump(payload, fh, **kwargs):
+            fh.write('{"version": 1, "records": [truncat')
+            raise OSError("disk full")
+
+        monkeypatch.setattr(json, "dump", exploding_dump)
+        with pytest.raises(OSError):
+            TuningDatabase([_record(), _record(params=SMALL)]).save(path)
+        # The original file is untouched and no temp litter remains.
+        assert path.read_text() == before
+        assert os.listdir(tmp_path) == ["db.json"]
+        assert len(TuningDatabase.load(path)) == 1
+
+    def test_crash_during_replace_preserves_existing_file(self, tmp_path, monkeypatch):
+        path = tmp_path / "db.json"
+        TuningDatabase([_record()]).save(path)
+        before = path.read_text()
+        monkeypatch.setattr(
+            os, "replace", lambda *a: (_ for _ in ()).throw(OSError("power cut"))
+        )
+        with pytest.raises(OSError):
+            TuningDatabase([_record(params=SMALL)]).save(path)
+        monkeypatch.undo()
+        assert path.read_text() == before
+        assert os.listdir(tmp_path) == ["db.json"]
+
+    def test_save_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "a" / "b" / "db.json"
+        TuningDatabase([_record()]).save(path)
+        assert len(TuningDatabase.load(path)) == 1
+
+
+class TestConcurrency:
+    def test_concurrent_puts_and_lookups(self):
+        db = TuningDatabase()
+        errors = []
+
+        def writer(offset):
+            try:
+                for i in range(50):
+                    db.put(_record(params=LAYER.with_batch(offset * 50 + i + 1)))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def reader():
+            try:
+                for _ in range(100):
+                    db.lookup(LAYER, V100, "direct")
+                    db.records()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(k,)) for k in range(4)]
+        threads += [threading.Thread(target=reader) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(db) == 200
 
 
 class TestEngineWiring:
