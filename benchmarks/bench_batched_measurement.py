@@ -23,7 +23,7 @@ import warnings
 
 import pytest
 
-from conftest import emit
+from conftest import emit, write_bench_json
 from repro.analysis import ResultTable, render_table
 from repro.conv import ConvParams
 from repro.core.autotune import Measurer, SearchSpace, build_profile
@@ -109,18 +109,29 @@ def run_batched_measurement(spec):
             us_per_config=t * 1e6 / N_CONFIGS,
             speedup=t_seed / t,
         )
-    return table, t_seed / t_batch, t_scalar / t_batch
+    times = {"seed": t_seed, "scalar": t_scalar, "batched": t_batch}
+    return table, t_seed / t_batch, t_scalar / t_batch, times
 
 
 @pytest.mark.benchmark(group="batched-measurement")
 def test_batched_measurement_speedup(benchmark, gpu_v100):
-    table, speedup_vs_seed, speedup_vs_scalar = benchmark.pedantic(
+    table, speedup_vs_seed, speedup_vs_scalar, times = benchmark.pedantic(
         run_batched_measurement, args=(gpu_v100,), rounds=1, iterations=1
     )
     emit(render_table(table, precision=2))
     emit(
         f"measure_batch speedup: {speedup_vs_seed:.1f}x over the per-config seed "
         f"pipeline, {speedup_vs_scalar:.1f}x over the single-lowering scalar path"
+    )
+    write_bench_json(
+        "batched_measurement",
+        gpu=gpu_v100.name,
+        num_configs=N_CONFIGS,
+        seed_pipeline_seconds=times["seed"],
+        scalar_pipeline_seconds=times["scalar"],
+        batched_pipeline_seconds=times["batched"],
+        speedup_vs_seed=speedup_vs_seed,
+        speedup_vs_scalar=speedup_vs_scalar,
     )
     # Wall-clock ratios gate by default (the bit-identity assert above always
     # gates).  On shared CI runners, where co-tenancy can deflate the batched

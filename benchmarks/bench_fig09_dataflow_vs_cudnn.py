@@ -78,6 +78,6 @@ def test_fig09_dataflow_vs_cudnn(benchmark, gpu_1080ti, per_block_elements):
     emit(f"Figure 9 mean speedup over cuDNN: {mean_speedup:.2f}x (paper reports 3.32x)")
     # Shape assertions: the benefit exists on average and grows with the input.
     assert mean_speedup > 1.0
-    large = [r[f"Win=224"] for r in table.rows if r["algorithm"] == "direct" and r["stride"] == 1]
-    small = [r[f"Win=14"] for r in table.rows if r["algorithm"] == "direct" and r["stride"] == 1]
+    large = [r["Win=224"] for r in table.rows if r["algorithm"] == "direct" and r["stride"] == 1]
+    small = [r["Win=14"] for r in table.rows if r["algorithm"] == "direct" and r["stride"] == 1]
     assert sum(large) / len(large) > sum(small) / len(small)

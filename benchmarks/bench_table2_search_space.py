@@ -14,7 +14,7 @@ import pytest
 
 from conftest import emit
 from repro.analysis import ResultTable, render_table
-from repro.core.autotune import AutoTuningEngine, SearchSpace, TVMStyleTuner
+from repro.core.autotune import AutoTuningEngine, TVMStyleTuner
 from repro.nets import alexnet
 
 BUDGET = 72

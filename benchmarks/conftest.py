@@ -8,6 +8,9 @@ contains the reproduced numbers alongside pytest-benchmark's timing table.
 
 from __future__ import annotations
 
+import json
+import os
+
 import pytest
 
 from repro.gpusim import GTX_1080TI, V100
@@ -16,6 +19,22 @@ from repro.gpusim import GTX_1080TI, V100
 def emit(text: str) -> None:
     """Print a report block, padded so it stays readable inside pytest output."""
     print("\n" + text + "\n")
+
+
+def write_bench_json(name: str, **payload) -> str:
+    """Persist a benchmark's machine-readable telemetry.
+
+    Writes ``BENCH_<name>.json`` into ``$BENCH_DIR`` (default: the current
+    working directory); CI uploads every ``BENCH_*.json`` as a build artifact
+    so the repo accumulates a perf trajectory instead of throwing the numbers
+    away with the job log.  Keep payloads flat and JSON-native (speedups,
+    wall-clock seconds, measurement counts).  Returns the path written.
+    """
+    path = os.path.join(os.environ.get("BENCH_DIR", "."), f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+    emit(f"bench telemetry written to {path}")
+    return path
 
 
 @pytest.fixture(scope="session")

@@ -8,7 +8,7 @@ its table or figure the same way and the tests can assert on the shapes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Sequence
+from typing import List, Mapping, Sequence
 
 __all__ = ["ResultTable", "Series", "FigureData"]
 

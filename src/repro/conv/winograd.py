@@ -117,7 +117,6 @@ def _extract_tiles(xp: np.ndarray, plan: WinogradPlan) -> np.ndarray:
     ``t = e + r - 1``.  The padded input is extended (with zeros) as needed so
     that every tile is complete.
     """
-    p = plan.params
     e, t = plan.e, plan.tile_in
     need_h = (plan.tiles_h - 1) * e + t
     need_w = (plan.tiles_w - 1) * e + t

@@ -10,9 +10,11 @@ from .space import SearchSpace
 from .features import FEATURE_NAMES, FeatureCache, feature_matrix, feature_vector
 from .cost_model import CostModel, GradientBoostedTrees, RegressionTree
 from .explorer import ExplorerConfig, ParallelRandomWalkExplorer
-from .engine import AutoTuningEngine, TrialRecord, TuningResult, TuningSession
+from .session import TrialRecord, TuningResult, TuningSessionProtocol, record_trial
+from .engine import AutoTuningEngine, TuningSession
 from .database import TuningDatabase, TuningRecord, default_database_path
 from .baselines import (
+    BaselineSession,
     BaselineTuner,
     GeneticTuner,
     ParallelTemperingSATuner,
@@ -44,6 +46,9 @@ __all__ = [
     "TrialRecord",
     "TuningResult",
     "TuningSession",
+    "TuningSessionProtocol",
+    "record_trial",
+    "BaselineSession",
     "BaselineTuner",
     "GeneticTuner",
     "ParallelTemperingSATuner",

@@ -12,32 +12,41 @@ TVM-style tuner over the *unpruned* configuration space:
   same cost-model + parallel-random-walk machinery as the ATE, but run on the
   unpruned space (no optimality-condition constraints).
 
-Every tuner returns the same :class:`~repro.core.autotune.engine.TuningResult`
-structure so the benchmarks can compare convergence curves directly.  Tuners
-whose proposals do not depend on the measurements of the current batch
-(random search, a genetic generation's brood) measure through the batched
-:meth:`~repro.core.autotune.config.Measurer.measure_batch` pipeline; the
-inherently sequential single-chain simulated-annealing walk stays on the
-(single-lowering) scalar path, and
-:class:`ParallelTemperingSATuner` restores batching to annealing by running
-many tempered chains whose per-round proposals are measured together.
+Every tuner returns the same :class:`~repro.core.autotune.session.TuningResult`
+structure so the benchmarks can compare convergence curves directly.
+
+**Step-wise sessions.**  Like the engine, every baseline runs as a resumable
+session implementing the
+:class:`~repro.core.autotune.session.TuningSessionProtocol` — the search loop
+is written once as a generator (:meth:`BaselineTuner._search`) that yields
+proposal batches and receives the corresponding
+:class:`~repro.core.autotune.session.TrialRecord` lists back, and
+:class:`BaselineSession` adapts that generator to the strict
+``propose()``/``update()`` alternation.  ``tune()`` is the thin synchronous
+driver (measure each batch with the tuner's own
+:meth:`~repro.core.autotune.config.Measurer.measure_batch`); the concurrent
+:class:`~repro.service.TuningService` drives the very same sessions, packing
+their batches into shared executor calls — both produce bit-identical
+trajectories because all randomness lives in the generator and is consumed
+in proposal order (property-tested in ``tests/test_baseline_sessions.py``).
 """
 
 from __future__ import annotations
 
 import math
 import random
-from typing import List, Optional, Sequence
+from typing import Generator, List, Optional, Sequence
 
 from ...conv.tensor import ConvParams
+from ...gpusim.executor import ExecutionResult
 from ...gpusim.spec import GPUSpec
 from .config import Configuration, Measurer
-from .cost_model import CostModel
-from .engine import AutoTuningEngine, TrialRecord, TuningResult
-from .explorer import ExplorerConfig
+from .engine import AutoTuningEngine
+from .session import TrialRecord, TuningResult, record_trial
 from .space import SearchSpace
 
 __all__ = [
+    "BaselineSession",
     "BaselineTuner",
     "RandomSearchTuner",
     "SimulatedAnnealingTuner",
@@ -46,9 +55,87 @@ __all__ = [
     "TVMStyleTuner",
 ]
 
+#: generator type of :meth:`BaselineTuner._search`: yields proposal batches,
+#: receives the matching trial records back.
+SearchGenerator = Generator[List[Configuration], List[TrialRecord], None]
+
+
+class BaselineSession:
+    """Step-wise session over a baseline tuner's search generator.
+
+    Adapts :meth:`BaselineTuner._search` to the
+    :class:`~repro.core.autotune.session.TuningSessionProtocol`: every batch
+    the generator yields is handed out by :meth:`propose`, and the
+    measurements fed back through :meth:`update` (strict alternation, in
+    proposal order, ``None`` marking infeasible entries) are recorded and
+    returned into the generator.  A session may run to completion exactly
+    once per tuner instance — the tuner's RNG streams are session state.
+    """
+
+    def __init__(self, tuner: "BaselineTuner") -> None:
+        self.tuner = tuner
+        self.result = tuner._new_result()
+        self._finished = False
+        self._awaiting = False
+        self._gen = tuner._search(self.result)
+        self._next = self._advance(None)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    def propose(self) -> List[Configuration]:
+        """Next batch of configurations to measure; ``[]`` when finished."""
+        if self._finished:
+            return []
+        if self._awaiting:
+            raise RuntimeError("propose() called before update() of the previous batch")
+        self._awaiting = True
+        return list(self._next)
+
+    def update(
+        self,
+        configs: Sequence[Configuration],
+        executions: Sequence[Optional[ExecutionResult]],
+    ) -> None:
+        """Feed back the measurements of the last proposed batch."""
+        if not self._awaiting:
+            raise RuntimeError("update() called without a pending proposal")
+        if len(configs) != len(executions):
+            raise ValueError("configs and executions must have the same length")
+        self._awaiting = False
+        records = [
+            record_trial(self.result, config, execution)
+            for config, execution in zip(configs, executions)
+        ]
+        self._next = self._advance(records)
+
+    # ------------------------------------------------------------------ #
+    def _advance(self, records: Optional[List[TrialRecord]]) -> List[Configuration]:
+        """Resume the search generator until it yields a non-empty batch.
+
+        An empty yield (a search step that produced nothing to measure) is
+        answered with an empty record list instead of being surfaced — an
+        empty :meth:`propose` batch means *finished* to every driver.
+        """
+        try:
+            batch = self._gen.send(records)
+            while not batch:
+                batch = self._gen.send([])
+        except StopIteration:
+            self._finished = True
+            return []
+        return list(batch)
+
 
 class BaselineTuner:
-    """Common scaffolding for measurement-driven baseline tuners."""
+    """Common scaffolding for measurement-driven baseline tuners.
+
+    Subclasses implement exactly one method — the :meth:`_search` generator —
+    and inherit the session machinery, the shared budget bookkeeping
+    (:meth:`_remaining`) and the synchronous :meth:`tune` driver.
+    """
 
     name = "baseline"
 
@@ -74,34 +161,6 @@ class BaselineTuner:
         self.rng = random.Random(seed)
 
     # ------------------------------------------------------------------ #
-    def _to_record(
-        self, result: TuningResult, config: Configuration, execution
-    ) -> TrialRecord:
-        index = len(result.trials)
-        if execution is None:
-            record = TrialRecord(index=index, config=config, time_seconds=float("inf"), gflops=0.0)
-        else:
-            record = TrialRecord(
-                index=index,
-                config=config,
-                time_seconds=execution.time_seconds,
-                gflops=execution.achieved_gflops,
-            )
-        result.trials.append(record)
-        return record
-
-    def _record(self, result: TuningResult, config: Configuration) -> TrialRecord:
-        return self._to_record(result, config, self.measurer.try_measure(config))
-
-    def _record_batch(
-        self, result: TuningResult, configs: Sequence[Configuration]
-    ) -> List[TrialRecord]:
-        """Measure many configurations at once through the batched pipeline."""
-        return [
-            self._to_record(result, config, execution)
-            for config, execution in zip(configs, self.measurer.measure_batch(configs))
-        ]
-
     def _new_result(self) -> TuningResult:
         return TuningResult(
             tuner=self.name,
@@ -110,8 +169,39 @@ class BaselineTuner:
             space_size=self.space.size(),
         )
 
-    def tune(self) -> TuningResult:  # pragma: no cover - overridden
+    def _remaining(self, result: TuningResult) -> int:
+        """Measurement budget left — the single bookkeeping rule every
+        search generator loops on (previously duplicated per tuner)."""
+        return self.max_measurements - result.num_measurements
+
+    def _search(self, result: TuningResult) -> SearchGenerator:
+        """The tuner's search loop as a generator: ``records = yield configs``.
+
+        Receives the :class:`TrialRecord` list of each yielded batch (in
+        proposal order); all tuner randomness must be drawn inside, so any
+        faithful driver reproduces the trajectory bit-for-bit.
+        """
         raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    def session(self) -> BaselineSession:
+        """Start the step-wise session (see :class:`BaselineSession`).
+
+        The session borrows the tuner's RNG streams, so at most one session
+        per tuner instance may run to completion; :meth:`tune` is simply a
+        session driven by the tuner's own measurer.
+        """
+        return BaselineSession(self)
+
+    def tune(self) -> TuningResult:
+        """Drive a session to completion with the tuner's own measurer."""
+        session = self.session()
+        while True:
+            batch = session.propose()
+            if not batch:
+                break
+            session.update(batch, self.measurer.measure_batch(batch))
+        return session.result
 
 
 class RandomSearchTuner(BaselineTuner):
@@ -119,8 +209,7 @@ class RandomSearchTuner(BaselineTuner):
 
     name = "random"
 
-    def tune(self) -> TuningResult:
-        result = self._new_result()
+    def _search(self, result: TuningResult) -> SearchGenerator:
         seen = set()
         attempts = 0
         configs: List[Configuration] = []
@@ -131,8 +220,7 @@ class RandomSearchTuner(BaselineTuner):
                 continue
             seen.add(config.key())
             configs.append(config)
-        self._record_batch(result, configs)
-        return result
+        yield configs
 
 
 class SimulatedAnnealingTuner(BaselineTuner):
@@ -147,16 +235,15 @@ class SimulatedAnnealingTuner(BaselineTuner):
         self.initial_temperature = initial_temperature
         self.cooling = cooling
 
-    def tune(self) -> TuningResult:
-        result = self._new_result()
+    def _search(self, result: TuningResult) -> SearchGenerator:
         current = self.space.random_configuration(self.rng)
-        current_record = self._record(result, current)
+        (current_record,) = yield [current]
         current_time = current_record.time_seconds
         temperature = self.initial_temperature
 
-        while result.num_measurements < self.max_measurements:
+        while self._remaining(result) > 0:
             candidate = self.space.neighbor(current, self.rng)
-            record = self._record(result, candidate)
+            (record,) = yield [candidate]
             cand_time = record.time_seconds
             if not math.isfinite(cand_time):
                 temperature *= self.cooling
@@ -170,7 +257,6 @@ class SimulatedAnnealingTuner(BaselineTuner):
             if accept:
                 current, current_time = candidate, cand_time
             temperature *= self.cooling
-        return result
 
 
 class ParallelTemperingSATuner(BaselineTuner):
@@ -240,22 +326,20 @@ class ParallelTemperingSATuner(BaselineTuner):
         delta = math.log(current_time) - math.log(cand_time)
         return delta >= 0 or rng.random() < math.exp(delta / max(temperature, 1e-6))
 
-    def tune(self) -> TuningResult:
-        result = self._new_result()
-        budget = self.max_measurements
-        k = min(self.chains, budget)
+    def _search(self, result: TuningResult) -> SearchGenerator:
+        k = min(self.chains, self.max_measurements)
 
         # Round 0: every chain draws its own start; one batched measurement.
         states = [self.space.random_configuration(self._chain_rngs[i]) for i in range(k)]
-        records = self._record_batch(result, states)
+        records = yield states
         times = [r.time_seconds for r in records]
 
-        while result.num_measurements < budget:
-            live = min(k, budget - result.num_measurements)
+        while self._remaining(result) > 0:
+            live = min(k, self._remaining(result))
             proposals = [
                 self.space.neighbor(states[i], self._chain_rngs[i]) for i in range(live)
             ]
-            records = self._record_batch(result, proposals)
+            records = yield proposals
             for i in range(live):
                 if self._accept(
                     times[i],
@@ -281,7 +365,6 @@ class ParallelTemperingSATuner(BaselineTuner):
                 if swap:
                     states[i], states[i + 1] = states[i + 1], states[i]
                     times[i], times[i + 1] = times[i + 1], times[i]
-        return result
 
 
 class GeneticTuner(BaselineTuner):
@@ -313,15 +396,14 @@ class GeneticTuner(BaselineTuner):
             return candidate
         return self.space.neighbor(a, self.rng)
 
-    def tune(self) -> TuningResult:
-        result = self._new_result()
+    def _search(self, result: TuningResult) -> SearchGenerator:
         initial = [
             self.space.random_configuration(self.rng)
             for _ in range(min(self.population_size, self.max_measurements))
         ]
-        population: List[TrialRecord] = self._record_batch(result, initial)
+        population: List[TrialRecord] = yield initial
 
-        while result.num_measurements < self.max_measurements:
+        while self._remaining(result) > 0:
             ranked = sorted(
                 (p for p in population if p.valid), key=lambda t: t.time_seconds
             ) or population
@@ -329,8 +411,7 @@ class GeneticTuner(BaselineTuner):
             # A generation's children depend only on the previous population,
             # so breed them all first and measure the brood in one batch.
             num_children = min(
-                self.population_size - len(elites),
-                self.max_measurements - result.num_measurements,
+                self.population_size - len(elites), self._remaining(result)
             )
             child_configs: List[Configuration] = []
             while len(child_configs) < num_children:
@@ -340,8 +421,8 @@ class GeneticTuner(BaselineTuner):
                 if self.rng.random() < self.mutation_rate:
                     child = self.space.neighbor(child, self.rng)
                 child_configs.append(child)
-            population = elites + self._record_batch(result, child_configs)
-        return result
+            children = yield child_configs
+            population = elites + children
 
     def _tournament(self, ranked: Sequence[TrialRecord], k: int = 3) -> TrialRecord:
         contenders = [self.rng.choice(ranked) for _ in range(min(k, len(ranked)))]
@@ -354,14 +435,14 @@ class TVMStyleTuner(AutoTuningEngine):
     Identical machinery to the ATE (gradient-boosted cost model + parallel
     random-walk explorer) but without the optimality-condition constraints of
     Table 1, so it represents the state-of-the-art ML-based tuner the paper
-    compares against (TVM).
+    compares against (TVM).  Sessions (and therefore ``tune()`` and the
+    tuning service) record their results under the ``"tvm_style"`` name.
     """
 
     def __init__(self, *args, **kwargs) -> None:
         kwargs.setdefault("pruned", False)
         super().__init__(*args, **kwargs)
 
-    def tune(self, initial_random: int = 16) -> TuningResult:
-        result = super().tune(initial_random=initial_random)
-        result.tuner = "tvm_style"
-        return result
+    @property
+    def result_name(self) -> str:
+        return "tvm_style"

@@ -23,7 +23,6 @@ Measurement runs in two modes:
 from __future__ import annotations
 
 import dataclasses
-import math
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np

@@ -48,8 +48,7 @@ that were already tuned (by this run or a previous, persisted one).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 import numpy as np
 
@@ -60,89 +59,13 @@ from .config import Configuration, Measurer
 from .cost_model import CostModel
 from .explorer import ExplorerConfig, ParallelRandomWalkExplorer
 from .features import FeatureCache
+from .session import TrialRecord, TuningResult, record_trial
 from .space import SearchSpace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (database imports us)
     from .database import TuningDatabase
 
 __all__ = ["TrialRecord", "TuningResult", "TuningSession", "AutoTuningEngine"]
-
-
-@dataclass(frozen=True)
-class TrialRecord:
-    """One measured configuration."""
-
-    index: int
-    config: Configuration
-    time_seconds: float
-    gflops: float
-
-    @property
-    def valid(self) -> bool:
-        return np.isfinite(self.time_seconds) and self.time_seconds > 0
-
-
-@dataclass
-class TuningResult:
-    """Outcome of one tuning run."""
-
-    tuner: str
-    params: ConvParams
-    gpu: str
-    trials: List[TrialRecord] = field(default_factory=list)
-    space_size: int = 0
-    #: True when the result was served from a TuningDatabase instead of tuning.
-    from_cache: bool = False
-
-    @property
-    def num_measurements(self) -> int:
-        return len(self.trials)
-
-    @property
-    def best_trial(self) -> TrialRecord:
-        valid = [t for t in self.trials if t.valid]
-        if not valid:
-            raise RuntimeError("no valid measurement recorded")
-        return min(valid, key=lambda t: t.time_seconds)
-
-    @property
-    def best_config(self) -> Configuration:
-        return self.best_trial.config
-
-    @property
-    def best_time(self) -> float:
-        return self.best_trial.time_seconds
-
-    @property
-    def best_gflops(self) -> float:
-        return self.best_trial.gflops
-
-    def best_gflops_curve(self) -> List[float]:
-        """Best-so-far GFLOP/s after each measurement (Figure 11's y-axis)."""
-        curve: List[float] = []
-        best = 0.0
-        for t in self.trials:
-            if t.valid:
-                best = max(best, t.gflops)
-            curve.append(best)
-        return curve
-
-    def measurements_to_reach(self, fraction: float = 0.99) -> int:
-        """Number of measurements needed to reach ``fraction`` of the final
-        best GFLOP/s (a convergence-speed summary used by the benchmarks)."""
-        if not (0.0 < fraction <= 1.0):
-            raise ValueError("fraction must be in (0, 1]")
-        curve = self.best_gflops_curve()
-        if not curve or curve[-1] <= 0.0:
-            # No valid trial was ever recorded: the curve is identically zero
-            # and "fraction of the final best" is meaningless — report 0
-            # instead of pretending convergence at the first measurement.
-            return 0
-        target = fraction * curve[-1]
-        for i, v in enumerate(curve):
-            if v >= target:
-                return i + 1
-        return len(curve)
 
 
 class TuningSession:
@@ -171,7 +94,7 @@ class TuningSession:
         self.engine = engine
         self.initial_random = initial_random
         self.result = TuningResult(
-            tuner="ate" if engine.space.pruned else "ate_unpruned",
+            tuner=engine.result_name,
             params=engine.params,
             gpu=engine.spec.name,
             space_size=engine.space.size(),
@@ -263,22 +186,7 @@ class TuningSession:
         first_batch = self._init_pending
         self._init_pending = False
         for config, execution in zip(configs, executions):
-            index = len(result.trials)
-            if execution is None:
-                result.trials.append(
-                    TrialRecord(
-                        index=index, config=config, time_seconds=float("inf"), gflops=0.0
-                    )
-                )
-                continue
-            result.trials.append(
-                TrialRecord(
-                    index=index,
-                    config=config,
-                    time_seconds=execution.time_seconds,
-                    gflops=execution.achieved_gflops,
-                )
-            )
+            record_trial(result, config, execution)
 
         new_best = min(
             (t.time_seconds for t in result.trials if t.valid), default=float("inf")
@@ -354,6 +262,13 @@ class AutoTuningEngine:
         self.rng = random.Random(seed)
 
     # ------------------------------------------------------------------ #
+    @property
+    def result_name(self) -> str:
+        """Name recorded in :attr:`TuningResult.tuner` (subclasses override:
+        :class:`~repro.core.autotune.baselines.TVMStyleTuner` reports
+        ``"tvm_style"``)."""
+        return "ate" if self.space.pruned else "ate_unpruned"
+
     def session(self, initial_random: int = 16) -> TuningSession:
         """Start a step-wise tuning session (see :class:`TuningSession`).
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 from ...conv.tensor import ConvParams, Layout, divisors
@@ -274,7 +274,7 @@ class SearchSpace:
                     _thread_options(extent), d[f"threads_{axis}"], rng
                 )
             elif knob == "layout":
-                d["layout"] = rng.choice([l for l in self._layouts if l != config.layout])
+                d["layout"] = rng.choice([lay for lay in self._layouts if lay != config.layout])
             elif knob == "smem":
                 d["smem_per_block"] = self._adjacent(
                     self._smem_opts, config.smem_per_block, rng

@@ -31,7 +31,6 @@ import itertools
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
-import numpy as np
 
 from .generation import StepGeneration
 

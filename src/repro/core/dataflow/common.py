@@ -11,7 +11,6 @@ volume it incurs; the algorithm-specific formulas live in
 from __future__ import annotations
 
 import dataclasses
-import math
 from typing import Dict
 
 from ...conv.tensor import ConvParams

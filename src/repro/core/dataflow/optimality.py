@@ -17,8 +17,7 @@ throughout the tests and the theory benchmark.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Iterable, Optional, Tuple
+from typing import Optional, Tuple
 
 from ...conv.tensor import ConvParams, divisors
 from .common import OutputTile

@@ -30,9 +30,8 @@ Two execution paths are offered:
 from __future__ import annotations
 
 import hashlib
-import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Union
+from typing import List, Sequence, Union
 
 import numpy as np
 
@@ -135,7 +134,7 @@ def occupancy(profile: KernelProfile, spec: GPUSpec) -> float:
         raise ValueError(
             f"kernel {profile.name!r} uses {profile.threads_per_block} threads per "
             f"block but {spec.name} can only keep {spec.max_threads_per_sm} "
-            f"threads resident per SM; the launch is infeasible"
+            "threads resident per SM; the launch is infeasible"
         )
     blocks_by_smem = (
         spec.shared_mem_per_sm // max(1, profile.smem_per_block)

@@ -10,8 +10,8 @@ entirely from them), so a model is represented as an ordered list of
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, List, Tuple
+from dataclasses import dataclass
+from typing import List, Tuple
 
 from ..conv.tensor import ConvParams
 
@@ -76,7 +76,7 @@ class ConvNet:
     def __post_init__(self) -> None:
         if not self.layers:
             raise ValueError("a ConvNet needs at least one layer")
-        names = [l.name for l in self.layers]
+        names = [layer.name for layer in self.layers]
         if len(set(names)) != len(names):
             raise ValueError("layer names must be unique within a model")
 
@@ -86,23 +86,23 @@ class ConvNet:
 
     @property
     def num_conv_instances(self) -> int:
-        return sum(l.repeat for l in self.layers)
+        return sum(layer.repeat for layer in self.layers)
 
     @property
     def total_macs(self) -> int:
-        return sum(l.macs for l in self.layers)
+        return sum(layer.macs for layer in self.layers)
 
     def layer(self, name: str) -> ConvLayer:
-        for l in self.layers:
-            if l.name == name:
-                return l
+        for layer in self.layers:
+            if layer.name == name:
+                return layer
         raise KeyError(f"model {self.name!r} has no layer {name!r}")
 
     def params_list(self, batch: int = 1) -> List[Tuple[ConvLayer, ConvParams]]:
-        return [(l, l.params(batch=batch)) for l in self.layers]
+        return [(layer, layer.params(batch=batch)) for layer in self.layers]
 
     def describe(self) -> str:
         lines = [f"{self.name}: {self.num_conv_instances} conv layers, "
                  f"{self.total_macs / 1e9:.2f} GMACs"]
-        lines.extend("  " + l.describe() for l in self.layers)
+        lines.extend("  " + layer.describe() for layer in self.layers)
         return "\n".join(lines)

@@ -23,6 +23,13 @@ Two whole-network optimisations keep the runner fast:
   shapes many times), layers already tuned by earlier models/runs are served
   from the database, and the concurrently tuning layers' measurement batches
   are packed into shared executor calls.
+
+Both tuned paths accept any registered search tuner (``runner =
+ModelRunner(spec, mode="tuned", tuner="sa_tempering")``), and
+:meth:`ModelRunner.compare_tuners` times one model under several tuners at
+once — every (layer, algorithm, tuner) candidate goes through a single
+service submit/drain, so heterogeneous search algorithms share scheduling
+rounds and packed measurement batches exactly like production traffic.
 """
 
 from __future__ import annotations
@@ -32,7 +39,6 @@ from typing import Dict, List, Literal, Optional, Sequence, Tuple
 
 from ..conv.tensor import ConvParams
 from ..core.autotune.database import TuningDatabase
-from ..core.autotune.engine import AutoTuningEngine
 from ..core.dataflow.optimality import optimal_tile_direct, optimal_tile_winograd
 from ..gpusim.cudnn import CudnnLibrary
 from ..gpusim.executor import GPUExecutor
@@ -42,7 +48,7 @@ from ..gpusim.kernels import (
     winograd_dataflow_profile,
 )
 from ..gpusim.spec import GPUSpec
-from ..service import TuningRequest, TuningService
+from ..service import TUNERS, TuningRequest, TuningService
 from .layers import ConvLayer, ConvNet
 
 __all__ = ["LayerTiming", "ModelTiming", "ModelRunner"]
@@ -104,14 +110,19 @@ class ModelRunner:
         max_measurements: int = 96,
         seed: int = 0,
         database: Optional[TuningDatabase] = None,
+        tuner: str = "ate",
     ) -> None:
         if mode not in ("analytic", "tuned"):
             raise ValueError("mode must be 'analytic' or 'tuned'")
+        if tuner not in TUNERS:
+            raise ValueError(f"unknown tuner {tuner!r}; expected one of {TUNERS}")
         self.spec = spec
         self.mode = mode
         self.batch = batch
         self.max_measurements = max_measurements
         self.seed = seed
+        #: search algorithm tuned mode runs per layer (any entry of TUNERS).
+        self.tuner = tuner
         self.library = CudnnLibrary(spec)
         self.executor = GPUExecutor(spec)
         #: shared across every layer/model this runner times; pass one in to
@@ -150,25 +161,30 @@ class ModelRunner:
     def _ours_analytic(self, params: ConvParams, algorithm: str) -> float:
         return self.executor.run(self._analytic_profile(params, algorithm)).time_seconds
 
-    def _ours_tuned(self, params: ConvParams, algorithm: str) -> float:
-        engine = AutoTuningEngine(
-            params,
-            self.spec,
-            algorithm=algorithm,
-            max_measurements=self.max_measurements,
-            seed=self.seed,
-            database=self.database,
-        )
-        return engine.tune().best_time
+    def _tuning_request(
+        self,
+        params: ConvParams,
+        algorithm: str,
+        tuner: Optional[str] = None,
+        pruned: Optional[bool] = None,
+    ) -> TuningRequest:
+        """The service request a (layer, algorithm) candidate submits.
 
-    def _tuning_request(self, params: ConvParams, algorithm: str) -> TuningRequest:
-        """The service request equivalent of :meth:`_ours_tuned`'s engine."""
+        By default everything tunes the pruned Table-1 domain except
+        ``tvm_style``, which searches the unpruned space by definition (and
+        therefore bypasses the shared database).
+        """
+        tuner = self.tuner if tuner is None else tuner
+        if pruned is None:
+            pruned = tuner != "tvm_style"
         return TuningRequest(
             params,
             self.spec,
             algorithm=algorithm,
             max_measurements=self.max_measurements,
             seed=self.seed,
+            tuner=tuner,
+            pruned=pruned,
         )
 
     def _time_layers_tuned(self, layers: Sequence[ConvLayer]) -> List[LayerTiming]:
@@ -213,13 +229,16 @@ class ModelRunner:
         )
 
     def time_layer(self, layer: ConvLayer) -> LayerTiming:
+        if self.mode == "tuned":
+            # The whole-model path on a one-layer list: both algorithm
+            # candidates tune concurrently through one service (packed
+            # batches, shared-database semantics) instead of sequentially.
+            return self._time_layers_tuned([layer])[0]
         params = layer.params(batch=self.batch)
-        timings = {}
-        for algorithm in self._candidate_algorithms(params):
-            if self.mode == "tuned":
-                timings[algorithm] = self._ours_tuned(params, algorithm)
-            else:
-                timings[algorithm] = self._ours_analytic(params, algorithm)
+        timings = {
+            algorithm: self._ours_analytic(params, algorithm)
+            for algorithm in self._candidate_algorithms(params)
+        }
         return self._best_timing(layer, params, timings)
 
     def _time_layers_analytic(self, layers: Sequence[ConvLayer]) -> List[LayerTiming]:
@@ -247,3 +266,61 @@ class ModelRunner:
         else:
             timings = self._time_layers_tuned(model.layers)
         return ModelTiming(model=model.name, gpu=self.spec.name, layers=timings)
+
+    # ------------------------------------------------------------------ #
+    def compare_tuners(
+        self,
+        model: ConvNet,
+        tuners: Sequence[str] = ("ate", "random", "sa_tempering", "genetic"),
+    ) -> Dict[str, ModelTiming]:
+        """Whole-model tuned timing under several search algorithms at once.
+
+        The Figure-11 baseline comparison, at model scale and through the
+        production path: every (layer, algorithm, tuner) candidate is
+        submitted to *one* :class:`~repro.service.TuningService` and drained
+        together, so heterogeneous sessions share scheduling rounds and
+        packed measurement batches, and repeated shapes coalesce per tuner.
+        The ATE tunes its pruned Table-1 domain (database-backed, like tuned
+        mode); every baseline searches the unpruned space, exactly as the
+        paper runs them — so baseline legs never serve from or store to the
+        shared database and always measure a fresh trajectory.
+        """
+        unknown = [t for t in tuners if t not in TUNERS]
+        if unknown:
+            raise ValueError(f"unknown tuners {unknown!r}; expected entries of {TUNERS}")
+        service = TuningService(database=self.database)
+        all_params = [layer.params(batch=self.batch) for layer in model.layers]
+        entries: List[Tuple[str, int, str]] = []  # (tuner, layer index, algorithm)
+        futures = []
+        for tuner in tuners:
+            for li, params in enumerate(all_params):
+                for algorithm in self._candidate_algorithms(params):
+                    entries.append((tuner, li, algorithm))
+                    futures.append(
+                        service.submit(
+                            self._tuning_request(
+                                params,
+                                algorithm,
+                                tuner=tuner,
+                                pruned=tuner == "ate",
+                            )
+                        )
+                    )
+        service.drain()
+
+        per_tuner: Dict[str, Dict[int, Dict[str, float]]] = {}
+        for (tuner, li, algorithm), future in zip(entries, futures):
+            per_tuner.setdefault(tuner, {}).setdefault(li, {})[algorithm] = (
+                future.result().best_time
+            )
+        return {
+            tuner: ModelTiming(
+                model=model.name,
+                gpu=self.spec.name,
+                layers=[
+                    self._best_timing(layer, all_params[li], per_tuner[tuner][li])
+                    for li, layer in enumerate(model.layers)
+                ],
+            )
+            for tuner in tuners
+        }

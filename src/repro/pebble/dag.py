@@ -19,7 +19,7 @@ Figures 4 and 5.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 __all__ = ["Vertex", "ComputationDAG"]

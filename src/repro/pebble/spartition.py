@@ -21,7 +21,7 @@ This module provides
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Set
+from typing import Iterable, List, Set
 
 from .dag import ComputationDAG
 

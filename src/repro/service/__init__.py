@@ -6,34 +6,79 @@ never redundantly re-tune identical layers or under-fill measurement
 batches:
 
 * :class:`TuningRequest` / :class:`TuningFuture` — the submit/await API; a
-  request pins down everything that determines a tuning outcome, so equal
-  requests are interchangeable.
+  request pins down everything that determines a tuning outcome (search
+  tuner and hyperparameters included), so equal requests are
+  interchangeable.
 * :class:`RequestCoalescer` — identical in-flight requests share one run.
 * :class:`TuningService` — the scheduler: serves database hits at submit
-  time, drives every active run's step-wise
-  :class:`~repro.core.autotune.engine.TuningSession`, and packs proposal
-  batches from different requests into shared executor calls
+  time, drives every active run's step-wise session (the ATE engine *and*
+  every baseline tuner implement the same
+  :class:`~repro.core.autotune.session.TuningSessionProtocol`), and packs
+  proposal batches from different requests into shared executor calls
   (:meth:`~repro.gpusim.executor.GPUExecutor.run_batch_groups`).
+* :class:`SchedulingPolicy` — which runs propose each round: uniform
+  (default), budget-weighted fair share, earliest-deadline-first.
 * :class:`TuningWorkerPool` — shards big workloads across worker processes
   and merges the per-worker databases.
 
-Everything is bit-identical to driving
-:meth:`~repro.core.autotune.engine.AutoTuningEngine.tune` per request — the
-service only removes redundant and per-call work, never changes the search.
+Everything is bit-identical to driving each request's tuner directly
+(:meth:`TuningRequest.tune_direct`) — the service only removes redundant and
+per-call work, never changes the search.
+
+**Mixed-algorithm submit** — one service schedules heterogeneous search
+algorithms side by side, packing their measurement batches together::
+
+    from repro.conv import ConvParams
+    from repro.gpusim import V100
+    from repro.service import TuningRequest, TuningService
+
+    layer = ConvParams.square(28, 128, 128, kernel=3, stride=1, padding=1)
+    service = TuningService(policy="fair_share")   # or "uniform" / "edf"
+    futures = [
+        # the ATE engine on the pruned Table-1 domain (database-backed)
+        service.submit(TuningRequest(layer, V100, max_measurements=96)),
+        # baselines on the unpruned space, hyperparameters in the key
+        service.submit(TuningRequest(layer, V100, pruned=False, tuner="random")),
+        service.submit(
+            TuningRequest(
+                layer, V100, pruned=False, tuner="sa_tempering",
+                tuner_params={"chains": 8},
+            )
+        ),
+        # an urgent request: EDF schedules it ahead of everything else
+        service.submit(
+            TuningRequest(layer, V100, pruned=False, tuner="genetic", deadline=1.0)
+        ),
+    ]
+    service.drain()                     # or run step() from a driver thread
+    results = [f.result() for f in futures]
 """
 
 from .coalescer import InFlightRun, RequestCoalescer
 from .futures import TuningFuture
+from .policy import (
+    EarliestDeadlinePolicy,
+    FairSharePolicy,
+    SchedulingPolicy,
+    UniformPolicy,
+    make_policy,
+)
 from .pool import TuningWorkerPool
-from .request import TuningRequest
+from .request import TUNERS, TuningRequest
 from .scheduler import ServiceStats, TuningService
 
 __all__ = [
+    "EarliestDeadlinePolicy",
+    "FairSharePolicy",
     "InFlightRun",
     "RequestCoalescer",
+    "SchedulingPolicy",
     "ServiceStats",
+    "TUNERS",
     "TuningFuture",
     "TuningRequest",
     "TuningService",
     "TuningWorkerPool",
+    "UniformPolicy",
+    "make_policy",
 ]

@@ -1,0 +1,138 @@
+"""Scheduling policies: which active runs propose in each service round.
+
+Every :meth:`~repro.service.scheduler.TuningService.step` asks its
+:class:`SchedulingPolicy` to pick the subset of active runs that propose
+(and therefore measure) this round.  The policy decides *fairness and
+latency only* — it never changes any run's trajectory, because each session
+owns its randomness and consumes measurements strictly in its own proposal
+order; scheduling merely interleaves whole rounds of different sessions.
+
+Three policies ship:
+
+* :class:`UniformPolicy` (default) — every active run proposes every round,
+  maximising cross-request packing (the pre-policy behaviour);
+* :class:`FairSharePolicy` — budget-weighted fair share: each round steps
+  the run(s) with the lowest fraction of their measurement budget spent, so
+  concurrent requests make progress proportional to their budgets (a
+  64-measurement request gets 4x the measurements of a 16-measurement
+  request at any instant) and heterogeneous workloads finish together
+  instead of small requests draining first;
+* :class:`EarliestDeadlinePolicy` — earliest-deadline-first over the
+  optional :attr:`~repro.service.request.TuningRequest.deadline` field
+  (smaller = more urgent, ``None`` = no deadline): the most urgent run(s)
+  monopolise the measurement pipeline until they finish; with no deadlines
+  anywhere it degrades to the uniform policy.
+
+Policies are stateless and picklable, so a
+:class:`~repro.service.pool.TuningWorkerPool` can forward one to its worker
+processes; pass either an instance or its :attr:`~SchedulingPolicy.name`
+string to ``TuningService(policy=...)``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import TYPE_CHECKING, Dict, List, Sequence, Type, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .scheduler import _ActiveRun
+
+__all__ = [
+    "SchedulingPolicy",
+    "UniformPolicy",
+    "FairSharePolicy",
+    "EarliestDeadlinePolicy",
+    "make_policy",
+]
+
+
+class SchedulingPolicy:
+    """Chooses which active runs propose in a scheduling round.
+
+    :meth:`select` receives the service's active runs (objects exposing
+    ``request`` and ``session``) and returns the non-empty subset that should
+    propose this round; the scheduler ignores duplicates and entries it does
+    not recognise, and falls back to stepping everyone if a policy returns
+    nothing — a policy bug must never stall the service.
+    """
+
+    #: registry name accepted by ``TuningService(policy=...)``.
+    name = "uniform"
+
+    def select(self, runs: Sequence["_ActiveRun"]) -> List["_ActiveRun"]:
+        """Default: everybody proposes (maximum packing)."""
+        return list(runs)
+
+    def describe(self) -> str:
+        return f"{type(self).__name__}[{self.name}]"
+
+
+class UniformPolicy(SchedulingPolicy):
+    """Every active run proposes every round — the throughput-first default."""
+
+
+class FairSharePolicy(SchedulingPolicy):
+    """Budget-weighted fair share (progress-proportional rounds).
+
+    A run's *progress* is ``measurements_taken / max_measurements`` — kept as
+    an exact :class:`~fractions.Fraction` so ties are deterministic — and
+    each round steps exactly the runs whose progress is minimal.  Equal
+    budgets therefore round-robin in lockstep, while a request with 4x the
+    budget of its neighbour is scheduled 4x as often, keeping every client's
+    normalised progress within one proposal batch of the others.
+    """
+
+    name = "fair_share"
+
+    def select(self, runs: Sequence["_ActiveRun"]) -> List["_ActiveRun"]:
+        progress: Dict[int, Fraction] = {
+            id(run): Fraction(
+                run.session.result.num_measurements,
+                max(1, run.request.max_measurements),
+            )
+            for run in runs
+        }
+        lowest = min(progress.values(), default=Fraction(0))
+        return [run for run in runs if progress[id(run)] == lowest]
+
+
+class EarliestDeadlinePolicy(SchedulingPolicy):
+    """Earliest-deadline-first over ``TuningRequest.deadline``.
+
+    The run(s) with the smallest deadline get the whole measurement pipeline
+    until they finish; runs without a deadline (``None``) only proceed once
+    no deadlined run remains.  A workload with no deadlines at all behaves
+    exactly like :class:`UniformPolicy`.
+    """
+
+    name = "edf"
+
+    @staticmethod
+    def _deadline(run: "_ActiveRun") -> float:
+        deadline = run.request.deadline
+        return float("inf") if deadline is None else float(deadline)
+
+    def select(self, runs: Sequence["_ActiveRun"]) -> List["_ActiveRun"]:
+        if not runs:
+            return []
+        earliest = min(self._deadline(run) for run in runs)
+        return [run for run in runs if self._deadline(run) == earliest]
+
+
+_REGISTRY: Dict[str, Type[SchedulingPolicy]] = {
+    cls.name: cls for cls in (UniformPolicy, FairSharePolicy, EarliestDeadlinePolicy)
+}
+
+
+def make_policy(policy: Union[str, SchedulingPolicy, None]) -> SchedulingPolicy:
+    """Normalise a policy argument: instance, registry name, or None."""
+    if policy is None:
+        return UniformPolicy()
+    if isinstance(policy, SchedulingPolicy):
+        return policy
+    try:
+        return _REGISTRY[policy]()
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduling policy {policy!r}; expected one of {sorted(_REGISTRY)}"
+        ) from None

@@ -30,6 +30,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..core.autotune.database import TuningDatabase, TuningRecord
 from ..core.autotune.engine import TuningResult
+from .policy import SchedulingPolicy, make_policy
 from .request import TuningRequest
 from .scheduler import TuningService
 
@@ -38,14 +39,16 @@ __all__ = ["TuningWorkerPool"]
 
 def _tune_shard(
     requests: Sequence[TuningRequest],
+    policy: Optional[SchedulingPolicy] = None,
 ) -> Tuple[List[TuningResult], List[dict]]:
     """Worker entry point: run one shard through a private service.
 
-    Module-level so it pickles under every start method.  Returns the shard's
-    results (in shard submission order) plus the worker database as plain
-    dicts, ready for the parent to merge.
+    Module-level so it pickles under every start method (policies are
+    stateless module-level classes, so they pickle too).  Returns the
+    shard's results (in shard submission order) plus the worker database as
+    plain dicts, ready for the parent to merge.
     """
-    service = TuningService()
+    service = TuningService(policy=policy)
     results = service.tune(list(requests))
     return results, [r.to_dict() for r in service.database.records()]
 
@@ -58,12 +61,16 @@ class TuningWorkerPool:
         num_workers: int = 0,
         start_method: Optional[str] = None,
         allow_serial_fallback: bool = True,
+        policy: "Optional[object]" = None,
     ) -> None:
         if num_workers < 0:
             raise ValueError("num_workers must be >= 0 (0 = one per CPU, capped)")
         self.num_workers = num_workers or min(4, os.cpu_count() or 1)
         self.start_method = start_method
         self.allow_serial_fallback = allow_serial_fallback
+        #: scheduling policy every worker's in-process service runs with
+        #: (instance or registry name; normalised here so bad names fail fast).
+        self.policy = make_policy(policy)
         #: True when the last workload ran in worker processes (False = the
         #: serial in-process fallback was used).
         self.used_processes = False
@@ -144,15 +151,17 @@ class TuningWorkerPool:
                 raise _SerialShortcut  # one shard: a pool buys nothing
             ctx = self._context()
             with ctx.Pool(processes=len(shards)) as pool:
-                shard_outputs = pool.map(_tune_shard, shards)
+                shard_outputs = pool.starmap(
+                    _tune_shard, [(s, self.policy) for s in shards]
+                )
             self.used_processes = True
         except _SerialShortcut:
-            shard_outputs = [_tune_shard(s) for s in shards]
+            shard_outputs = [_tune_shard(s, self.policy) for s in shards]
             self.used_processes = False
         except (OSError, PermissionError, ImportError):
             if not self.allow_serial_fallback:
                 raise
-            shard_outputs = [_tune_shard(s) for s in shards]
+            shard_outputs = [_tune_shard(s, self.policy) for s in shards]
             self.used_processes = False
 
         if database is not None:

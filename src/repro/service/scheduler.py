@@ -2,50 +2,65 @@
 
 :class:`TuningService` accepts conv-tuning requests
 (:class:`~repro.service.request.TuningRequest`: layer parameters + GPU +
-algorithm + budget) and answers each with a
-:class:`~repro.service.futures.TuningFuture`.  Three mechanisms remove the
-redundancy a naive per-request loop would pay:
+algorithm + **search tuner** + budget) and answers each with a
+:class:`~repro.service.futures.TuningFuture`.  Every tuner in the repository
+— the ATE engine, the TVM-style engine and all four baseline searches — runs
+through the same step-wise session protocol
+(:class:`~repro.core.autotune.session.TuningSessionProtocol`), so one
+service schedules heterogeneous algorithms side by side.  Three mechanisms
+remove the redundancy a naive per-request loop would pay:
 
-1. **Database serving** — a request whose ``(params, GPU, algorithm)`` triple
-   is already covered by the shared
+1. **Database serving** — a pruned request whose ``(params, GPU, algorithm)``
+   triple is already covered by the shared
    :class:`~repro.core.autotune.database.TuningDatabase` (budget and
    measurement conditions included) is answered at submit time with zero
-   measurements.
-2. **Request coalescing** — identical requests that arrive while a matching
-   run is in flight attach to it instead of starting their own
-   (:mod:`repro.service.coalescer`); N concurrent requests for the same
-   layer cost exactly one search.
+   measurements.  The database is tuner-agnostic best-known-configuration
+   storage; records carry the producing tuner's name.
+2. **Request coalescing** — identical requests (tuner and hyperparameters
+   included in the key) that arrive while a matching run is in flight attach
+   to it instead of starting their own (:mod:`repro.service.coalescer`); N
+   concurrent requests for the same search cost exactly one run.
 3. **Cross-request measurement batching** — every scheduling round
-   (:meth:`TuningService.step`) collects the next proposal batch of *every*
-   active tuning session, lowers each with its own
+   (:meth:`TuningService.step`) collects the next proposal batch of each
+   *scheduled* tuning session, lowers each with its own
    :meth:`~repro.core.autotune.config.Measurer.prepare_batch`, and packs all
    slices that share a device and measurement conditions into one
    :meth:`~repro.gpusim.executor.GPUExecutor.run_batch_groups` call, keeping
    the vectorised executor's batches full even when individual requests
-   propose small batches.
+   propose small batches (a sequential SA chain proposes one configuration
+   per round — packed with its neighbours it still rides full batches).
 
-Results are **bit-identical** to driving
-:meth:`~repro.core.autotune.engine.AutoTuningEngine.tune` directly for every
-request: sessions own all randomness and consume measurements in proposal
-order, and the packed executor call is element-wise (see
-``GPUExecutor.run_batch_groups``).  For duplicate (coalesced) requests the
-service mirrors the sequential shared-database semantics: the primary future
-receives the full fresh :class:`~repro.core.autotune.engine.TuningResult`,
-and each coalesced future is answered from the database record the run just
-stored (a ``from_cache`` single-trial result — exactly what a later
-sequential ``tune()`` against the shared database would have returned).
+Which sessions are scheduled each round is a pluggable
+:class:`~repro.service.policy.SchedulingPolicy` — uniform rounds (default),
+budget-weighted fair share, or earliest-deadline-first — that controls
+fairness and latency only, never trajectories.
+
+Results are **bit-identical** to driving each request's tuner directly
+(:meth:`~repro.service.request.TuningRequest.tune_direct`): sessions own all
+randomness and consume measurements in proposal order, and the packed
+executor call is element-wise (see ``GPUExecutor.run_batch_groups``).  For
+duplicate (coalesced) requests the service mirrors the sequential
+shared-database semantics: the primary future receives the full fresh
+:class:`~repro.core.autotune.session.TuningResult`, and each coalesced
+future is answered from the database record the run just stored (a
+``from_cache`` single-trial result — exactly what a later sequential
+``tune()`` against the shared database would have returned); duplicates of
+runs that store nothing (unpruned requests) receive the full result.
 """
 
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from ..core.autotune.config import Measurer
 from ..core.autotune.database import TuningDatabase
-from ..core.autotune.engine import AutoTuningEngine, TuningResult, TuningSession
+from ..core.autotune.engine import TuningResult
+from ..core.autotune.session import TuningSessionProtocol
 from .coalescer import RequestCoalescer
 from .futures import TuningFuture
+from .policy import SchedulingPolicy, make_policy
 from .request import TuningRequest
 
 __all__ = ["ServiceStats", "TuningService"]
@@ -66,6 +81,8 @@ class ServiceStats:
     tuning_runs: int = 0
     completed_runs: int = 0
     measurements: int = 0
+    #: scheduling rounds the service has run (step() calls that found work).
+    rounds: int = 0
     #: shared executor calls and how many lowered configs they carried.
     executor_calls: int = 0
     packed_configs: int = 0
@@ -75,17 +92,27 @@ class ServiceStats:
             f"ServiceStats[{self.requests} requests -> {self.tuning_runs} runs "
             f"({self.coalesced} coalesced, {self.database_hits} db hits), "
             f"{self.measurements} measurements over {self.executor_calls} "
-            f"executor calls]"
+            f"executor calls in {self.rounds} rounds]"
         )
 
 
 @dataclass
 class _ActiveRun:
-    """One scheduled tuning run and its step-wise session."""
+    """One scheduled tuning run and its step-wise session.
+
+    ``tuner`` is whatever the request named — an
+    :class:`~repro.core.autotune.engine.AutoTuningEngine` or a
+    :class:`~repro.core.autotune.baselines.BaselineTuner` — and only matters
+    as the owner of the measurer the session's proposals are lowered with.
+    """
 
     request: TuningRequest
-    engine: AutoTuningEngine
-    session: TuningSession
+    tuner: object
+    session: TuningSessionProtocol
+
+    @property
+    def measurer(self) -> Measurer:
+        return self.tuner.measurer
 
 
 class TuningService:
@@ -95,13 +122,22 @@ class TuningService:
     a driver thread running :meth:`drain`.  Scheduling rounds serialise with
     submissions under one lock, so a request submitted mid-round joins the
     next round.
+
+    ``policy`` picks which active runs propose each round (see
+    :mod:`repro.service.policy`); pass an instance or a registry name
+    (``"uniform"``, ``"fair_share"``, ``"edf"``).
     """
 
-    def __init__(self, database: Optional[TuningDatabase] = None) -> None:
+    def __init__(
+        self,
+        database: Optional[TuningDatabase] = None,
+        policy: Union[str, SchedulingPolicy, None] = None,
+    ) -> None:
         #: shared across all requests; pruned-domain results are stored here
         #: and repeat requests are answered from it.
         self.database = database if database is not None else TuningDatabase()
         self.coalescer = RequestCoalescer()
+        self.policy = make_policy(policy)
         self.stats = ServiceStats()
         self._active: List[_ActiveRun] = []
         self._lock = threading.RLock()
@@ -144,13 +180,9 @@ class TuningService:
             self.coalescer.join(future)
             # The session consults no database itself — lookups and stores
             # are the service's job, so an in-flight run is never pre-empted.
-            engine = request.make_engine(database=None)
+            tuner, session = request.make_session()
             self._active.append(
-                _ActiveRun(
-                    request=request,
-                    engine=engine,
-                    session=engine.session(request.initial_random),
-                )
+                _ActiveRun(request=request, tuner=tuner, session=session)
             )
             self.stats.tuning_runs += 1
         return future
@@ -159,23 +191,37 @@ class TuningService:
     def step(self) -> bool:
         """Run one scheduling round; returns False once no work remains.
 
-        A round asks every active session for its next proposal batch,
-        finalises the sessions that are done, and executes everyone else's
-        lowered slices grouped per ``(GPU, noise conditions)`` through single
-        packed executor calls.
+        A round asks the :attr:`policy` which active sessions to schedule,
+        collects those sessions' next proposal batches, finalises the ones
+        that are done, and executes everyone else's lowered slices grouped
+        per ``(GPU, noise conditions)`` through single packed executor calls.
         """
         with self._lock:
             if not self._active:
                 return False
+            self.stats.rounds += 1
+            # Phase 0: the policy picks this round's runs.  Deduplicate,
+            # drop anything the policy invented, and never accept an empty
+            # selection — a policy bug must not stall the service.
+            active = {id(run): run for run in self._active}
+            selected: List[_ActiveRun] = []
+            seen: set = set()
+            for run in self.policy.select(list(self._active)):
+                if id(run) in active and id(run) not in seen:
+                    seen.add(id(run))
+                    selected.append(run)
+            if not selected:
+                selected = list(self._active)
+
             # Phase 1: collect proposals; finalise finished sessions.
             work: List[Tuple[_ActiveRun, list, object]] = []
-            for run in list(self._active):
+            for run in selected:
                 try:
                     configs = run.session.propose()
                     if not configs:
                         self._finalize(run)
                         continue
-                    prepared = run.engine.measurer.prepare_batch(configs)
+                    prepared = run.measurer.prepare_batch(configs)
                 except Exception as exc:  # defensive: fail only this run
                     self._fail(run, exc)
                     continue
@@ -189,7 +235,7 @@ class TuningService:
                 to_run = [it for it in items if len(it[2]) > 0]
                 executions_for = dict.fromkeys(map(id, items), ())
                 if to_run:
-                    executor = to_run[0][0].engine.measurer.executor
+                    executor = to_run[0][0].measurer.executor
                     batches = [it[2].batch for it in to_run]
                     grouped = executor.run_batch_groups(batches)
                     self.stats.executor_calls += 1
@@ -200,7 +246,7 @@ class TuningService:
                 for it in items:
                     run, configs, prepared = it
                     try:
-                        results = run.engine.measurer.finish_batch(
+                        results = run.measurer.finish_batch(
                             prepared, executions_for[id(it)]
                         )
                         run.session.update(configs, results)
@@ -233,7 +279,7 @@ class TuningService:
         request = run.request
         stored = False
         if request.pruned and any(t.valid for t in result.trials):
-            executor = run.engine.measurer.executor
+            executor = run.measurer.executor
             self.database.add_result(
                 result,
                 budget=request.max_measurements,
@@ -261,7 +307,7 @@ class TuningService:
             future._set_result(result)
         self.coalescer.discard(request)
         self._active.remove(run)
-        self.stats.measurements += run.engine.measurer.num_measurements
+        self.stats.measurements += run.measurer.num_measurements
         self.stats.completed_runs += 1
 
     def _fail(self, run: _ActiveRun, exc: BaseException) -> None:
@@ -272,7 +318,7 @@ class TuningService:
         entry was already popped or whose futures are partially answered.
         """
         self.stats.completed_runs += 1
-        self.stats.measurements += run.engine.measurer.num_measurements
+        self.stats.measurements += run.measurer.num_measurements
         entry = self.coalescer.get(run.request)
         if entry is not None:
             self.coalescer.discard(run.request)

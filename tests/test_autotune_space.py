@@ -1,6 +1,5 @@
 """Tests for configurations, search spaces and feature extraction."""
 
-import random
 
 import numpy as np
 import pytest

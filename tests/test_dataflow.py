@@ -1,6 +1,5 @@
 """Tests for the near I/O-optimal dataflow strategies (Section 5)."""
 
-import math
 
 import pytest
 

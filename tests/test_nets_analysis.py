@@ -12,7 +12,6 @@ from repro.analysis import (
     render_table,
     sparkline,
 )
-from repro.conv import ConvParams
 from repro.gpusim import V100
 from repro.nets import (
     ConvLayer,
@@ -152,7 +151,7 @@ class TestAnalysis:
         text = render_rows(["col"], [{"col": 1}, {"col": 20000}])
         lines = text.splitlines()
         assert len(lines) == 4
-        assert len(set(len(l) for l in lines)) == 1  # all lines equal width
+        assert len(set(len(line) for line in lines)) == 1  # all lines equal width
 
     def test_format_value(self):
         assert format_value(True) == "yes"

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.conv import ConvParams
 from repro.pebble import (
     ComputationDAG,
     direct_conv_dag,

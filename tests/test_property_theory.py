@@ -1,6 +1,5 @@
 """Property-based tests (hypothesis) for the bounds, dataflows and tuner spaces."""
 
-import math
 import random
 
 import pytest

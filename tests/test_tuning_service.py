@@ -12,7 +12,6 @@ import pytest
 
 from repro.conv import ConvParams
 from repro.core.autotune import (
-    AutoTuningEngine,
     ParallelTemperingSATuner,
     TuningDatabase,
 )
