@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-batched bench-service
+.PHONY: test bench bench-batched bench-service bench-explorer compare-bench
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -17,3 +17,11 @@ bench-batched:
 
 bench-service:
 	$(PYTHON) -m pytest benchmarks/bench_tuning_service.py -q -s
+
+bench-explorer:
+	$(PYTHON) -m pytest benchmarks/bench_explorer.py -q -s
+
+# Diff the latest BENCH_*.json telemetry against benchmarks/bench_baseline.json
+# (exit non-zero on regressions beyond the tolerance; CI runs it --warn-only).
+compare-bench:
+	$(PYTHON) benchmarks/compare_bench.py --bench-dir .

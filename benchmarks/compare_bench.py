@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""Diff the latest ``BENCH_*.json`` telemetry against a checked-in baseline.
+
+Every benchmark writes machine-readable telemetry (``write_bench_json`` in
+``benchmarks/conftest.py``) and CI uploads the files as artifacts, so the
+repository accumulates a perf trajectory.  This script turns that trajectory
+into a regression alarm: it loads the baseline (``bench_baseline.json`` next
+to this file — the floor each tracked metric is expected to hold), finds the
+matching ``BENCH_<name>.json`` files, and reports every tracked metric that
+fell more than ``--tolerance`` below its baseline.
+
+Exit status: ``1`` when a regression is found (``0`` under ``--warn-only``,
+the mode the CI ``benchmarks`` job runs, so shared-runner noise never turns
+an unrelated PR red); missing benchmark files or metrics are reported as
+warnings only, because benchmark sets grow over time.
+
+Standard library only — runnable anywhere, no ``PYTHONPATH`` needed::
+
+    python benchmarks/compare_bench.py --bench-dir . --warn-only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List, Tuple
+
+DEFAULT_BASELINE = os.path.join(os.path.dirname(__file__), "bench_baseline.json")
+
+
+def load_baseline(path: str) -> Dict[str, Dict[str, float]]:
+    with open(path, "r", encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    if not isinstance(baseline, dict) or not all(
+        isinstance(metrics, dict)
+        and all(
+            isinstance(floor, (int, float)) and not isinstance(floor, bool)
+            for floor in metrics.values()
+        )
+        for metrics in baseline.values()
+    ):
+        raise ValueError(
+            f"{path}: baseline must map benchmark name -> {{metric: numeric floor}}"
+        )
+    return baseline
+
+
+def compare(
+    baseline: Dict[str, Dict[str, float]], bench_dir: str, tolerance: float
+) -> Tuple[List[str], List[str]]:
+    """Return ``(regressions, warnings)`` message lists."""
+    regressions: List[str] = []
+    warnings: List[str] = []
+    for name, metrics in sorted(baseline.items()):
+        path = os.path.join(bench_dir, f"BENCH_{name}.json")
+        if not os.path.exists(path):
+            warnings.append(f"{name}: no {os.path.basename(path)} in {bench_dir}")
+            continue
+        with open(path, "r", encoding="utf-8") as fh:
+            latest = json.load(fh)
+        for metric, base_value in sorted(metrics.items()):
+            if metric not in latest:
+                warnings.append(f"{name}.{metric}: missing from {path}")
+                continue
+            value = latest[metric]
+            floor = base_value * (1.0 - tolerance)
+            if not isinstance(value, (int, float)) or value < floor:
+                regressions.append(
+                    f"{name}.{metric}: {value} is below {floor:.3g} "
+                    f"(baseline {base_value:.3g} - {tolerance:.0%} tolerance)"
+                )
+            else:
+                print(
+                    f"ok  {name}.{metric}: {value:.3g} "
+                    f">= {floor:.3g} (baseline {base_value:.3g})"
+                )
+    return regressions, warnings
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help="baseline JSON (benchmark name -> {metric: expected floor})",
+    )
+    parser.add_argument(
+        "--bench-dir",
+        default=os.environ.get("BENCH_DIR", "."),
+        help="directory holding the latest BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.2,
+        help="allowed fractional shortfall below the baseline (default 0.2)",
+    )
+    parser.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="report regressions but exit 0 (CI default: warn, don't fail)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_baseline(args.baseline)
+    regressions, warnings = compare(baseline, args.bench_dir, args.tolerance)
+    for message in warnings:
+        print(f"warn {message}")
+    for message in regressions:
+        print(f"REGRESSION {message}")
+    if regressions:
+        print(
+            f"{len(regressions)} benchmark metric(s) regressed beyond "
+            f"{args.tolerance:.0%} of baseline"
+        )
+        return 0 if args.warn_only else 1
+    print("no benchmark regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

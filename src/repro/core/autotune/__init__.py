@@ -5,11 +5,18 @@ Measurements flow through a batched pipeline (``Measurer.measure_batch`` →
 layers, networks and processes via the :class:`TuningDatabase`.
 """
 
-from .config import Configuration, Measurer, PendingBatch, build_profile, lower_batch
+from .config import (
+    ConfigArray,
+    Configuration,
+    Measurer,
+    PendingBatch,
+    build_profile,
+    lower_batch,
+)
 from .space import SearchSpace
 from .features import FEATURE_NAMES, FeatureCache, feature_matrix, feature_vector
 from .cost_model import CostModel, GradientBoostedTrees, RegressionTree
-from .explorer import ExplorerConfig, ParallelRandomWalkExplorer
+from .explorer import ExplorerConfig, ParallelRandomWalkExplorer, ScalarRandomWalkExplorer
 from .session import TrialRecord, TuningResult, TuningSessionProtocol, record_trial
 from .engine import AutoTuningEngine, TuningSession
 from .database import TuningDatabase, TuningRecord, default_database_path
@@ -24,6 +31,7 @@ from .baselines import (
 )
 
 __all__ = [
+    "ConfigArray",
     "Configuration",
     "Measurer",
     "PendingBatch",
@@ -42,6 +50,7 @@ __all__ = [
     "RegressionTree",
     "ExplorerConfig",
     "ParallelRandomWalkExplorer",
+    "ScalarRandomWalkExplorer",
     "AutoTuningEngine",
     "TrialRecord",
     "TuningResult",

@@ -43,7 +43,14 @@ from ...gpusim.kernels import (
 from ...gpusim.spec import GPUSpec
 from ..dataflow.common import OutputTile
 
-__all__ = ["Configuration", "build_profile", "lower_batch", "PendingBatch", "Measurer"]
+__all__ = [
+    "Configuration",
+    "ConfigArray",
+    "build_profile",
+    "lower_batch",
+    "PendingBatch",
+    "Measurer",
+]
 
 #: low-level knob gains shared by the scalar and the vectorised lowering.
 _UNROLL_GAIN = {1: 0.88, 2: 0.96, 4: 1.0, 8: 0.94}
@@ -140,6 +147,189 @@ class Configuration:
         if self.algorithm == "winograd":
             base += f", e={self.e}"
         return base + "]"
+
+
+#: code tables shared by every structure-of-arrays consumer.  The codes are
+#: positions in the canonical option tuples, so ``ConfigArray`` round-trips
+#: ``Configuration`` lists losslessly (property-tested).
+ALGORITHMS: Tuple[str, ...] = ("direct", "winograd")
+_ALGO_CODE = {name: i for i, name in enumerate(ALGORITHMS)}
+_LAYOUTS: Tuple[Layout, ...] = Layout.all()
+_LAYOUT_CODE = {layout: i for i, layout in enumerate(_LAYOUTS)}
+_ORDER_CODE = {order: i for i, order in enumerate(Configuration.LOOP_ORDERS)}
+#: order_contiguous[layout_code, order_code] — does the loop order end on the
+#: layout's contiguous axis?  (Same predicate as the scalar lowering.)
+ORDER_CONTIGUOUS = np.array(
+    [
+        [order.endswith(_CONTIGUOUS_AXIS[layout]) for order in Configuration.LOOP_ORDERS]
+        for layout in _LAYOUTS
+    ],
+    dtype=bool,
+)
+
+
+@dataclasses.dataclass
+class ConfigArray:
+    """Structure-of-arrays view of a batch of :class:`Configuration` values.
+
+    The search-side twin of :class:`~repro.gpusim.kernels.ProfileBatch`: one
+    int64 column per knob, with the categorical knobs (algorithm, layout,
+    loop order) stored as codes into the canonical option tuples
+    (:data:`ALGORITHMS`, ``Layout.all()``, ``Configuration.LOOP_ORDERS``).
+    The vectorised search hot path — :meth:`SearchSpace.sample_batch`,
+    :meth:`SearchSpace.neighbor_batch`, the column-wise
+    :func:`~repro.core.autotune.features.feature_matrix` and the lock-step
+    explorer — operates on whole columns; :meth:`to_configs` /
+    :meth:`from_configs` round-trip losslessly, so the array representation
+    never changes *what* is searched, only how fast the batch is processed.
+    """
+
+    algo: np.ndarray  # codes into ALGORITHMS
+    tile_x: np.ndarray
+    tile_y: np.ndarray
+    tile_z: np.ndarray
+    threads_x: np.ndarray
+    threads_y: np.ndarray
+    threads_z: np.ndarray
+    layout: np.ndarray  # codes into Layout.all()
+    smem_per_block: np.ndarray
+    e: np.ndarray
+    unroll: np.ndarray
+    order: np.ndarray  # codes into Configuration.LOOP_ORDERS
+
+    #: column names, in Configuration.key() order.
+    FIELDS = (
+        "algo",
+        "tile_x",
+        "tile_y",
+        "tile_z",
+        "threads_x",
+        "threads_y",
+        "threads_z",
+        "layout",
+        "smem_per_block",
+        "e",
+        "unroll",
+        "order",
+    )
+
+    def __post_init__(self) -> None:
+        n = None
+        for name in self.FIELDS:
+            col = np.ascontiguousarray(getattr(self, name), dtype=np.int64)
+            if col.ndim != 1:
+                raise ValueError(f"column {name} must be one-dimensional")
+            if n is None:
+                n = col.shape[0]
+            elif col.shape[0] != n:
+                raise ValueError("all columns must have the same length")
+            setattr(self, name, col)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def _raw(cls, columns: Dict[str, np.ndarray]) -> "ConfigArray":
+        """Internal constructor for columns already known to be valid int64
+        arrays of equal length (skips ``__post_init__`` normalisation — the
+        hot-path row operations below build thousands of arrays per walk)."""
+        self = object.__new__(cls)
+        for name in cls.FIELDS:
+            object.__setattr__(self, name, columns[name])
+        return self
+
+    def __len__(self) -> int:
+        return self.algo.shape[0]
+
+    @property
+    def threads_per_block(self) -> np.ndarray:
+        return self.threads_x * self.threads_y * self.threads_z
+
+    @classmethod
+    def from_configs(cls, configs: Sequence[Configuration]) -> "ConfigArray":
+        """Pack a list of configurations into columns (lossless)."""
+        n = len(configs)
+        cols = {name: np.empty(n, dtype=np.int64) for name in cls.FIELDS}
+        for i, c in enumerate(configs):
+            cols["algo"][i] = _ALGO_CODE[c.algorithm]
+            cols["tile_x"][i] = c.tile_x
+            cols["tile_y"][i] = c.tile_y
+            cols["tile_z"][i] = c.tile_z
+            cols["threads_x"][i] = c.threads_x
+            cols["threads_y"][i] = c.threads_y
+            cols["threads_z"][i] = c.threads_z
+            cols["layout"][i] = _LAYOUT_CODE[c.layout]
+            cols["smem_per_block"][i] = c.smem_per_block
+            cols["e"][i] = c.e
+            cols["unroll"][i] = c.unroll
+            cols["order"][i] = _ORDER_CODE[c.loop_order]
+        return cls(**cols)
+
+    @classmethod
+    def filled(cls, n: int, algorithm: str) -> "ConfigArray":
+        """An ``n``-row array of placeholder rows for one algorithm (the rows
+        are overwritten column-wise by the vectorised samplers)."""
+        cols = {name: np.ones(n, dtype=np.int64) for name in cls.FIELDS}
+        cols["algo"] = np.full(n, _ALGO_CODE[algorithm], dtype=np.int64)
+        return cls(**cols)
+
+    @classmethod
+    def concat(cls, arrays: Sequence["ConfigArray"]) -> "ConfigArray":
+        if len(arrays) == 1:
+            return arrays[0]
+        return cls._raw(
+            {
+                name: np.concatenate([getattr(a, name) for a in arrays])
+                for name in cls.FIELDS
+            }
+        )
+
+    def take(self, indices) -> "ConfigArray":
+        """Row subset (index array or boolean mask)."""
+        indices = np.asarray(indices)
+        if indices.dtype == bool:
+            indices = np.flatnonzero(indices)
+        return self._raw({name: getattr(self, name)[indices] for name in self.FIELDS})
+
+    def copy(self) -> "ConfigArray":
+        return self._raw({name: getattr(self, name).copy() for name in self.FIELDS})
+
+    def where(self, mask: np.ndarray, other: "ConfigArray") -> "ConfigArray":
+        """Rows from ``other`` where ``mask`` holds, else from ``self``."""
+        return self._raw(
+            {
+                name: np.where(mask, getattr(other, name), getattr(self, name))
+                for name in self.FIELDS
+            }
+        )
+
+    def key_matrix(self) -> np.ndarray:
+        """An ``(n, 12)`` int64 matrix whose rows identify configurations.
+
+        The row is an injective recoding of :meth:`Configuration.key` (the
+        categorical knobs appear as their codes), so row-level deduplication
+        over the matrix — e.g. ``np.unique(..., axis=0)`` in the vectorised
+        explorer — agrees exactly with key-based deduplication.
+        """
+        return np.stack([getattr(self, name) for name in self.FIELDS], axis=1)
+
+    def config_at(self, i: int) -> Configuration:
+        """Materialise row ``i`` as a :class:`Configuration`."""
+        return Configuration(
+            algorithm=ALGORITHMS[self.algo[i]],
+            tile_x=int(self.tile_x[i]),
+            tile_y=int(self.tile_y[i]),
+            tile_z=int(self.tile_z[i]),
+            threads_x=int(self.threads_x[i]),
+            threads_y=int(self.threads_y[i]),
+            threads_z=int(self.threads_z[i]),
+            layout=_LAYOUTS[self.layout[i]],
+            smem_per_block=int(self.smem_per_block[i]),
+            e=int(self.e[i]),
+            unroll=int(self.unroll[i]),
+            loop_order=Configuration.LOOP_ORDERS[self.order[i]],
+        )
+
+    def to_configs(self) -> List[Configuration]:
+        return [self.config_at(i) for i in range(len(self))]
 
 
 def build_profile(

@@ -27,6 +27,32 @@ import numpy as np
 __all__ = ["RegressionTree", "GradientBoostedTrees", "CostModel"]
 
 
+def _routing_arrays(
+    feature: Sequence[int],
+    threshold: Sequence[float],
+    left: Sequence[int],
+    right: Sequence[int],
+    value: Sequence[float],
+) -> Tuple[np.ndarray, ...]:
+    """Flat tree arrays prepared for the level-synchronous descent.
+
+    Leaves become self-loops (``left = right = node`` with a dummy feature
+    ``0``), so a fixed number of ``node -> child`` gather steps routes every
+    row to its leaf without per-level masking; extra steps past a shallow
+    leaf are no-ops.
+    """
+    feat = np.asarray(feature, dtype=np.intp)
+    nodes = np.arange(feat.size, dtype=np.intp)
+    leaf = feat < 0
+    return (
+        np.where(leaf, 0, feat),
+        np.asarray(threshold, dtype=np.float64),
+        np.where(leaf, nodes, np.asarray(left, dtype=np.intp)),
+        np.where(leaf, nodes, np.asarray(right, dtype=np.intp)),
+        np.asarray(value, dtype=np.float64),
+    )
+
+
 class RegressionTree:
     """A depth-limited regression tree (CART, squared error)."""
 
@@ -49,6 +75,8 @@ class RegressionTree:
         self._left: List[int] = []
         self._right: List[int] = []
         self._value: List[float] = []
+        self._arrays: Optional[Tuple[np.ndarray, ...]] = None
+        self._depth = 0
 
     # ------------------------------------------------------------------ #
     def _new_node(self, value: float) -> int:
@@ -114,6 +142,7 @@ class RegressionTree:
         self, x: np.ndarray, y: np.ndarray, depth: int, rng: np.random.Generator
     ) -> int:
         node = self._new_node(float(np.mean(y)))
+        self._depth = max(self._depth, depth)
         if depth >= self.max_depth:
             return node
         split = self._best_split(x, y, rng)
@@ -139,26 +168,37 @@ class RegressionTree:
             raise ValueError("cannot fit a tree on an empty dataset")
         self._feature, self._threshold = [], []
         self._left, self._right, self._value = [], [], []
+        self._arrays = None
+        self._depth = 0
         self._build(x, y, depth=0, rng=rng or np.random.default_rng(0))
+        self._arrays = _routing_arrays(
+            self._feature, self._threshold, self._left, self._right, self._value
+        )
         return self
 
     def predict(self, x: np.ndarray) -> np.ndarray:
+        """Route all rows through the tree level by level (vectorised).
+
+        Every row takes exactly the branch the scalar walk would take (the
+        same ``<=`` comparisons on the same float64 values), so the output is
+        bit-identical to a per-row descent while touching each tree level with
+        whole-array gathers instead of a Python loop per sample.  Leaves are
+        self-looping in the routing arrays (see :func:`_routing_arrays`), so
+        the walk simply runs for the tree depth with no per-level masking.
+        """
         x = np.asarray(x, dtype=np.float64)
         if x.ndim != 2:
             raise ValueError("x must be 2-D")
         if not self._value:
             raise RuntimeError("tree is not fitted")
-        out = np.empty(x.shape[0], dtype=np.float64)
-        for i, row in enumerate(x):
-            node = 0
-            while self._feature[node] >= 0:
-                node = (
-                    self._left[node]
-                    if row[self._feature[node]] <= self._threshold[node]
-                    else self._right[node]
-                )
-            out[i] = self._value[node]
-        return out
+        feature, threshold, left, right, value = self._arrays
+        rows = np.arange(x.shape[0])
+        node = np.zeros(x.shape[0], dtype=np.intp)
+        for _ in range(self._depth):
+            node = np.where(
+                x[rows, feature[node]] <= threshold[node], left[node], right[node]
+            )
+        return value[node]
 
     @property
     def num_nodes(self) -> int:
@@ -191,6 +231,7 @@ class GradientBoostedTrees:
         self.seed = seed
         self._trees: List[RegressionTree] = []
         self._base: float = 0.0
+        self._stacked: Optional[Tuple[np.ndarray, ...]] = None
 
     def fit(self, x: np.ndarray, y: np.ndarray) -> "GradientBoostedTrees":
         x = np.asarray(x, dtype=np.float64)
@@ -216,15 +257,73 @@ class GradientBoostedTrees:
             self._trees.append(tree)
             if float(np.max(np.abs(residual))) < 1e-12:
                 break
+        self._stack_trees()
         return self
 
+    def _stack_trees(self) -> None:
+        """Concatenate all trees' routing arrays into one node pool.
+
+        The ensemble descent then advances *every tree for every row* with a
+        single gather per level (``node`` is a ``(trees, rows)`` matrix of
+        pool indices), instead of one Python-level predict call per tree.
+        """
+        offsets = np.cumsum([0] + [t.num_nodes for t in self._trees][:-1])
+        feat, thr, left, right, value = (
+            np.concatenate(cols)
+            for cols in zip(*(t._arrays for t in self._trees))
+        )
+        pool = np.concatenate(
+            [np.full(t.num_nodes, off, dtype=np.intp) for t, off in zip(self._trees, offsets)]
+        )
+        # Children interleaved per node (child[2k] = left, child[2k+1] =
+        # right, rebased into the pool): one gather routes a level.
+        child = np.empty(2 * feat.size, dtype=np.intp)
+        child[0::2] = left + pool
+        child[1::2] = right + pool
+        self._stacked = (
+            feat,
+            thr,
+            child,
+            value,
+            np.asarray(offsets, dtype=np.intp),
+            max(t._depth for t in self._trees),
+        )
+        self._row_base: Optional[np.ndarray] = None  # cached per input shape
+        self._row_base_shape: Optional[Tuple[int, int]] = None
+
     def predict(self, x: np.ndarray) -> np.ndarray:
+        """Ensemble prediction, bit-identical to summing per-tree predicts.
+
+        All trees descend together on the stacked node pool (one fancy-indexed
+        gather per level); the leaf values are then accumulated tree by tree
+        in boosting order, exactly like the unstacked loop, so the float
+        addition order — and hence the result — is unchanged.
+        """
         x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2:
+            raise ValueError("x must be 2-D")
         if not self._trees:
             raise RuntimeError("model is not fitted")
-        pred = np.full(x.shape[0], self._base, dtype=np.float64)
-        for tree in self._trees:
-            pred += self.learning_rate * tree.predict(x)
+        feat, thr, child, value, roots, depth = self._stacked
+        n = x.shape[0]
+        x_flat = np.ascontiguousarray(x).reshape(-1)
+        # Flat (trees * rows) node vector; row r of every tree reads features
+        # from x_flat[r * d + feature].  The row offsets only depend on the
+        # input shape, so they are cached across same-shaped predicts.
+        if self._row_base is None or self._row_base_shape != x.shape:
+            self._row_base = np.tile(
+                np.arange(0, n * x.shape[1], x.shape[1]), roots.size
+            )
+            self._row_base_shape = x.shape
+        row_base = self._row_base
+        node = np.repeat(roots, n)
+        for _ in range(depth):
+            go_right = x_flat[row_base + feat[node]] > thr[node]
+            node = child[node * 2 + go_right]
+        leaf_values = value[node].reshape(roots.size, n)
+        pred = np.full(n, self._base, dtype=np.float64)
+        for t in range(roots.size):
+            pred += self.learning_rate * leaf_values[t]
         return pred
 
     @property

@@ -236,7 +236,14 @@ class AutoTuningEngine:
         measurer: Optional[Measurer] = None,
         cost_model: Optional[CostModel] = None,
         database: Optional["TuningDatabase"] = None,
+        explorer_cls: Optional[type] = None,
     ) -> None:
+        """``explorer_cls`` picks the searching implementation: the default is
+        the vectorised lock-step
+        :class:`~repro.core.autotune.explorer.ParallelRandomWalkExplorer`;
+        pass :class:`~repro.core.autotune.explorer.ScalarRandomWalkExplorer`
+        to run the per-configuration reference path (the quality-parity
+        property tests drive both)."""
         if batch_size < 1 or max_measurements < 1:
             raise ValueError("batch_size and max_measurements must be >= 1")
         if patience < 1:
@@ -254,7 +261,8 @@ class AutoTuningEngine:
         #: per-config feature rows, shared between retraining and the
         #: explorer so each configuration is featurised exactly once.
         self.features = FeatureCache(params, spec)
-        self.explorer = ParallelRandomWalkExplorer(
+        explorer_cls = explorer_cls or ParallelRandomWalkExplorer
+        self.explorer = explorer_cls(
             self.space, params, spec, config=explorer_config, seed=seed,
             feature_cache=self.features,
         )

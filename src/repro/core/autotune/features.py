@@ -7,12 +7,24 @@ quantities (tile extents, thread counts, shared-memory pressure, estimated
 traffic, arithmetic intensity, layout/order one-hots); they intentionally
 do *not* include the simulator's efficiency constants, so the model has to
 learn the mapping from measurements.
+
+Two equivalent paths produce the features:
+
+* per-row — :func:`feature_vector` computes one configuration's vector;
+* column-wise — :func:`feature_matrix` called with a
+  :class:`~repro.core.autotune.config.ConfigArray` computes all 21 features
+  over whole NumPy columns at once (the search-side hot path).  The two are
+  bit-identical (property-tested): integer quantities are exact in int64
+  (guarded by the same overflow bound as the vectorised lowering), float
+  expressions evaluate in the same order, and the ``log2`` columns go through
+  one ``math.log2`` call per *distinct* value, so no platform-dependent
+  vectorised transcendental can introduce a stray ulp.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -21,7 +33,14 @@ from ...gpusim.spec import GPUSpec
 from ..dataflow.common import OutputTile, ceil_div
 from ..dataflow.direct import direct_dataflow_io
 from ..dataflow.winograd import winograd_dataflow_io
-from .config import Configuration
+from .config import (
+    _ALGO_CODE,
+    _LAYOUT_CODE,
+    ORDER_CONTIGUOUS,
+    ConfigArray,
+    Configuration,
+    _io_may_overflow_int64,
+)
 
 __all__ = ["FEATURE_NAMES", "feature_vector", "feature_matrix", "FeatureCache"]
 
@@ -53,6 +72,26 @@ FEATURE_NAMES: List[str] = [
 
 def _log(v: float) -> float:
     return math.log2(max(float(v), 1e-12))
+
+
+def _log_column(values: np.ndarray) -> np.ndarray:
+    """Per-element ``_log`` over a column, bit-identical to the scalar path.
+
+    The distinct values of a feature column are few (they come from small
+    option tables), so the column is mapped through one ``math.log2`` call
+    per unique value instead of ``np.log2`` — identical results on every
+    platform regardless of how the array transcendental is vectorised.
+    """
+    a = np.asarray(values)
+    order = np.argsort(a, kind="stable")
+    sorted_a = a[order]
+    first = np.empty(a.size, dtype=bool)
+    first[0] = True
+    np.not_equal(sorted_a[1:], sorted_a[:-1], out=first[1:])
+    logs = np.fromiter((_log(v) for v in sorted_a[first]), np.float64)
+    out = np.empty(a.size, dtype=np.float64)
+    out[order] = logs[np.cumsum(first) - 1]
+    return out
 
 
 def feature_vector(
@@ -113,10 +152,102 @@ def feature_vector(
     return np.asarray(values, dtype=np.float64)
 
 
-def feature_matrix(
-    configs: Sequence[Configuration], params: ConvParams, spec: GPUSpec
+def _feature_matrix_soa(
+    configs: ConfigArray, params: ConvParams, spec: GPUSpec
 ) -> np.ndarray:
-    """Stack feature vectors for a batch of configurations."""
+    """Column-wise :func:`feature_vector` over a :class:`ConfigArray`.
+
+    Every expression below is the whole-column transliteration of one line of
+    the scalar function; the comments in :func:`feature_vector` are the
+    reference, and the bit-identity property tests in
+    ``tests/test_vectorized_search.py`` enforce the contract.
+    """
+    p = params
+    n = len(configs)
+    out = np.empty((n, len(FEATURE_NAMES)), dtype=np.float64)
+    # Clipped tile (OutputTile.clip_to) and launch shape.
+    x = np.minimum(configs.tile_x, p.out_width)
+    y = np.minimum(configs.tile_y, p.out_height)
+    z = np.minimum(configs.tile_z, p.out_channels)
+    threads = configs.threads_per_block
+    blocks = (-(-p.out_width // x)) * (-(-p.out_height // y)) * (-(-p.out_channels // z)) * p.batch
+
+    wino = (configs.algo == _ALGO_CODE["winograd"]) & p.winograd_compatible()
+    # The x' * y' input halo (OutputTile.input_footprint) feeds both the
+    # direct-dataflow reads and the halo/smem features below.
+    halo = ((x - 1) * p.stride + p.ker_width) * ((y - 1) * p.stride + p.ker_height)
+    # Direct-dataflow I/O (Eq. 20) and FLOPs for every row, then the Winograd
+    # rows (Eq. 22 / the e-dependent FLOP discount) overwrite their slots.
+    input_reads = (blocks * (halo * p.in_channels)).astype(np.float64)
+    weight_reads = (blocks * (p.ker_height * p.ker_width * p.in_channels * z)).astype(
+        np.float64
+    )
+    flops = np.full(n, float(p.flops))
+    if wino.any():
+        e = configs.e[wino]
+        r_k = p.ker_height
+        halo_w = (x[wino] + r_k - 1) * (y[wino] + r_k - 1)
+        input_reads[wino] = (blocks[wino] * halo_w * p.in_channels).astype(np.float64)
+        weight_reads[wino] = (
+            blocks[wino] * z[wino] * r_k * r_k * p.in_channels
+        ).astype(np.float64)
+        flops[wino] = 2.0 * p.macs / np.maximum(1.0, e**2 / (e + r_k - 1) ** 2 * 4)
+    # IOVolume.total evaluates ((input + weight) + output) + extra.
+    traffic_bytes = (
+        input_reads + weight_reads + float(p.output_elements) + 0.0
+    ) * spec.dtype_size
+
+    smem_bytes = (x * y * z + halo + p.ker_height * p.ker_width * z) * spec.dtype_size
+    r = p.reuse_factor
+    residual = np.abs(x * y - r * z) / np.maximum(1.0, r * z)
+
+    out[:, 0] = _log_column(x)
+    out[:, 1] = _log_column(y)
+    out[:, 2] = _log_column(z)
+    out[:, 3] = _log_column(x * y * z)
+    out[:, 4] = _log_column(threads)
+    out[:, 5] = (threads % spec.warp_size).astype(np.float64) / spec.warp_size
+    out[:, 6] = _log_column(blocks)
+    out[:, 7] = np.minimum(4.0, blocks / spec.num_sms)
+    out[:, 8] = configs.smem_per_block / spec.shared_mem_per_sm
+    out[:, 9] = np.minimum(
+        4.0, smem_bytes / np.maximum(1, configs.smem_per_block)
+    )
+    out[:, 10] = _log_column(traffic_bytes)
+    out[:, 11] = np.minimum(512.0, flops / np.maximum(1.0, traffic_bytes))
+    out[:, 12] = np.minimum(4.0, residual)
+    out[:, 13] = np.minimum(8.0, halo / np.maximum(1, x * y))
+    out[:, 14] = configs.unroll.astype(np.float64)
+    out[:, 15] = ORDER_CONTIGUOUS[configs.layout, configs.order].astype(np.float64)
+    out[:, 16] = (configs.layout == _LAYOUT_CODE[Layout.CHW]).astype(np.float64)
+    out[:, 17] = (configs.layout == _LAYOUT_CODE[Layout.CWH]).astype(np.float64)
+    out[:, 18] = (configs.layout == _LAYOUT_CODE[Layout.HWC]).astype(np.float64)
+    out[:, 19] = wino.astype(np.float64)
+    out[:, 20] = np.where(wino, configs.e.astype(np.float64), 0.0)
+    return out
+
+
+def feature_matrix(
+    configs: Union[ConfigArray, Sequence[Configuration]],
+    params: ConvParams,
+    spec: GPUSpec,
+) -> np.ndarray:
+    """Feature matrix of a batch of configurations.
+
+    Accepts either a sequence of :class:`Configuration` (stacked per-row
+    vectors, the reference path) or a :class:`ConfigArray` (column-wise fast
+    path, bit-identical to the stacked rows).  Problems whose I/O products
+    could overflow int64 take the per-row path, mirroring the vectorised
+    lowering's guard.
+    """
+    if isinstance(configs, ConfigArray):
+        if len(configs) == 0:
+            return np.zeros((0, len(FEATURE_NAMES)), dtype=np.float64)
+        if _io_may_overflow_int64(params):
+            return np.stack(
+                [feature_vector(c, params, spec) for c in configs.to_configs()]
+            )
+        return _feature_matrix_soa(configs, params, spec)
     if not configs:
         return np.zeros((0, len(FEATURE_NAMES)), dtype=np.float64)
     return np.stack([feature_vector(c, params, spec) for c in configs])
@@ -132,22 +263,56 @@ class FeatureCache:
     :meth:`Configuration.key`) and reuses the stored row, so a growing
     dataset only pays for its *new* rows.  ``matrix`` stacks the cached rows
     exactly like :func:`feature_matrix`, hence bit-identical features.
+
+    ``max_entries`` bounds the cache for long-lived service runs (which would
+    otherwise accumulate one row per distinct configuration forever): when
+    the cap is exceeded the oldest-inserted rows are evicted FIFO.  Eviction
+    only ever forces a recomputation — rows are pure functions of the
+    configuration — so capped caches stay bit-identical to unbounded ones
+    (the default).  ``hits`` / ``misses`` / ``evictions`` count cache traffic
+    for service telemetry.
     """
 
-    def __init__(self, params: ConvParams, spec: GPUSpec) -> None:
+    def __init__(
+        self,
+        params: ConvParams,
+        spec: GPUSpec,
+        max_entries: Optional[int] = None,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 (or None for unbounded)")
         self.params = params
         self.spec = spec
+        self.max_entries = max_entries
         self._rows: Dict[Tuple, np.ndarray] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._rows)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "entries": len(self._rows),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
 
     def vector(self, config: Configuration) -> np.ndarray:
         key = config.key()
         row = self._rows.get(key)
         if row is None:
+            self.misses += 1
             row = feature_vector(config, self.params, self.spec)
+            if self.max_entries is not None and len(self._rows) >= self.max_entries:
+                # FIFO eviction: dicts preserve insertion order.
+                self._rows.pop(next(iter(self._rows)))
+                self.evictions += 1
             self._rows[key] = row
+        else:
+            self.hits += 1
         return row
 
     def matrix(self, configs: Sequence[Configuration]) -> np.ndarray:
