@@ -4,10 +4,15 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-batched bench-service bench-explorer compare-bench
+.PHONY: test stress bench bench-batched bench-service bench-explorer compare-bench
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Long-running stress tests (excluded from tier-1 by pytest.ini; CI runs
+# them in a non-blocking job).
+stress:
+	$(PYTHON) -m pytest -m slow -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/bench_*.py -q -s

@@ -12,6 +12,12 @@ tuned configurations for the conv layers of a small model zoo.  The
 * packs the measurement batches of the layers that do need tuning into
   shared batched-executor calls.
 
+A second act demonstrates the **streaming worker pool**: the same
+duplicate-heavy workload sharded over worker processes, once with
+merge-at-end databases and once with mid-workload record streaming — the
+streamed pool answers every cross-shard repeat from records the other
+shards just produced, cutting the total measurement count.
+
 Run with:  python examples/tuning_service_demo.py
 """
 
@@ -21,10 +27,11 @@ from repro.analysis import render_rows
 from repro.core.autotune import TuningDatabase
 from repro.gpusim import V100
 from repro.nets import get_model
-from repro.service import TuningRequest, TuningService
+from repro.service import TuningRequest, TuningService, TuningWorkerPool
 
 BUDGET = 48
 NUM_CLIENTS = 3
+POOL_WORKERS = 4
 
 
 def main() -> None:
@@ -66,6 +73,31 @@ def main() -> None:
     print(service.describe())
     saved = database.save()
     print(f"Tuning database: {database.describe()} -> {saved}")
+
+    streaming_pool_demo()
+
+
+def streaming_pool_demo() -> None:
+    """Same problems, sharded: merge-at-end pool vs streaming pool."""
+    layers = [layer.params() for layer in get_model("squeezenet").layers[:POOL_WORKERS]]
+    # Each layer requested under three seeds, rotated so a layer's variants
+    # land in different shards: shard B's backlog repeats problems shard A
+    # is tuning right now — exactly the redundancy streaming removes.
+    workload = [
+        TuningRequest(
+            layers[(slot + row) % len(layers)], V100, "direct",
+            max_measurements=BUDGET, seed=row + 1,
+        )
+        for row in range(3)
+        for slot in range(len(layers))
+    ]
+    print(f"\nWorker pool, {len(workload)} requests over {POOL_WORKERS} shards:")
+    for name, pool in (
+        ("merge-at-end", TuningWorkerPool(num_workers=POOL_WORKERS, streaming=False)),
+        ("streaming", TuningWorkerPool(num_workers=POOL_WORKERS, admit_window=1)),
+    ):
+        pool.tune(list(workload))
+        print(f"  {name:>12}: {pool.stats.describe()}")
 
 
 if __name__ == "__main__":

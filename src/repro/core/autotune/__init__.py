@@ -19,7 +19,13 @@ from .cost_model import CostModel, GradientBoostedTrees, RegressionTree
 from .explorer import ExplorerConfig, ParallelRandomWalkExplorer, ScalarRandomWalkExplorer
 from .session import TrialRecord, TuningResult, TuningSessionProtocol, record_trial
 from .engine import AutoTuningEngine, TuningSession
-from .database import TuningDatabase, TuningRecord, default_database_path
+from .database import (
+    RecordEnvelope,
+    TuningDatabase,
+    TuningDatabaseError,
+    TuningRecord,
+    default_database_path,
+)
 from .baselines import (
     BaselineSession,
     BaselineTuner,
@@ -38,7 +44,9 @@ __all__ = [
     "build_profile",
     "lower_batch",
     "SearchSpace",
+    "RecordEnvelope",
     "TuningDatabase",
+    "TuningDatabaseError",
     "TuningRecord",
     "default_database_path",
     "FEATURE_NAMES",

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import math
 import os
 import tempfile
 import threading
@@ -30,9 +31,29 @@ from ...gpusim.spec import GPUSpec
 from .config import Configuration
 from .engine import TrialRecord, TuningResult
 
-__all__ = ["TuningRecord", "TuningDatabase", "default_database_path"]
+__all__ = [
+    "RecordEnvelope",
+    "TuningDatabase",
+    "TuningDatabaseError",
+    "TuningRecord",
+    "default_database_path",
+]
+
+
+class TuningDatabaseError(ValueError):
+    """A tuning-database file or wire payload is unusable.
+
+    Subclasses :class:`ValueError` so existing callers catching ``ValueError``
+    around :meth:`TuningDatabase.load` keep working; raised with a message
+    naming the offending path/payload so misconfiguration (a truncated
+    ``$REPRO_TUNING_DB`` file, a poisoned sync-queue envelope) fails loudly
+    instead of silently starting empty.
+    """
 
 _FORMAT_VERSION = 1
+
+#: retained change-log tail; the log compacts once it reaches twice this.
+_CHANGE_LOG_CAP = 4096
 
 #: environment variable overriding the default on-disk database location.
 DATABASE_ENV_VAR = "REPRO_TUNING_DB"
@@ -176,6 +197,65 @@ class TuningRecord:
         )
 
 
+#: wire-format version of :class:`RecordEnvelope`.
+_ENVELOPE_VERSION = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class RecordEnvelope:
+    """Serializable wrapper for one record travelling between processes.
+
+    The streaming worker pool exchanges records over multiprocessing queues;
+    the envelope pins the wire format (a plain JSON-native dict, so it works
+    over any transport) and carries provenance: ``origin`` is the sending
+    shard index (``-1`` = the parent) and ``revision`` the sender database's
+    revision when the record was captured.  :meth:`from_wire` validates
+    strictly and raises :class:`TuningDatabaseError` on anything malformed —
+    a poisoned envelope must never reach :meth:`TuningDatabase.put`, where a
+    NaN time would corrupt every later keep-better comparison.
+    """
+
+    record: TuningRecord
+    origin: int = -1
+    revision: int = 0
+
+    def to_wire(self) -> Dict[str, object]:
+        return {
+            "v": _ENVELOPE_VERSION,
+            "origin": self.origin,
+            "revision": self.revision,
+            "record": self.record.to_dict(),
+        }
+
+    @classmethod
+    def from_wire(cls, payload: object) -> "RecordEnvelope":
+        if not isinstance(payload, dict):
+            raise TuningDatabaseError(
+                f"record envelope must be a dict, got {type(payload).__name__}"
+            )
+        if payload.get("v") != _ENVELOPE_VERSION:
+            raise TuningDatabaseError(
+                f"unsupported record-envelope version {payload.get('v')!r}"
+            )
+        try:
+            origin = int(payload["origin"])
+            revision = int(payload["revision"])
+            record = TuningRecord.from_dict(payload["record"])
+        except TuningDatabaseError:
+            raise
+        except Exception as exc:
+            raise TuningDatabaseError(f"malformed record envelope: {exc}") from exc
+        if not math.isfinite(record.time_seconds) or record.time_seconds <= 0:
+            raise TuningDatabaseError(
+                f"record envelope carries invalid time {record.time_seconds!r}"
+            )
+        if not math.isfinite(record.gflops) or record.gflops < 0:
+            raise TuningDatabaseError(
+                f"record envelope carries invalid gflops {record.gflops!r}"
+            )
+        return cls(record=record, origin=origin, revision=revision)
+
+
 class TuningDatabase:
     """In-memory map of tuning records with JSON persistence.
 
@@ -198,6 +278,20 @@ class TuningDatabase:
         #: same problem measured under different conditions coexist, so two
         #: runners with different executors never evict each other's entries.
         self._records: Dict[Tuple, Dict[Tuple, TuningRecord]] = {}
+        #: monotonic change counter: bumped once per *effective* put (an
+        #: insert, a faster record, or a budget upgrade; a losing or equal
+        #: record leaves it untouched).  ``_change_log`` appends the changed
+        #: (problem, conditions) slot per bump, so :meth:`changes_since` can
+        #: stream exactly the records that moved by slicing the tail — the
+        #: primitive the worker pool's cross-shard exchange is built on —
+        #: without rescanning the whole map every scheduling round.  The log
+        #: is compacted once it doubles ``_CHANGE_LOG_CAP`` (``_log_base``
+        #: tracks the revision of its first retained entry); a checkpoint
+        #: older than the retained tail falls back to over-delivering the
+        #: whole map, which keep-better apply makes safe.
+        self._revision = 0
+        self._log_base = 0
+        self._change_log: List[Tuple[Tuple, Tuple]] = []
         self._lock = threading.RLock()
         #: where :meth:`save` persists when called without a path (set by
         #: :meth:`default` / :meth:`load`, or explicitly).
@@ -214,20 +308,56 @@ class TuningDatabase:
 
         Loads the file when it exists, otherwise starts empty; either way the
         returned database remembers the location, so a bare :meth:`save`
-        persists back to it.  A corrupt or unreadable file is treated as
-        empty rather than aborting the caller — tuning can always proceed and
-        the next save rewrites the file atomically.
+        persists back to it.
+
+        Error handling depends on who chose the location.  When
+        ``$REPRO_TUNING_DB`` names the path, the caller asked for *that*
+        database — an unreadable, truncated or unwritable file raises
+        :class:`TuningDatabaseError` instead of silently starting empty (the
+        old behaviour quietly discarded the user's records and then
+        overwrote the file on the next save).  The implicit cache-directory
+        default stays lenient: a corrupt cache entry is treated as empty and
+        the next save rewrites it atomically.
         """
         path = default_database_path()
+        explicit = bool(os.environ.get(DATABASE_ENV_VAR))
         if os.path.exists(path):
             try:
                 db = cls.load(path)
                 db.path = path
-                return db
-            except (OSError, ValueError, KeyError, TypeError, AttributeError):
-                # Unreadable, bad version, or structurally invalid payload
-                # (wrong JSON shape / malformed records) all start empty.
-                pass
+            except (OSError, ValueError, KeyError, TypeError, AttributeError) as exc:
+                if explicit:
+                    raise TuningDatabaseError(
+                        f"${DATABASE_ENV_VAR} points at {path!r} but it cannot be "
+                        f"loaded ({exc}); fix or remove the file rather than "
+                        "letting tuning silently restart from an empty database"
+                    ) from exc
+                # Implicit cache path: unreadable, bad version, or
+                # structurally invalid payload all start empty.
+                return cls(path=path)
+            if explicit and not os.access(path, os.W_OK):
+                raise TuningDatabaseError(
+                    f"${DATABASE_ENV_VAR} points at {path!r} which is not "
+                    "writable; tuning results could never be persisted back"
+                )
+            return db
+        if explicit:
+            # The file does not exist yet: probe the nearest existing
+            # ancestor (save() creates the missing directories under it).
+            # An unwritable or non-directory ancestor means the database
+            # could never be saved — fail now, not after a full tuning run.
+            probe = os.path.dirname(os.path.abspath(path))
+            while not os.path.exists(probe):
+                parent = os.path.dirname(probe)
+                if parent == probe:  # pragma: no cover - filesystem root
+                    break
+                probe = parent
+            if not os.path.isdir(probe) or not os.access(probe, os.W_OK):
+                raise TuningDatabaseError(
+                    f"${DATABASE_ENV_VAR} points at {path!r} but "
+                    f"{probe!r} is not a writable directory; the database "
+                    "could never be saved"
+                )
         return cls(path=path)
 
     # -- core map ------------------------------------------------------- #
@@ -243,23 +373,100 @@ class TuningDatabase:
         """Insert a record; the faster one wins among same-conditions records.
 
         Times measured under different executor conditions are not
-        comparable, so each conditions set keeps its own record.  The
-        surviving record of a same-conditions collision inherits the larger
-        budget of the two: a configuration that beats the outcome of a more
-        thorough search also satisfies requests at that search's budget."""
+        comparable, so each conditions set keeps its own record.  Exact time
+        ties break deterministically on the configuration key, so merging a
+        record set yields the same survivors in any order.  The surviving
+        record of a same-conditions collision inherits the larger budget of
+        the two: a configuration that beats the outcome of a more thorough
+        search also satisfies requests at that search's budget."""
         with self._lock:
             bucket = self._records.setdefault(record.key(), {})
             cond = record.conditions()
             existing = bucket.get(cond)
             if existing is None:
-                bucket[cond] = record
+                winner = record
             else:
-                winner = record if record.time_seconds < existing.time_seconds else existing
+                # Faster time wins; an exact time tie breaks on the config
+                # key so the surviving record is a deterministic function of
+                # the record *set*, not of arrival order (two shards finding
+                # equal-time configs must converge on one winner whatever
+                # the queue timing).
+                if record.time_seconds < existing.time_seconds or (
+                    record.time_seconds == existing.time_seconds
+                    and record.config.key() < existing.config.key()
+                ):
+                    winner = record
+                else:
+                    winner = existing
                 budget = max(record.budget, existing.budget)
                 if budget != winner.budget:
                     winner = dataclasses.replace(winner, budget=budget)
+            if winner is not existing:
+                # Effective change: log it so changes_since() streams it.
+                # A losing (or identical) record leaves the revision
+                # untouched, which is what keeps record exchange loop-free:
+                # re-applying a record the database already holds never
+                # re-broadcasts it.
                 bucket[cond] = winner
+                self._change_log.append((record.key(), cond))
+                self._revision += 1
+                if len(self._change_log) >= 2 * _CHANGE_LOG_CAP:
+                    # Amortised O(1) compaction keeps a daemon-lifetime
+                    # database's log bounded; stale checkpoints fall back
+                    # to safe over-delivery in changes_since().
+                    del self._change_log[:_CHANGE_LOG_CAP]
+                    self._log_base += _CHANGE_LOG_CAP
             return bucket[cond]
+
+    @property
+    def revision(self) -> int:
+        """Monotonic change counter (see :meth:`changes_since`)."""
+        with self._lock:
+            return self._revision
+
+    def changes_since(self, revision: int) -> List[TuningRecord]:
+        """Records whose slot changed after ``revision``, oldest change first.
+
+        ``db.changes_since(checkpoint)`` with a ``checkpoint`` captured from
+        :attr:`revision` is an incremental diff: applying the returned
+        records to a replica that already saw ``checkpoint`` brings it up to
+        date (keep-better apply is idempotent and order-independent, so
+        over-delivery is always safe).
+        """
+        with self._lock:
+            if revision < self._log_base:
+                # The checkpoint predates the retained log tail (compacted
+                # away): over-deliver everything — idempotent keep-better
+                # apply makes that merely redundant, never wrong.
+                return self.records()
+            seen: set = set()
+            changed: List[TuningRecord] = []
+            for slot in self._change_log[max(revision - self._log_base, 0):]:
+                if slot not in seen:
+                    seen.add(slot)
+                    key, cond = slot
+                    changed.append(self._records[key][cond])
+            return changed
+
+    def apply(self, records: Iterable[TuningRecord]) -> List[TuningRecord]:
+        """Keep-better fold of ``records``; returns the surviving changes.
+
+        The streaming pool's sync primitive: each record lands via
+        :meth:`put` (monotonic — an incoming record can only improve a slot,
+        never regress it), and the returned list holds the records that
+        actually changed the database (the winners, post budget-upgrade).
+        Callers use the return value for accounting and to decide what to
+        re-broadcast; an empty list means the database already knew
+        everything the batch carried.
+        """
+        applied: List[TuningRecord] = []
+        with self._lock:
+            for record in records:
+                before = self._revision
+                kept = self.put(record)
+                if self._revision != before:
+                    applied.append(kept)
+        return applied
 
     def lookup(
         self,
@@ -352,8 +559,7 @@ class TuningDatabase:
         databases safe: no worker's result can regress another's.
         """
         records = other.records() if isinstance(other, TuningDatabase) else other
-        for record in records:
-            self.put(record)
+        self.apply(records)
         return self
 
     # -- persistence ---------------------------------------------------- #
@@ -392,12 +598,35 @@ class TuningDatabase:
 
     @classmethod
     def load(cls, path: Union[str, os.PathLike]) -> "TuningDatabase":
+        """Load a saved database; ``OSError`` for I/O trouble,
+        :class:`TuningDatabaseError` for truncated/corrupt/incompatible
+        content (with the offending path in the message)."""
         with open(path, "r", encoding="utf-8") as fh:
-            payload = json.load(fh)
+            try:
+                payload = json.load(fh)
+            except ValueError as exc:  # includes json.JSONDecodeError
+                raise TuningDatabaseError(
+                    f"{os.fspath(path)!r} is not valid JSON (truncated save or "
+                    f"foreign file?): {exc}"
+                ) from exc
+        if not isinstance(payload, dict):
+            raise TuningDatabaseError(
+                f"{os.fspath(path)!r} does not hold a tuning database "
+                f"(top level is {type(payload).__name__}, expected an object)"
+            )
         version = payload.get("version")
         if version != _FORMAT_VERSION:
-            raise ValueError(f"unsupported tuning-database version {version!r}")
-        db = cls(TuningRecord.from_dict(d) for d in payload.get("records", []))
+            raise TuningDatabaseError(
+                f"{os.fspath(path)!r}: unsupported tuning-database version {version!r}"
+            )
+        try:
+            db = cls(TuningRecord.from_dict(d) for d in payload.get("records", []))
+        except TuningDatabaseError:
+            raise
+        except Exception as exc:
+            raise TuningDatabaseError(
+                f"{os.fspath(path)!r} holds malformed tuning records: {exc}"
+            ) from exc
         db.path = os.fspath(path)
         return db
 

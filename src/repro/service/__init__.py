@@ -18,8 +18,11 @@ batches:
   (:meth:`~repro.gpusim.executor.GPUExecutor.run_batch_groups`).
 * :class:`SchedulingPolicy` — which runs propose each round: uniform
   (default), budget-weighted fair share, earliest-deadline-first.
-* :class:`TuningWorkerPool` — shards big workloads across worker processes
-  and merges the per-worker databases.
+* :class:`TuningWorkerPool` — shards big workloads across long-lived worker
+  processes that *stream* best-known records to each other mid-workload
+  (parent folds each completed run's record into the shared database
+  immediately and pushes it down every other shard's sync channel), with a
+  merge-at-end batch mode and a deterministic serial fallback.
 
 Everything is bit-identical to driving each request's tuner directly
 (:meth:`TuningRequest.tune_direct`) — the service only removes redundant and
@@ -63,7 +66,7 @@ from .policy import (
     UniformPolicy,
     make_policy,
 )
-from .pool import TuningWorkerPool
+from .pool import PoolStats, TuningWorkerPool
 from .request import TUNERS, TuningRequest
 from .scheduler import ServiceStats, TuningService
 
@@ -71,6 +74,7 @@ __all__ = [
     "EarliestDeadlinePolicy",
     "FairSharePolicy",
     "InFlightRun",
+    "PoolStats",
     "RequestCoalescer",
     "SchedulingPolicy",
     "ServiceStats",

@@ -1,60 +1,341 @@
-"""Sharded tuning across a multiprocessing worker pool.
+"""Sharded tuning across a long-lived worker pool with record streaming.
 
 For workloads whose search spaces are too large for one process, the pool
 shards a batch of :class:`~repro.service.TuningRequest` across worker
 processes.  Each worker runs its own :class:`~repro.service.TuningService`
 (so coalescing and cross-request batching still apply *within* a shard) with
-its own private :class:`~repro.core.autotune.database.TuningDatabase`; the
-parent merges the worker databases into the caller's database when the
-workload finishes (``TuningDatabase.merge`` keeps the best record per
-problem).
+its own private :class:`~repro.core.autotune.database.TuningDatabase`.
+
+Unlike a batch pool that only merges worker databases at workload
+completion, the workers here are **streaming**: every time a run completes,
+the worker captures the records that changed its database
+(:meth:`~repro.core.autotune.database.TuningDatabase.changes_since`) and
+ships them to the parent over a results queue as serializable
+:class:`~repro.core.autotune.database.RecordEnvelope` payloads.  The parent
+folds each arriving record into the shared database immediately (monotonic
+keep-better ``apply``) and pushes the winners down every *other* shard's
+sync queue; workers drain their sync queue between scheduling rounds
+(:meth:`~repro.service.scheduler.TuningService.inject_records`), so their
+submit-time database serving sees cross-shard bests mid-workload: a problem
+shard A already solved is never re-tuned by shard B's not-yet-admitted
+requests.  Workers admit their backlog incrementally (``admit_window`` runs
+at a time) precisely so that later requests still *are* "new submits" when a
+cross-shard record lands.
+
+Invariants the streaming layer preserves:
+
+* **Bit-identity of fresh runs** — injected records never touch an in-flight
+  session (sessions do not consult the database mid-run), so every freshly
+  tuned result remains bit-identical to
+  :meth:`~repro.service.request.TuningRequest.tune_direct`.
+* **Monotonic database** — all folds go through keep-better ``apply``;
+  records can only improve, whatever order they arrive in (streaming apply
+  of any arrival permutation equals one bulk ``merge`` of the same records).
+* **Loop-free exchange** — only records that *changed* a database are
+  re-broadcast, so an echoed record dies at the first database that already
+  holds it.
 
 Sharding is by request identity: identical requests always land in the same
 shard, so duplicates coalesce in-process instead of being tuned twice in two
-workers.  Results are therefore bit-identical to running the whole workload
-through one in-process service.
+workers.
 
-Worker processes are started with the ``fork`` method where available (the
-requests and results are plain picklable dataclasses, so ``spawn`` works too
-when the caller's ``__main__`` is importable).  When no worker processes can
-be created at all — restricted sandboxes, missing semaphores — the pool
-degrades to running the shards serially in-process, producing the same
-results.
+Fault tolerance: a worker that dies mid-workload (killed, crashed) is
+detected by the parent, which degrades gracefully — the dead worker's shard
+is re-run in-process against the shared database (so records the worker
+streamed before dying are not re-tuned) and the failure is counted in
+:attr:`TuningWorkerPool.stats`.  Malformed sync payloads ("poisoned
+envelopes") are dropped and counted, never applied.  When no worker
+processes can be created at all — restricted sandboxes, missing semaphores —
+the pool degrades to a deterministic in-process serial interleaving of the
+shards with the same streaming semantics, producing the same results.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import List, Optional, Sequence, Tuple
+import queue
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
-from ..core.autotune.database import TuningDatabase, TuningRecord
+from ..core.autotune.database import (
+    RecordEnvelope,
+    TuningDatabase,
+    TuningDatabaseError,
+    TuningRecord,
+)
 from ..core.autotune.engine import TuningResult
 from .policy import SchedulingPolicy, make_policy
 from .request import TuningRequest
-from .scheduler import TuningService
+from .scheduler import ServiceStats, TuningService
 
-__all__ = ["TuningWorkerPool"]
+__all__ = ["PoolStats", "TuningWorkerPool"]
+
+#: parent's poll interval on the results queue while workers run.
+_POLL_SECONDS = 0.2
+#: empty polls after noticing a dead worker before declaring its shard lost
+#: (a worker may exit healthily with its "done" message still in the pipe).
+_DEATH_GRACE_POLLS = 3
+
+
+@dataclass
+class PoolStats:
+    """Accounting of one :meth:`TuningWorkerPool.tune` workload."""
+
+    requests: int = 0
+    #: requests answered from the caller's database before sharding.
+    pre_served: int = 0
+    shards: int = 0
+    #: "serial" or "processes" ("unused" until a workload ran).
+    mode: str = "unused"
+    streaming: bool = False
+    #: record envelopes received by the parent mid-workload ...
+    records_streamed: int = 0
+    #: ... of which improved the shared database (and were re-broadcast).
+    records_applied: int = 0
+    #: malformed payloads dropped by the parent or a worker.
+    poisoned_envelopes: int = 0
+    #: workers that died mid-workload (their shards re-ran in the parent).
+    worker_failures: int = 0
+    # Aggregates over every shard service (plus in-parent recovery reruns):
+    measurements: int = 0
+    tuning_runs: int = 0
+    database_hits: int = 0
+    coalesced: int = 0
+
+    def absorb(self, service_stats: ServiceStats) -> None:
+        """Fold one shard service's accounting into the pool totals."""
+        self.measurements += service_stats.measurements
+        self.tuning_runs += service_stats.tuning_runs
+        self.database_hits += service_stats.database_hits
+        self.coalesced += service_stats.coalesced
+
+    def describe(self) -> str:
+        return (
+            f"PoolStats[{self.requests} requests over {self.shards} {self.mode} "
+            f"shards ({self.pre_served} pre-served), {self.tuning_runs} runs / "
+            f"{self.measurements} measurements, {self.records_streamed} records "
+            f"streamed ({self.records_applied} applied, "
+            f"{self.poisoned_envelopes} poisoned), "
+            f"{self.worker_failures} worker failures]"
+        )
+
+
+def _decode_envelope(wire: object) -> Optional[RecordEnvelope]:
+    """Decode a wire payload; ``None`` for poisoned envelopes (never raises)."""
+    try:
+        return RecordEnvelope.from_wire(wire)
+    except TuningDatabaseError:
+        return None
+
+
+def _drain(q) -> List[object]:
+    """Non-blocking drain of a multiprocessing queue.
+
+    A frame that fails to deserialize (sender killed mid-put) is skipped —
+    anything it carried is recovered by the keep-better final merge — with
+    a bounded retry budget so a permanently wedged pipe cannot spin forever.
+    """
+    items: List[object] = []
+    bad_frames = 0
+    while bad_frames < 100:
+        try:
+            items.append(q.get_nowait())
+        except queue.Empty:
+            break
+        except Exception:
+            bad_frames += 1
+    return items
+
+
+class _ShardRunner:
+    """Drive one shard's service incrementally: sync -> admit -> step.
+
+    The runner owns the shard's private :class:`TuningService` and feeds it
+    the shard's requests at most ``admit_window`` active runs at a time
+    (``<= 0`` = admit everything up front, the maximal-packing batch
+    behaviour).  Windowed admission is what gives cross-shard streaming its
+    leverage: a request still in the backlog when a synced record arrives is
+    served at submit time with zero measurements.
+
+    ``take_new_records`` returns the records stored since the last call
+    using the database's revision counter; :meth:`sync` advances the same
+    checkpoint past the records it injects, so a shard never echoes back
+    what it just received.
+    """
+
+    def __init__(
+        self,
+        requests: Sequence[TuningRequest],
+        policy: Optional[SchedulingPolicy] = None,
+        admit_window: int = 0,
+        database: Optional[TuningDatabase] = None,
+    ) -> None:
+        self.service = TuningService(database=database, policy=policy)
+        self.admit_window = admit_window
+        #: backlog of (shard position, request); duplicates may be admitted
+        #: out of backlog order (to coalesce onto their twin's in-flight
+        #: run), so futures are keyed by position, not appended.
+        self.pending: Deque[Tuple[int, TuningRequest]] = deque(enumerate(requests))
+        self.futures: Dict[int, object] = {}
+        self._num_requests = len(self.pending)
+        self._checkpoint = self.service.database.revision
+
+    def sync(self, records: Sequence[TuningRecord]) -> int:
+        """Inject cross-shard records; returns how many improved the shard."""
+        applied = self.service.inject_records(records) if records else []
+        self._checkpoint = self.service.database.revision
+        return len(applied)
+
+    def step(self) -> bool:
+        """Admit backlog into the window and run one scheduling round.
+
+        Duplicates never wait on the window: a backlog head identical to an
+        in-flight run is admitted straight away, and whenever an admitted
+        request opens (or joins) a run, every identical request still in the
+        backlog — however far back — is admitted with it.  They coalesce
+        onto that run without opening new ones, so duplicates (notably
+        unpruned requests, which the database can never serve) cost exactly
+        what they would under all-at-once submission; windowed admission can
+        only ever *remove* runs, never add them.
+
+        Returns False once the shard is finished (nothing active, nothing
+        pending) — by then every future is answered.
+        """
+        while self.pending:
+            position, head = self.pending[0]
+            coalesces = self.service.coalescer.get(head) is not None
+            if (
+                not coalesces
+                and self.admit_window > 0
+                and self.service.num_active >= self.admit_window
+            ):
+                break
+            self.pending.popleft()
+            self.futures[position] = self.service.submit(head)
+            if self.service.coalescer.get(head) is not None:
+                # The request is now in flight: pull its backlog duplicates
+                # forward so they ride the run instead of re-tuning after
+                # it retires.
+                remaining: Deque[Tuple[int, TuningRequest]] = deque()
+                for later_position, later in self.pending:
+                    if later == head:
+                        self.futures[later_position] = self.service.submit(later)
+                    else:
+                        remaining.append((later_position, later))
+                self.pending = remaining
+        return self.service.step() or bool(self.pending)
+
+    def take_new_records(self) -> List[TuningRecord]:
+        new = self.service.database.changes_since(self._checkpoint)
+        self._checkpoint = self.service.database.revision
+        return new
+
+    def results(self) -> List[TuningResult]:
+        """Shard results in shard submission order (position-keyed)."""
+        return [
+            self.futures[position].result(timeout=0)
+            for position in range(self._num_requests)
+        ]
 
 
 def _tune_shard(
     requests: Sequence[TuningRequest],
     policy: Optional[SchedulingPolicy] = None,
-) -> Tuple[List[TuningResult], List[dict]]:
-    """Worker entry point: run one shard through a private service.
+) -> Tuple[List[TuningResult], List[dict], ServiceStats]:
+    """Merge-at-end worker: run one whole shard through a private service.
 
-    Module-level so it pickles under every start method (policies are
-    stateless module-level classes, so they pickle too).  Returns the
-    shard's results (in shard submission order) plus the worker database as
-    plain dicts, ready for the parent to merge.
+    Module-level so it pickles under every start method.  Returns the
+    shard's results (in shard submission order), the worker database as
+    plain dicts ready for the parent to merge, and the shard's accounting.
     """
     service = TuningService(policy=policy)
     results = service.tune(list(requests))
-    return results, [r.to_dict() for r in service.database.records()]
+    return results, [r.to_dict() for r in service.database.records()], service.stats
+
+
+def _stream_shard(
+    shard_index: int,
+    requests: Sequence[TuningRequest],
+    policy: Optional[SchedulingPolicy],
+    admit_window: int,
+    sync_queue,
+    results_queue,
+) -> None:
+    """Streaming worker entry point (module-level: pickles everywhere).
+
+    Runs the shard through a :class:`_ShardRunner`; between scheduling
+    rounds it drains the sync queue (dropping poisoned envelopes) and ships
+    every newly stored record to the parent.  Ends with a ``("done", ...)``
+    message carrying results, accounting and the full shard database (a
+    final merge-at-end safety net in case any streamed message was lost);
+    any crash becomes an ``("error", ...)`` message instead of a silent
+    death.
+    """
+    try:
+        runner = _ShardRunner(requests, policy=policy, admit_window=admit_window)
+        poisoned = 0
+        while True:
+            incoming: List[TuningRecord] = []
+            for wire in _drain(sync_queue):
+                envelope = _decode_envelope(wire)
+                if envelope is None:
+                    poisoned += 1
+                else:
+                    incoming.append(envelope.record)
+            runner.sync(incoming)
+            progressed = runner.step()
+            for record in runner.take_new_records():
+                envelope = RecordEnvelope(
+                    record=record,
+                    origin=shard_index,
+                    revision=runner.service.database.revision,
+                )
+                results_queue.put(("record", shard_index, envelope.to_wire()))
+            if not progressed:
+                break
+        results_queue.put(
+            (
+                "done",
+                shard_index,
+                {
+                    "results": runner.results(),
+                    "stats": runner.service.stats,
+                    "records": [r.to_dict() for r in runner.service.database.records()],
+                    "poisoned": poisoned,
+                },
+            )
+        )
+    except BaseException as exc:  # pragma: no cover - exercised via kill tests
+        try:
+            results_queue.put(
+                ("error", shard_index, f"{type(exc).__name__}: {exc}")
+            )
+        except Exception:
+            pass
 
 
 class TuningWorkerPool:
-    """Shard tuning workloads across processes and merge the databases."""
+    """Shard tuning workloads across processes, streaming records between them.
+
+    ``streaming=True`` (default) exchanges best-known records mid-workload as
+    described in the module docstring; ``streaming=False`` is the classic
+    batch pool (run every shard to completion, merge databases at the end) —
+    kept both as the conservative mode and as the benchmark reference the
+    streamed exchange is gated against.
+
+    ``admit_window`` bounds how many runs each shard keeps active at once
+    (``<= 0`` = admit the whole backlog up front).  Smaller windows trade a
+    little packing density for more submit-time serving opportunities.
+
+    ``use_processes`` forces the execution mode: ``None`` (default) tries
+    processes and falls back to the deterministic serial interleaving,
+    ``False`` always runs serially in-process, ``True`` requires processes
+    (raises where they are unavailable).  Workloads that fit one shard
+    always run serially — a pool buys nothing there.
+    """
 
     def __init__(
         self,
@@ -62,6 +343,9 @@ class TuningWorkerPool:
         start_method: Optional[str] = None,
         allow_serial_fallback: bool = True,
         policy: "Optional[object]" = None,
+        streaming: bool = True,
+        admit_window: int = 4,
+        use_processes: Optional[bool] = None,
     ) -> None:
         if num_workers < 0:
             raise ValueError("num_workers must be >= 0 (0 = one per CPU, capped)")
@@ -71,9 +355,14 @@ class TuningWorkerPool:
         #: scheduling policy every worker's in-process service runs with
         #: (instance or registry name; normalised here so bad names fail fast).
         self.policy = make_policy(policy)
+        self.streaming = streaming
+        self.admit_window = admit_window
+        self.use_processes = use_processes
         #: True when the last workload ran in worker processes (False = the
-        #: serial in-process fallback was used).
+        #: serial in-process interleaving was used).
         self.used_processes = False
+        #: accounting of the last workload (reset by every :meth:`tune`).
+        self.stats = PoolStats()
 
     # ------------------------------------------------------------------ #
     def _shard(
@@ -105,6 +394,7 @@ class TuningWorkerPool:
         methods = multiprocessing.get_all_start_methods()
         return multiprocessing.get_context("fork" if "fork" in methods else None)
 
+    # ------------------------------------------------------------------ #
     def tune(
         self,
         requests: Sequence[TuningRequest],
@@ -114,13 +404,16 @@ class TuningWorkerPool:
 
         ``database`` (optional) plays the same role as the in-process
         service's shared database: requests it already covers are served in
-        the parent with zero measurements (workers never see them), and when
-        the workload finishes it receives every worker's records via
-        :meth:`~repro.core.autotune.database.TuningDatabase.merge`.
+        the parent with zero measurements (workers never see them), records
+        streamed back mid-workload are folded into it immediately, and when
+        the workload finishes it holds every worker's records (the final
+        merge is a keep-better no-op for anything already streamed).
         """
         requests = list(requests)
+        self.stats = PoolStats(streaming=self.streaming)
         if not requests:
             return []
+        self.stats.requests = len(requests)
         # Serve covered requests from the caller's database up front, exactly
         # like TuningService.submit does — workers start with empty private
         # databases and must not re-tune what the caller already knows.
@@ -141,36 +434,292 @@ class TuningWorkerPool:
                 served[i] = record.as_result()
             else:
                 pending_indices.append(i)
+        self.stats.pre_served = len(served)
         if not pending_indices:
             self.used_processes = False
+            self.stats.mode = "serial"
             return [served[i] for i in range(len(requests))]
         pending = [requests[i] for i in pending_indices]
         shards, placement = self._shard(pending)
-        try:
-            if len(shards) == 1:
-                raise _SerialShortcut  # one shard: a pool buys nothing
+        self.stats.shards = len(shards)
+        #: the cross-shard exchange point: the caller's database when given
+        #: (so streamed records are visible to the caller mid-workload),
+        #: otherwise a workload-private one.
+        exchange = database if database is not None else TuningDatabase()
+
+        shard_results: Optional[Dict[int, List[TuningResult]]] = None
+        if len(shards) > 1 and self.use_processes is not False:
+            try:
+                shard_results = self._run_processes(shards, exchange)
+                self.used_processes = True
+            except (OSError, PermissionError, ImportError):
+                if not self.allow_serial_fallback or self.use_processes is True:
+                    raise
+        if shard_results is None:
+            shard_results = self._run_serial(shards, exchange)
+            self.used_processes = False
+        self.stats.mode = "processes" if self.used_processes else "serial"
+
+        for i, (shard, pos) in zip(pending_indices, placement):
+            served[i] = shard_results[shard][pos]
+        return [served[i] for i in range(len(requests))]
+
+    # -- serial in-process execution ------------------------------------ #
+    def _run_serial(
+        self, shards: List[List[TuningRequest]], exchange: TuningDatabase
+    ) -> Dict[int, List[TuningResult]]:
+        if not self.streaming:
+            outputs: Dict[int, List[TuningResult]] = {}
+            for i, shard in enumerate(shards):
+                results, record_dicts, stats = _tune_shard(shard, self.policy)
+                exchange.merge(TuningRecord.from_dict(d) for d in record_dicts)
+                self.stats.absorb(stats)
+                outputs[i] = results
+            return outputs
+        # Streaming: interleave the shards round-robin, one scheduling round
+        # each, exchanging records between rounds.  Deterministic — the same
+        # workload always yields the same serving pattern and measurement
+        # count, which is what the streaming benchmark gates on.
+        runners = [
+            _ShardRunner(shard, policy=self.policy, admit_window=self.admit_window)
+            for shard in shards
+        ]
+        inboxes: List[List[TuningRecord]] = [[] for _ in shards]
+        unfinished = list(range(len(shards)))
+        while unfinished:
+            still_running: List[int] = []
+            for i in unfinished:
+                runner = runners[i]
+                runner.sync(inboxes[i])
+                inboxes[i] = []
+                progressed = runner.step()
+                for record in runner.take_new_records():
+                    self.stats.records_streamed += 1
+                    applied = exchange.apply([record])
+                    if applied:
+                        self.stats.records_applied += 1
+                        # Broadcast what apply() kept, not the raw incoming
+                        # record: on a collision the exchange's surviving
+                        # (faster / budget-upgraded) record is the one the
+                        # other shards must serve from.
+                        for j in range(len(runners)):
+                            if j != i:
+                                inboxes[j].append(applied[0])
+                if progressed:
+                    still_running.append(i)
+            unfinished = still_running
+        outputs = {}
+        for i, runner in enumerate(runners):
+            exchange.merge(runner.service.database)
+            self.stats.absorb(runner.service.stats)
+            outputs[i] = runner.results()
+        return outputs
+
+    # -- worker-process execution ---------------------------------------- #
+    def _run_processes(
+        self, shards: List[List[TuningRequest]], exchange: TuningDatabase
+    ) -> Dict[int, List[TuningResult]]:
+        if not self.streaming:
             ctx = self._context()
             with ctx.Pool(processes=len(shards)) as pool:
                 shard_outputs = pool.starmap(
                     _tune_shard, [(s, self.policy) for s in shards]
                 )
-            self.used_processes = True
-        except _SerialShortcut:
-            shard_outputs = [_tune_shard(s, self.policy) for s in shards]
-            self.used_processes = False
-        except (OSError, PermissionError, ImportError):
-            if not self.allow_serial_fallback:
-                raise
-            shard_outputs = [_tune_shard(s, self.policy) for s in shards]
-            self.used_processes = False
+            outputs = {}
+            for i, (results, record_dicts, stats) in enumerate(shard_outputs):
+                exchange.merge(TuningRecord.from_dict(d) for d in record_dicts)
+                self.stats.absorb(stats)
+                outputs[i] = results
+            return outputs
+        return self._run_streaming_processes(shards, exchange)
 
-        if database is not None:
-            for _, record_dicts in shard_outputs:
-                database.merge(TuningRecord.from_dict(d) for d in record_dicts)
-        for i, (shard, pos) in zip(pending_indices, placement):
-            served[i] = shard_outputs[shard][0][pos]
-        return [served[i] for i in range(len(requests))]
+    def _ingest_record(
+        self,
+        wire: object,
+        origin: int,
+        exchange: TuningDatabase,
+        sync_queues: Optional[list],
+    ) -> None:
+        """Fold one streamed envelope into the shared database and, when it
+        improved it, forward it to every shard but the sender."""
+        envelope = _decode_envelope(wire)
+        if envelope is None:
+            self.stats.poisoned_envelopes += 1
+            return
+        self.stats.records_streamed += 1
+        applied = exchange.apply([envelope.record])
+        if applied:
+            self.stats.records_applied += 1
+            if sync_queues is not None:
+                # Forward what apply() kept, not the original wire: on a
+                # collision (e.g. with a faster caller-database record) the
+                # exchange's surviving record is the servable best.
+                winner = RecordEnvelope(
+                    record=applied[0], origin=origin, revision=exchange.revision
+                ).to_wire()
+                for j, sync_queue in enumerate(sync_queues):
+                    if j != origin:
+                        sync_queue.put(winner)
 
+    def _handle_message(
+        self,
+        message: object,
+        outputs: Dict[int, dict],
+        failures: Dict[int, str],
+        exchange: TuningDatabase,
+        sync_queues: Optional[list],
+        shards: List[List[TuningRequest]],
+    ) -> None:
+        """Validate and dispatch one results-queue message.
 
-class _SerialShortcut(Exception):
-    """Internal control flow: the workload fits one shard."""
+        A corrupted message is the same failure class as a poisoned
+        envelope: dropped and counted, never allowed to crash the parent.
+        A "done" report that fails validation (wrong payload shape, wrong
+        result count) marks its shard failed instead — the shard then
+        degrades to the in-parent recovery rerun like a dead worker.
+        """
+        if not (isinstance(message, tuple) and len(message) == 3):
+            self.stats.poisoned_envelopes += 1
+            return
+        tag, index, payload = message
+        if (
+            not isinstance(index, int)
+            or isinstance(index, bool)
+            or not 0 <= index < len(shards)
+        ):
+            self.stats.poisoned_envelopes += 1
+            return
+        if tag == "record":
+            self._ingest_record(payload, index, exchange, sync_queues)
+        elif tag == "done":
+            if index in outputs or index in failures:
+                self.stats.poisoned_envelopes += 1
+            elif (
+                isinstance(payload, dict)
+                and isinstance(payload.get("results"), list)
+                and len(payload["results"]) == len(shards[index])
+            ):
+                outputs[index] = payload
+            else:
+                failures[index] = "malformed completion report"
+        elif tag == "error":
+            if index not in outputs and index not in failures:
+                failures[index] = str(payload)
+        else:
+            self.stats.poisoned_envelopes += 1
+
+    def _run_streaming_processes(
+        self, shards: List[List[TuningRequest]], exchange: TuningDatabase
+    ) -> Dict[int, List[TuningResult]]:
+        ctx = self._context()
+        results_queue = ctx.Queue()
+        sync_queues = [ctx.Queue() for _ in shards]
+        workers: list = []
+        try:
+            for i, shard in enumerate(shards):
+                process = ctx.Process(
+                    target=_stream_shard,
+                    args=(
+                        i,
+                        list(shard),
+                        self.policy,
+                        self.admit_window,
+                        sync_queues[i],
+                        results_queue,
+                    ),
+                    daemon=True,
+                )
+                process.start()
+                workers.append(process)
+        except BaseException:
+            for process in workers:
+                process.terminate()
+            raise
+
+        outputs: Dict[int, dict] = {}
+        failures: Dict[int, str] = {}
+        dead_polls: Dict[int, int] = {}
+
+        def note_silent_deaths() -> None:
+            # Check for workers that died without a word (killed mid-run).
+            # A few grace polls let a healthy exit's final message finish
+            # travelling the pipe.
+            for i, process in enumerate(workers):
+                if i in outputs or i in failures or process.is_alive():
+                    continue
+                dead_polls[i] = dead_polls.get(i, 0) + 1
+                if dead_polls[i] >= _DEATH_GRACE_POLLS:
+                    failures[i] = (
+                        f"worker {i} died without reporting "
+                        f"(exit code {process.exitcode})"
+                    )
+
+        try:
+            while len(outputs) + len(failures) < len(shards):
+                try:
+                    message = results_queue.get(timeout=_POLL_SECONDS)
+                except queue.Empty:
+                    note_silent_deaths()
+                    continue
+                except Exception:
+                    # A worker SIGKILLed mid-put can leave a truncated
+                    # pickle frame in the shared pipe; get() then raises
+                    # EOFError/UnpicklingError instead of Empty.  Same
+                    # failure class as a poisoned envelope: count it, keep
+                    # polling liveness (the sender will be noticed dead),
+                    # and pace the loop — a wedged pipe raises immediately.
+                    self.stats.poisoned_envelopes += 1
+                    note_silent_deaths()
+                    time.sleep(_POLL_SECONDS)
+                    continue
+                self._handle_message(
+                    message, outputs, failures, exchange, sync_queues, shards
+                )
+            # Residual records still in flight after the last shard reported
+            # (stream/final-report races) are folded in, not thrown away.
+            for message in _drain(results_queue):
+                if (
+                    isinstance(message, tuple)
+                    and len(message) == 3
+                    and message[0] == "record"
+                ):
+                    self._ingest_record(message[2], message[1], exchange, None)
+        finally:
+            for process in workers:
+                process.join(timeout=1.0)
+            for process in workers:
+                if process.is_alive():  # pragma: no cover - defensive
+                    process.terminate()
+                    process.join(timeout=1.0)
+            for sync_queue in sync_queues:
+                sync_queue.close()
+                sync_queue.cancel_join_thread()
+            results_queue.close()
+            results_queue.cancel_join_thread()
+
+        shard_results: Dict[int, List[TuningResult]] = {}
+        for i, payload in outputs.items():
+            exchange.merge(
+                TuningRecord.from_dict(d) for d in payload.get("records", [])
+            )
+            stats = payload.get("stats")
+            if isinstance(stats, ServiceStats):
+                self.stats.absorb(stats)
+            self.stats.poisoned_envelopes += int(payload.get("poisoned", 0))
+            shard_results[i] = payload["results"]
+        # Graceful degradation: every failed shard re-runs in the parent
+        # against the shared database — anything its worker streamed before
+        # dying (or other shards solved meanwhile) is served, not re-tuned.
+        for i in sorted(failures):
+            self.stats.worker_failures += 1
+            runner = _ShardRunner(
+                shards[i],
+                policy=self.policy,
+                admit_window=self.admit_window,
+                database=exchange,
+            )
+            while runner.step():
+                pass
+            self.stats.absorb(runner.service.stats)
+            shard_results[i] = runner.results()
+        return shard_results

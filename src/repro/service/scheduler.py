@@ -55,7 +55,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.autotune.config import Measurer
-from ..core.autotune.database import TuningDatabase
+from ..core.autotune.database import TuningDatabase, TuningRecord
 from ..core.autotune.engine import TuningResult
 from ..core.autotune.session import TuningSessionProtocol
 from .coalescer import RequestCoalescer
@@ -86,6 +86,10 @@ class ServiceStats:
     #: shared executor calls and how many lowered configs they carried.
     executor_calls: int = 0
     packed_configs: int = 0
+    #: externally injected records (inject_records): how many arrived and how
+    #: many actually improved the shared database (keep-better winners).
+    records_injected: int = 0
+    records_applied: int = 0
 
     def describe(self) -> str:
         return (
@@ -186,6 +190,31 @@ class TuningService:
             )
             self.stats.tuning_runs += 1
         return future
+
+    def inject_records(
+        self, records: Sequence[TuningRecord]
+    ) -> List[TuningRecord]:
+        """Fold externally produced records into the shared database.
+
+        The streaming worker pool calls this between scheduling rounds with
+        records tuned by *other* shards.  The fold is a monotonic keep-better
+        :meth:`~repro.core.autotune.database.TuningDatabase.apply`, and it
+        cannot perturb any in-flight run: sessions never consult the
+        database mid-run (lookups happen only at :meth:`submit` time and when
+        :meth:`_finalize` answers coalesced futures), so running trajectories
+        stay bit-identical to :meth:`~repro.service.request.TuningRequest.tune_direct`
+        whatever arrives here — only *new* submits (and coalesced duplicates
+        of runs finishing after the injection, matching the sequential
+        shared-database semantics) are served from injected records.
+
+        Returns the records that actually changed the database.
+        """
+        with self._lock:
+            records = list(records)
+            applied = self.database.apply(records)
+            self.stats.records_injected += len(records)
+            self.stats.records_applied += len(applied)
+            return applied
 
     # ------------------------------------------------------------------ #
     def step(self) -> bool:

@@ -13,6 +13,7 @@ from repro.core.autotune import (
     Measurer,
     SearchSpace,
     TuningDatabase,
+    TuningDatabaseError,
     TuningRecord,
     default_database_path,
 )
@@ -141,16 +142,80 @@ class TestDefaultLocation:
     @pytest.mark.parametrize(
         "payload",
         [
-            "{not json",  # invalid syntax
+            "{not json",  # invalid syntax (a truncated save looks like this)
+            '{"version": 1, "records": [{"par',  # literally truncated
             "[]",  # valid JSON, wrong shape
             '{"version": 1, "records": [42]}',  # malformed record
             '{"version": 1, "records": [{"gpu": "V100"}]}',  # missing fields
         ],
     )
-    def test_corrupt_default_file_starts_empty(self, tmp_path, monkeypatch, payload):
+    def test_corrupt_explicit_file_raises(self, tmp_path, monkeypatch, payload):
+        # Regression: an unloadable $REPRO_TUNING_DB used to silently start
+        # empty — discarding the user's records and overwriting the file on
+        # the next save.  The user named this database; failing to open it
+        # must be loud and name the path.
         target = tmp_path / "db.json"
         target.write_text(payload)
         monkeypatch.setenv("REPRO_TUNING_DB", str(target))
+        with pytest.raises(TuningDatabaseError, match="REPRO_TUNING_DB"):
+            TuningDatabase.default()
+        assert target.read_text() == payload  # the file was not clobbered
+
+    def test_explicit_directory_path_raises(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TUNING_DB", str(tmp_path))  # a directory
+        with pytest.raises(TuningDatabaseError):
+            TuningDatabase.default()
+
+    def test_explicit_unwritable_file_raises(self, tmp_path, monkeypatch):
+        target = tmp_path / "db.json"
+        TuningDatabase([_record()]).save(target)
+        monkeypatch.setenv("REPRO_TUNING_DB", str(target))
+        # os.access is authoritative-but-root-blind, so stub it: the suite
+        # runs as root in CI containers, where chmod 0o444 still "works".
+        real_access = os.access
+        monkeypatch.setattr(
+            os,
+            "access",
+            lambda p, mode: False if str(p) == str(target) else real_access(p, mode),
+        )
+        with pytest.raises(TuningDatabaseError, match="not writable"):
+            TuningDatabase.default()
+
+    def test_explicit_path_through_a_file_raises(self, tmp_path, monkeypatch):
+        # $REPRO_TUNING_DB nests the database under something that is a
+        # *file*: save() could never create the directories, so default()
+        # must refuse up front rather than lose a whole run's results at
+        # the final save.
+        blocker = tmp_path / "blocker.txt"
+        blocker.write_text("in the way")
+        monkeypatch.setenv("REPRO_TUNING_DB", str(blocker / "nested" / "db.json"))
+        with pytest.raises(TuningDatabaseError, match="not a writable directory"):
+            TuningDatabase.default()
+
+    def test_explicit_unwritable_ancestor_raises(self, tmp_path, monkeypatch):
+        target = tmp_path / "missing" / "deeper" / "db.json"
+        monkeypatch.setenv("REPRO_TUNING_DB", str(target))
+        real_access = os.access
+        monkeypatch.setattr(
+            os,
+            "access",
+            lambda p, mode: False if str(p) == str(tmp_path) else real_access(p, mode),
+        )
+        with pytest.raises(TuningDatabaseError, match="not a writable directory"):
+            TuningDatabase.default()
+
+    @pytest.mark.parametrize(
+        "payload",
+        ["{not json", '{"version": 1, "records": [42]}'],
+    )
+    def test_corrupt_implicit_cache_starts_empty(self, tmp_path, monkeypatch, payload):
+        # The implicit cache-directory default stays lenient: nobody asked
+        # for that file by name, so a corrupt cache entry must not brick
+        # tuning — it starts empty and the next save rewrites it atomically.
+        monkeypatch.delenv("REPRO_TUNING_DB", raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path))
+        target = tmp_path / "repro-tuning.json"
+        target.write_text(payload)
         db = TuningDatabase.default()
         assert len(db) == 0
         db.put(_record())

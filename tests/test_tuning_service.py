@@ -255,6 +255,19 @@ class TestThreadedSubmission:
         assert future.done()
 
 
+class _BrokenContext:
+    """A multiprocessing context on a box where no process can be created."""
+
+    def Pool(self, processes):
+        raise OSError("no multiprocessing here")
+
+    def Process(self, *args, **kwargs):
+        raise OSError("no multiprocessing here")
+
+    def Queue(self):
+        raise OSError("no multiprocessing here")
+
+
 class TestWorkerPool:
     WORKLOAD = [
         _request(SMALL),
@@ -277,12 +290,7 @@ class TestWorkerPool:
     def test_serial_fallback_matches(self):
         reference = TuningService().tune(self.WORKLOAD)
         pool = TuningWorkerPool(num_workers=2)
-
-        class _NoPool:
-            def Pool(self, processes):
-                raise OSError("no multiprocessing here")
-
-        pool._context = lambda: _NoPool()
+        pool._context = lambda: _BrokenContext()
         results = pool.tune(self.WORKLOAD)
         assert not pool.used_processes
         for a, b in zip(reference, results):
@@ -290,12 +298,13 @@ class TestWorkerPool:
 
     def test_fallback_can_be_disabled(self):
         pool = TuningWorkerPool(num_workers=2, allow_serial_fallback=False)
+        pool._context = lambda: _BrokenContext()
+        with pytest.raises(OSError):
+            pool.tune(self.WORKLOAD)
 
-        class _NoPool:
-            def Pool(self, processes):
-                raise OSError("no multiprocessing here")
-
-        pool._context = lambda: _NoPool()
+    def test_use_processes_true_requires_processes(self):
+        pool = TuningWorkerPool(num_workers=2, use_processes=True)
+        pool._context = lambda: _BrokenContext()
         with pytest.raises(OSError):
             pool.tune(self.WORKLOAD)
 
