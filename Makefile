@@ -4,10 +4,21 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test stress bench bench-batched bench-service bench-explorer compare-bench
+.PHONY: test lint reprolint stress bench bench-batched bench-service bench-explorer compare-bench
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Style/correctness lint (ruff) + repo-contract lint (reprolint); both gate
+# the CI lint job.
+lint:
+	ruff check src tests benchmarks tools
+	$(PYTHON) -m tools.reprolint
+
+# AST-based invariant checker (tools/reprolint): determinism, locking,
+# frozen-dataclass, session-purity and batched-path contracts.
+reprolint:
+	$(PYTHON) -m tools.reprolint
 
 # Long-running stress tests (excluded from tier-1 by pytest.ini; CI runs
 # them in a non-blocking job).
@@ -27,6 +38,6 @@ bench-explorer:
 	$(PYTHON) -m pytest benchmarks/bench_explorer.py -q -s
 
 # Diff the latest BENCH_*.json telemetry against benchmarks/bench_baseline.json
-# (exit non-zero on regressions beyond the tolerance; CI runs it --warn-only).
+# (exit non-zero on regressions beyond the tolerance; CI runs it as a hard gate).
 compare-bench:
 	$(PYTHON) benchmarks/compare_bench.py --bench-dir .

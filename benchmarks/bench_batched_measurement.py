@@ -146,6 +146,6 @@ def test_batched_measurement_speedup(benchmark, gpu_v100):
             continue
         message = f"speedup vs {label} is {ratio:.1f}x, below the {floor}x floor"
         if soft:
-            warnings.warn(message)
+            warnings.warn(message, stacklevel=2)
         else:
             pytest.fail(message)

@@ -175,6 +175,6 @@ def test_explorer_speedup(benchmark, gpu_v100):
     if speedup < floor:
         message = f"explorer speedup is {speedup:.1f}x, below the {floor}x floor"
         if os.environ.get("BENCH_SPEEDUP_SOFT") == "1":
-            warnings.warn(message)
+            warnings.warn(message, stacklevel=2)
         else:
             pytest.fail(message)

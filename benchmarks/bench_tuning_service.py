@@ -177,7 +177,7 @@ def _gate_speedup(speedup, floor=3.0):
     if speedup < floor:
         message = f"service speedup is {speedup:.1f}x, below the {floor}x floor"
         if os.environ.get("BENCH_SPEEDUP_SOFT") == "1":
-            warnings.warn(message)
+            warnings.warn(message, stacklevel=2)
         else:
             pytest.fail(message)
 

@@ -9,14 +9,18 @@ to this file — the floor each tracked metric is expected to hold), finds the
 matching ``BENCH_<name>.json`` files, and reports every tracked metric that
 fell more than ``--tolerance`` below its baseline.
 
-Exit status: ``1`` when a regression is found (``0`` under ``--warn-only``,
-the mode the CI ``benchmarks`` job runs, so shared-runner noise never turns
-an unrelated PR red); missing benchmark files or metrics are reported as
-warnings only, because benchmark sets grow over time.
+Exit status: ``1`` when a regression is found.  The CI ``benchmarks`` job
+runs this as a hard gate: a 3-run noise characterization (PR 6) measured
+worst-case run-to-run spread of ~20%, and every baseline floor holds with
+>=21% headroom below the observed minimum at the default 20% tolerance —
+so a failure is a real regression, not shared-runner noise.  ``--warn-only``
+remains available for local experimentation (exit ``0`` on regressions);
+missing benchmark files or metrics are reported as warnings only, because
+benchmark sets grow over time.
 
 Standard library only — runnable anywhere, no ``PYTHONPATH`` needed::
 
-    python benchmarks/compare_bench.py --bench-dir . --warn-only
+    python benchmarks/compare_bench.py --bench-dir .
 """
 
 from __future__ import annotations

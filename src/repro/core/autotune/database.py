@@ -65,9 +65,11 @@ def default_database_path() -> str:
     ``$REPRO_TUNING_DB`` when set, otherwise ``~/.cache/repro-tuning.json``
     (honouring ``$XDG_CACHE_HOME``).
     """
+    # reprolint: disable=REPRO602 - documented config-time path resolution
     override = os.environ.get(DATABASE_ENV_VAR)
     if override:
         return os.path.expanduser(override)
+    # reprolint: disable=REPRO602 - XDG convention, resolved once at open time
     cache_home = os.environ.get("XDG_CACHE_HOME") or os.path.expanduser("~/.cache")
     return os.path.join(cache_home, "repro-tuning.json")
 
@@ -320,6 +322,7 @@ class TuningDatabase:
         the next save rewrites it atomically.
         """
         path = default_database_path()
+        # reprolint: disable=REPRO602 - same config-time read as default_database_path
         explicit = bool(os.environ.get(DATABASE_ENV_VAR))
         if os.path.exists(path):
             try:
@@ -631,7 +634,11 @@ class TuningDatabase:
         return db
 
     def describe(self) -> str:
-        return (
-            f"TuningDatabase[{len(self)} records, "
-            f"{self.hits} hits / {self.misses} misses]"
-        )
+        with self._lock:
+            # Snapshot under the lock: size and both counters must come from
+            # the same moment, and the counter reads themselves race lookup()
+            # writers otherwise (flagged by reprolint REPRO201).
+            return (
+                f"TuningDatabase[{len(self)} records, "
+                f"{self.hits} hits / {self.misses} misses]"
+            )

@@ -211,7 +211,7 @@ class SearchSpace:
         total = 0
         per_layout_order_unroll = len(self._layouts) * len(self._orders) * len(self._unrolls)
         for smem in self._smem_opts:
-            for e in self._e_opts:
+            for _e in self._e_opts:
                 for x in self._tile_x_opts:
                     tx_opts = _thread_options(x)
                     for y in self._tile_y_opts:

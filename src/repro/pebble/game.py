@@ -192,7 +192,7 @@ def play_schedule(
 
     for pos, vid in enumerate(schedule):
         preds = dag.predecessors(vid)
-        protected = set(p for p in preds if p in red)
+        protected = {p for p in preds if p in red}
         # Load missing predecessors.
         for p in preds:
             if p in red:

@@ -358,4 +358,8 @@ class TuningService:
             self._active.remove(run)
 
     def describe(self) -> str:
-        return f"TuningService[{self.num_active} active, {self.stats.describe()}]"
+        with self._lock:
+            # The stats snapshot must not race a concurrent scheduling
+            # round's counter updates (reprolint REPRO201); the re-entrant
+            # lock keeps the nested num_active acquisition cheap.
+            return f"TuningService[{self.num_active} active, {self.stats.describe()}]"

@@ -2,13 +2,21 @@
 
 from __future__ import annotations
 
+import os
 import random
+import sys
 
 import numpy as np
 import pytest
 
 from repro.conv import ConvParams
 from repro.gpusim import GTX_1080TI, V100
+
+# Make the repository root importable so tests can exercise repo tooling
+# (tools.reprolint); PYTHONPATH=src only covers the library itself.
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if _REPO_ROOT not in sys.path:
+    sys.path.insert(0, _REPO_ROOT)
 
 
 @pytest.fixture

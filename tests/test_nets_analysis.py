@@ -151,7 +151,7 @@ class TestAnalysis:
         text = render_rows(["col"], [{"col": 1}, {"col": 20000}])
         lines = text.splitlines()
         assert len(lines) == 4
-        assert len(set(len(line) for line in lines)) == 1  # all lines equal width
+        assert len({len(line) for line in lines}) == 1  # all lines equal width
 
     def test_format_value(self):
         assert format_value(True) == "yes"

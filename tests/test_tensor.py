@@ -91,7 +91,7 @@ class TestConvParams:
     def test_frozen(self):
         p = ConvParams.square(8, 3, 4)
         with pytest.raises(dataclasses.FrozenInstanceError):
-            p.in_height = 10
+            p.in_height = 10  # reprolint: disable=REPRO302 - asserts frozenness
 
     def test_describe_mentions_shape(self):
         text = ConvParams.square(8, 3, 4).describe()
@@ -99,7 +99,7 @@ class TestConvParams:
 
     @pytest.mark.parametrize("field", ["in_height", "in_channels", "out_channels", "stride", "batch"])
     def test_rejects_nonpositive(self, field):
-        kwargs = dict(in_height=8, in_width=8, in_channels=3, out_channels=4)
+        kwargs = {"in_height": 8, "in_width": 8, "in_channels": 3, "out_channels": 4}
         kwargs[field] = 0
         with pytest.raises(ValueError):
             ConvParams(**kwargs)

@@ -232,11 +232,11 @@ class TestFrozenSearchSpace:
         tables silently.  The dataclass is now frozen."""
         space = SearchSpace(SMALL, V100, "direct", pruned=True)
         with pytest.raises(dataclasses.FrozenInstanceError):
-            space.pruned = False
+            space.pruned = False  # reprolint: disable=REPRO302 - asserts frozenness
         with pytest.raises(dataclasses.FrozenInstanceError):
-            space.params = WINO
+            space.params = WINO  # reprolint: disable=REPRO302 - asserts frozenness
         with pytest.raises(dataclasses.FrozenInstanceError):
-            space.algorithm = "winograd"
+            space.algorithm = "winograd"  # reprolint: disable=REPRO302 - asserts frozenness
 
     def test_size_memo_still_works(self):
         space = SearchSpace(SMALL, V100, "direct", pruned=True)

@@ -1,0 +1,45 @@
+"""reprolint: AST-based invariant checker for this repository's contracts.
+
+The repository's correctness rests on a handful of project-specific
+contracts that generic linters cannot see: sessions own all RNG (the
+bit-identity guarantee against ``tune_direct()``), every
+``TuningDatabase``/``TuningService`` state access happens under
+``self._lock``, ``SearchSpace``/``TuningRequest``-style dataclasses stay
+frozen, session implementations never consult the database mid-run, new
+measurement/search consumers stay on the batched paths, and nothing in the
+search/measure core reads wall clocks or the environment.  ``reprolint``
+turns each contract into a checkable rule over the stdlib ``ast``.
+
+Usage (from the repository root)::
+
+    python -m tools.reprolint                 # lint src/ tests/ benchmarks/ tools/
+    python -m tools.reprolint --list-rules    # rule catalogue
+    python -m tools.reprolint --format json   # machine-readable findings
+
+Findings carry stable rule IDs (``REPROxxx``).  A finding is silenced
+either by an inline suppression on (or immediately above) the offending
+line::
+
+    value = os.environ.get(VAR)  # reprolint: disable=REPRO602 - config-time read
+
+or by the checked-in baseline file (``tools/reprolint/baseline.json``) that
+grandfathers pre-existing findings; ``--write-baseline`` regenerates it.
+The process exits non-zero exactly when new (non-baselined) findings exist,
+which is what makes ``make reprolint`` a CI gate.
+"""
+
+from .findings import Finding
+from .registry import Rule, all_codes, all_rules, register
+from .runner import LintResult, run_paths
+
+__version__ = "1.0"
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "Rule",
+    "all_codes",
+    "all_rules",
+    "register",
+    "run_paths",
+]

@@ -1,0 +1,124 @@
+"""Small shared AST helpers used by several rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set
+
+
+def attr_chain(node: ast.AST) -> Optional[str]:
+    """Dotted name of an attribute chain rooted at a Name, else ``None``.
+
+    ``np.random.default_rng`` -> ``"np.random.default_rng"``;
+    anything rooted at a call/subscript (``a().b``) returns ``None``.
+    """
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def module_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Map local alias -> imported module for ``import``/``import .. as ..``.
+
+    ``import numpy as np`` -> ``{"np": "numpy"}``;
+    ``import numpy.random`` -> ``{"numpy": "numpy"}`` (the binding is the
+    root package).
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    aliases[alias.asname] = alias.name
+                else:
+                    aliases[alias.name.split(".")[0]] = alias.name.split(".")[0]
+    return aliases
+
+
+def from_imports(tree: ast.Module) -> Dict[str, str]:
+    """Map local name -> ``module.name`` for every ``from m import n [as a]``."""
+    names: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module:
+            for alias in node.names:
+                names[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return names
+
+
+def is_frozen_dataclass(node: ast.ClassDef) -> bool:
+    """True for ``@dataclass(frozen=True)`` / ``@dataclasses.dataclass(frozen=True)``."""
+    for deco in node.decorator_list:
+        if not isinstance(deco, ast.Call):
+            continue
+        chain = attr_chain(deco.func)
+        if chain is None or chain.split(".")[-1] != "dataclass":
+            continue
+        for kw in deco.keywords:
+            if (
+                kw.arg == "frozen"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is True
+            ):
+                return True
+    return False
+
+
+def is_self_attr(node: ast.AST, attr: Optional[str] = None) -> bool:
+    """True for ``self.<attr>`` (any attribute when ``attr`` is None)."""
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and (attr is None or node.attr == attr)
+    )
+
+
+def class_methods(node: ast.ClassDef) -> Iterator[ast.FunctionDef]:
+    """The class's directly defined (a)sync methods, in source order."""
+    for stmt in node.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield stmt
+
+
+def defined_names(node: ast.ClassDef) -> Set[str]:
+    """Names bound by ``def``/``class`` statements directly in the class body."""
+    return {
+        stmt.name
+        for stmt in node.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+    }
+
+
+def has_decorator(func: ast.FunctionDef, name: str) -> bool:
+    for deco in func.decorator_list:
+        chain = attr_chain(deco.func if isinstance(deco, ast.Call) else deco)
+        if chain is not None and chain.split(".")[-1] == name:
+            return True
+    return False
+
+
+def call_is_seeded(call: ast.Call) -> bool:
+    """Whether an RNG constructor call pins its stream explicitly.
+
+    Any positional argument other than a literal ``None`` counts (a seed, a
+    ``SeedSequence``, a spawned child, a bit generator), as does a
+    ``seed=``/``x=`` keyword; bare calls and explicit ``None`` mean "seed
+    from OS entropy" — the nondeterminism the rule bans.
+    """
+    for arg in call.args:
+        if isinstance(arg, ast.Starred):
+            return True  # *args: cannot prove it's empty — do not flag
+        if not (isinstance(arg, ast.Constant) and arg.value is None):
+            return True
+    for kw in call.keywords:
+        if kw.arg is None:  # **kwargs: cannot prove absence of a seed
+            return True
+        if kw.arg in ("seed", "x", "entropy"):
+            if not (isinstance(kw.value, ast.Constant) and kw.value.value is None):
+                return True
+    return False

@@ -1,0 +1,88 @@
+"""Checked-in baseline of grandfathered findings.
+
+The baseline lets the linter land as a hard gate even when pre-existing
+violations remain: findings whose :meth:`~tools.reprolint.findings.Finding.fingerprint`
+appears in the baseline are reported as *baselined* and do not fail the run;
+anything new does.  Fingerprints hash ``(code, path, source line)`` — not
+line numbers — so unrelated edits that shift a file do not invalidate the
+baseline.  Because textually identical violations share a fingerprint, the
+file stores a **count** per fingerprint and matching findings are
+grandfathered up to that count (the oldest-by-location first).
+
+The repository policy is to keep this file empty: fix real violations,
+suppress intentional ones inline with a reason.  The baseline exists for
+emergencies (landing the tool over a large legacy surface) and is
+regenerated with ``python -m tools.reprolint --write-baseline``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Sequence, Tuple
+
+from .findings import Finding
+
+_FORMAT_VERSION = 1
+
+DEFAULT_BASELINE_PATH = os.path.join(os.path.dirname(__file__), "baseline.json")
+
+
+def load_baseline(path: str) -> Dict[str, int]:
+    """Load ``path`` -> {fingerprint: count}; a missing file is empty."""
+    if not os.path.exists(path):
+        return {}
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if (
+        not isinstance(payload, dict)
+        or payload.get("version") != _FORMAT_VERSION
+        or not isinstance(payload.get("findings"), dict)
+    ):
+        raise ValueError(
+            f"{path}: expected {{'version': {_FORMAT_VERSION}, "
+            "'findings': {fingerprint: count}}"
+        )
+    findings = payload["findings"]
+    out: Dict[str, int] = {}
+    for fingerprint, count in findings.items():
+        if not isinstance(count, int) or count < 1:
+            raise ValueError(f"{path}: bad count {count!r} for {fingerprint!r}")
+        out[str(fingerprint)] = count
+    return out
+
+
+def write_baseline(path: str, findings: Sequence[Finding]) -> None:
+    """Persist ``findings`` as the new baseline (sorted, deterministic)."""
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        fp = finding.fingerprint()
+        counts[fp] = counts.get(fp, 0) + 1
+    payload = {
+        "version": _FORMAT_VERSION,
+        "findings": {fp: counts[fp] for fp in sorted(counts)},
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+
+def split_baselined(
+    findings: Sequence[Finding], baseline: Dict[str, int]
+) -> Tuple[List[Finding], List[Finding]]:
+    """Partition ``findings`` into ``(new, baselined)``.
+
+    Findings are consumed against the baseline counts in location order, so
+    with N baselined copies of a line and N+1 present, exactly one is new.
+    """
+    budget = dict(baseline)
+    new: List[Finding] = []
+    baselined: List[Finding] = []
+    for finding in sorted(findings, key=Finding.sort_key):
+        fp = finding.fingerprint()
+        if budget.get(fp, 0) > 0:
+            budget[fp] -= 1
+            baselined.append(finding)
+        else:
+            new.append(finding)
+    return new, baselined

@@ -1,0 +1,100 @@
+"""Command-line entry point (``python -m tools.reprolint``).
+
+Exit status: 0 when no new findings (baselined/suppressed ones do not
+count), 1 when new findings exist, 2 on usage errors — so ``make
+reprolint`` and the CI lint job gate hard on new violations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Optional, Sequence
+
+from .baseline import DEFAULT_BASELINE_PATH, write_baseline
+from .report import render_json, render_rules, render_text
+from .runner import REPO_ROOT, run_paths
+
+DEFAULT_PATHS = ("src", "tests", "benchmarks", "tools")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="AST-based checker for this repository's determinism, "
+        "locking and batching contracts.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=f"files/directories to lint (default: {' '.join(DEFAULT_PATHS)} "
+        "under the repository root)",
+    )
+    parser.add_argument(
+        "--root",
+        default=REPO_ROOT,
+        help="repository root anchoring relative paths and rule scopes",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE_PATH,
+        help="baseline file of grandfathered findings",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline (report grandfathered findings as new)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument(
+        "--verbose", action="store_true", help="also list baselined findings"
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        render_rules(sys.stdout)
+        return 0
+
+    root = os.path.abspath(args.root)
+    paths = [
+        p if os.path.isabs(p) else os.path.join(root, p)
+        for p in (args.paths or DEFAULT_PATHS)
+    ]
+    missing = [p for p in paths if not os.path.exists(p)]
+    if missing:
+        print(f"reprolint: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        result = run_paths(paths, root=root, use_baseline=False)
+        write_baseline(args.baseline, result.findings)
+        print(
+            f"reprolint: baseline written to {args.baseline} "
+            f"({len(result.findings)} finding(s) grandfathered)"
+        )
+        return 0
+
+    result = run_paths(
+        paths,
+        root=root,
+        baseline_path=args.baseline,
+        use_baseline=not args.no_baseline,
+    )
+    if args.format == "json":
+        render_json(result, sys.stdout)
+    else:
+        render_text(result, sys.stdout, verbose=args.verbose)
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

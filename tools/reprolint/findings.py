@@ -1,0 +1,50 @@
+"""The :class:`Finding` record every rule emits.
+
+A finding pins a rule code to a source location.  Its :meth:`fingerprint`
+deliberately hashes the *source line text* instead of the line number, so a
+baselined finding survives unrelated edits that merely shift the file — the
+same stability trick ``ruff``'s and ``pylint``'s baselines use.  Two
+identical violations on textually identical lines of the same file share a
+fingerprint; the baseline therefore stores fingerprint *counts*, not sets
+(see :mod:`tools.reprolint.baseline`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Dict
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    code: str  # stable rule ID, e.g. "REPRO201"
+    path: str  # repository-relative POSIX path
+    line: int  # 1-based
+    col: int  # 0-based, as reported by ast
+    message: str
+    snippet: str = ""  # the stripped source line (fingerprint input)
+
+    def fingerprint(self) -> str:
+        """Location-independent identity used by the baseline file."""
+        payload = f"{self.code}::{self.path}::{self.snippet}"
+        return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:16]
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.code} {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "code": self.code,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint(),
+        }
+
+    def sort_key(self):
+        return (self.path, self.line, self.col, self.code)

@@ -1,0 +1,68 @@
+"""Rule base class and the global rule registry.
+
+A rule is a class with a ``codes`` table (rule ID -> one-line contract
+description — one rule may own several closely related codes, e.g. the RNG
+rule separates *unseeded* from *global-state* findings), an
+:meth:`Rule.applies_to` path filter, and a :meth:`Rule.check` that walks one
+parsed file and returns findings.  Decorating the class with
+:func:`register` adds one instance to the registry the runner iterates;
+rule modules under :mod:`tools.reprolint.rules` register themselves on
+import.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Type
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .findings import Finding
+    from .runner import FileContext, ProjectIndex
+
+#: code reserved for unparseable files (emitted by the runner, not a rule).
+PARSE_ERROR_CODE = "REPRO000"
+
+
+class Rule:
+    """Base class for reprolint rules."""
+
+    #: human-readable rule family name, e.g. "rng-discipline".
+    name: str = ""
+    #: rule ID -> one-line description of the contract it enforces.
+    codes: Dict[str, str] = {}
+
+    def applies_to(self, relpath: str) -> bool:
+        """Whether this rule runs on the file at repo-relative ``relpath``."""
+        return True
+
+    def check(self, ctx: "FileContext", project: "ProjectIndex") -> List["Finding"]:
+        raise NotImplementedError
+
+
+_RULES: List[Rule] = []
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: instantiate and add a rule to the registry."""
+    if not cls.name or not cls.codes:
+        raise ValueError(f"rule {cls.__name__} must define 'name' and 'codes'")
+    known = all_codes()
+    for code in cls.codes:
+        if code in known:
+            raise ValueError(f"duplicate rule code {code} ({cls.__name__})")
+    _RULES.append(cls())
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Registered rules, in registration order (imports the rule modules)."""
+    from . import rules  # noqa: F401  (import side effect: registration)
+
+    return list(_RULES)
+
+
+def all_codes() -> Dict[str, str]:
+    """Every known rule ID -> description (without importing rule modules)."""
+    merged: Dict[str, str] = {}
+    for rule in _RULES:
+        merged.update(rule.codes)
+    return merged

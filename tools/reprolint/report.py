@@ -1,0 +1,44 @@
+"""Text and JSON rendering of a :class:`~tools.reprolint.runner.LintResult`."""
+
+from __future__ import annotations
+
+import json
+from typing import IO
+
+from .registry import all_codes, all_rules
+from .runner import LintResult
+
+
+def render_text(result: LintResult, stream: IO[str], verbose: bool = False) -> None:
+    for finding in result.findings:
+        stream.write(finding.render() + "\n")
+    if verbose:
+        for finding in result.baselined:
+            stream.write(f"baselined {finding.render()}\n")
+    summary = (
+        f"reprolint: {len(result.findings)} new finding(s), "
+        f"{len(result.baselined)} baselined, {result.suppressed} suppressed "
+        f"across {result.files} file(s)"
+    )
+    stream.write(summary + "\n")
+
+
+def render_json(result: LintResult, stream: IO[str]) -> None:
+    payload = {
+        "findings": [f.to_dict() for f in result.findings],
+        "baselined": [f.to_dict() for f in result.baselined],
+        "suppressed": result.suppressed,
+        "files": result.files,
+        "ok": result.ok,
+    }
+    json.dump(payload, stream, indent=1, sort_keys=True)
+    stream.write("\n")
+
+
+def render_rules(stream: IO[str]) -> None:
+    """The rule catalogue (``--list-rules``)."""
+    for rule in all_rules():
+        stream.write(f"{rule.name}\n")
+        for code in sorted(rule.codes):
+            stream.write(f"  {code}  {rule.codes[code]}\n")
+    stream.write(f"{len(all_rules())} rules, {len(all_codes())} codes\n")

@@ -1,0 +1,101 @@
+"""REPRO501 — batched-path enforcement.
+
+PRs 1 and 4 vectorised the measurement and search hot paths; the scalar
+twins survive only as bit-identity/quality references.  New ``src/`` code
+must stay on the batched paths — a scalar call compiles, passes tests, and
+quietly costs ~8x per batch:
+
+* ``Measurer.measure``/``try_measure`` (scalar)    -> ``measure_batch`` /
+  ``prepare_batch``+``finish_batch``
+* ``feature_vector`` (per-row)                     -> ``feature_matrix``
+* ``ScalarRandomWalkExplorer`` (per-config walks)  -> ``ParallelRandomWalkExplorer``
+
+The allowlist below names the modules that *are* the scalar path: the
+defining modules (which also implement the batched twins in terms of shared
+helpers) and the package facade re-exporting the reference implementations
+for the parity tests.  Anything else needs an inline suppression with a
+reason, which is exactly the review conversation the rule exists to force.
+
+Scoped to ``src/``: tests and benchmarks drive the scalar references on
+purpose (that is what bit-identity means).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from .. import astutil
+from ..findings import Finding
+from ..registry import Rule, register
+from ..runner import FileContext, ProjectIndex
+
+#: modules allowed to reference the scalar path (path suffix match).
+ALLOWLIST = (
+    "src/repro/core/autotune/config.py",  # defines Measurer (both paths)
+    "src/repro/core/autotune/features.py",  # defines feature_vector + matrix
+    "src/repro/core/autotune/explorer.py",  # defines both explorers
+    "src/repro/core/autotune/__init__.py",  # public facade re-exports
+)
+
+_SCALAR_METHODS = {"measure", "try_measure"}
+_SCALAR_NAMES = {"feature_vector", "ScalarRandomWalkExplorer"}
+_BATCHED_HINT = {
+    "measure": "measure_batch (or prepare_batch/finish_batch)",
+    "try_measure": "measure_batch (None marks infeasible entries)",
+    "feature_vector": "feature_matrix over a ConfigArray",
+    "ScalarRandomWalkExplorer": "ParallelRandomWalkExplorer",
+}
+
+
+@register
+class BatchedPathRule(Rule):
+    name = "batched-path"
+    codes = {
+        "REPRO501": (
+            "scalar measurement/search API used outside the allowlisted "
+            "reference modules; stay on the batched path "
+            "(measure_batch/feature_matrix/ParallelRandomWalkExplorer)"
+        ),
+    }
+
+    def applies_to(self, relpath: str) -> bool:
+        return relpath.startswith("src/") and not relpath.endswith(ALLOWLIST)
+
+    def check(self, ctx: FileContext, project: ProjectIndex) -> List[Finding]:
+        tree = ctx.tree
+        assert tree is not None
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if node.func.attr in _SCALAR_METHODS:
+                    findings.append(
+                        ctx.finding(
+                            "REPRO501",
+                            node,
+                            f"scalar '.{node.func.attr}()' call; use "
+                            f"{_BATCHED_HINT[node.func.attr]}",
+                        )
+                    )
+            elif isinstance(node, ast.Name) and node.id in _SCALAR_NAMES:
+                if isinstance(node.ctx, ast.Load):
+                    findings.append(
+                        ctx.finding(
+                            "REPRO501",
+                            node,
+                            f"reference to scalar '{node.id}'; use "
+                            f"{_BATCHED_HINT[node.id]}",
+                        )
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    if alias.name in _SCALAR_NAMES:
+                        findings.append(
+                            ctx.finding(
+                                "REPRO501",
+                                node,
+                                f"import of scalar '{alias.name}'; use "
+                                f"{_BATCHED_HINT[alias.name]}",
+                            )
+                        )
+        return findings

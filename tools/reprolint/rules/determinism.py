@@ -1,0 +1,138 @@
+"""REPRO601/REPRO602 — nondeterminism ban in the search/measure core.
+
+The tuning core (``src/repro/core/`` and the simulator ``src/repro/gpusim/``)
+is a pure function of its inputs: that is what makes trajectories
+property-testable, service runs bit-identical to ``tune_direct()``, and the
+Figure 11 benchmarks reproducible.  Two nondeterminism leaks are banned:
+
+* **REPRO601 (wall clock)** — ``time.time``/``perf_counter``/``monotonic``/
+  ``datetime.now`` … inside the core.  Timing belongs to benchmarks and
+  drivers; a clock read inside search/measure either influences results
+  (nondeterminism) or is dead code.
+* **REPRO602 (environment read)** — ``os.environ``/``os.getenv`` inside the
+  core makes behaviour depend on ambient shell state that no test pins.
+  Config-time reads with a documented contract (the
+  ``$REPRO_TUNING_DB`` database-path resolution) carry inline suppressions
+  with a reason — the rule keeps the *default* no.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Tuple
+
+from .. import astutil
+from ..findings import Finding
+from ..registry import Rule, register
+from ..runner import FileContext, ProjectIndex
+
+_SCOPES = ("src/repro/core/", "src/repro/gpusim/")
+
+_CLOCK_CALLS = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
+    ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
+    ("time", "process_time"),
+    ("time", "process_time_ns"),
+}
+_DATETIME_ATTRS = {"now", "utcnow", "today"}
+
+
+@register
+class CoreDeterminismRule(Rule):
+    name = "core-determinism"
+    codes = {
+        "REPRO601": (
+            "wall-clock read inside the search/measure core (results become "
+            "timing-dependent); timing belongs to benchmarks/drivers"
+        ),
+        "REPRO602": (
+            "environment read inside the search/measure core (behaviour "
+            "depends on ambient shell state); thread configuration through "
+            "parameters"
+        ),
+    }
+
+    def applies_to(self, relpath: str) -> bool:
+        return relpath.startswith(_SCOPES)
+
+    def check(self, ctx: FileContext, project: ProjectIndex) -> List[Finding]:
+        tree = ctx.tree
+        assert tree is not None
+        aliases = astutil.module_aliases(tree)
+        imported = astutil.from_imports(tree)
+        findings: List[Finding] = []
+
+        for node in ast.walk(tree):
+            clock = self._clock_call(node, aliases, imported)
+            if clock is not None:
+                findings.append(
+                    ctx.finding(
+                        "REPRO601", node, f"wall-clock read '{clock}' in core code"
+                    )
+                )
+                continue
+            env = self._env_read(node, aliases, imported)
+            if env is not None:
+                findings.append(
+                    ctx.finding(
+                        "REPRO602", node, f"environment read '{env}' in core code"
+                    )
+                )
+        return findings
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _resolve_call(
+        node: ast.AST, aliases, imported
+    ) -> Optional[Tuple[str, str]]:
+        """``(module, attr)`` for a call through an alias or from-import."""
+        if not isinstance(node, ast.Call):
+            return None
+        chain = astutil.attr_chain(node.func)
+        if chain is None:
+            return None
+        head, _, rest = chain.partition(".")
+        if rest and "." not in rest and head in aliases:
+            return aliases[head], rest
+        if not rest and head in imported:
+            module, _, attr = imported[head].rpartition(".")
+            return module, attr
+        return None
+
+    def _clock_call(self, node: ast.AST, aliases, imported) -> Optional[str]:
+        resolved = self._resolve_call(node, aliases, imported)
+        if resolved in _CLOCK_CALLS:
+            return ".".join(resolved)
+        # datetime.datetime.now() / date.today() style constructors.
+        if isinstance(node, ast.Call):
+            chain = astutil.attr_chain(node.func)
+            if chain is not None:
+                parts = chain.split(".")
+                if parts[-1] in _DATETIME_ATTRS and (
+                    "datetime" in parts[:-1] or "date" in parts[:-1]
+                ):
+                    return chain
+        return None
+
+    def _env_read(self, node: ast.AST, aliases, imported) -> Optional[str]:
+        resolved = self._resolve_call(node, aliases, imported)
+        if resolved is not None and resolved[0] == "os" and resolved[1] == "getenv":
+            return "os.getenv"
+        # os.environ in any expression position (subscript, .get, iteration).
+        if isinstance(node, ast.Attribute) and node.attr == "environ":
+            chain = astutil.attr_chain(node)
+            if chain is not None:
+                head = chain.split(".")[0]
+                if aliases.get(head) == "os":
+                    return "os.environ"
+        if isinstance(node, ast.Name) and node.id in imported:
+            if imported[node.id] == "os.environ" and isinstance(node.ctx, ast.Load):
+                return "os.environ"
+        return None
+    # note: ``environ.get(...)`` produces one finding for the Attribute node
+    # ``os.environ`` itself; the enclosing call is not double-reported
+    # because ``environ`` != ``getenv`` at the call resolution above.

@@ -1,0 +1,155 @@
+"""REPRO301/REPRO302 — frozen-dataclass mutation.
+
+``SearchSpace``, ``TuningRequest``, ``ConvParams``, ``Configuration`` … are
+frozen because derived state (option tables, memoised sizes, coalescing
+keys) is computed from the fields once; mutating a field afterwards would
+serve stale derived state.  At runtime the mutation raises
+``FrozenInstanceError`` — but only when the line actually executes, which
+for error paths can be long after review.  The rule finds the two statically
+visible shapes:
+
+* **REPRO301** — ``self.<field> = ...`` inside a method of a frozen
+  dataclass, outside the sanctioned escape hatches (``__post_init__``,
+  ``__new__``; writes through ``object.__setattr__`` are the explicit,
+  greppable idiom and are allowed anywhere).
+* **REPRO302** — ``x.<field> = ...`` where ``x`` was assigned, in the same
+  function, from ``FrozenClass(...)`` or a ``FrozenClass.constructor(...)``
+  classmethod.  The set of frozen class names is collected project-wide
+  (pass 1 of the runner), so mutating a ``SearchSpace`` in a test file is
+  caught even though the class is defined in ``src/``.
+
+Tests that *assert* ``FrozenInstanceError`` mutate frozen instances on
+purpose — they carry inline ``# reprolint: disable=REPRO302`` suppressions
+with a reason.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List
+
+from .. import astutil
+from ..findings import Finding
+from ..registry import Rule, register
+from ..runner import FileContext, ProjectIndex
+
+_ESCAPE_METHODS = {"__post_init__", "__new__", "__init__"}
+
+
+@register
+class FrozenMutationRule(Rule):
+    name = "frozen-mutation"
+    codes = {
+        "REPRO301": (
+            "field assignment on self inside a frozen dataclass (raises "
+            "FrozenInstanceError at runtime); derive state in __post_init__ "
+            "via object.__setattr__"
+        ),
+        "REPRO302": (
+            "attribute assignment on a frozen-dataclass instance; build a "
+            "new instance (dataclasses.replace) instead of mutating"
+        ),
+    }
+
+    def check(self, ctx: FileContext, project: ProjectIndex) -> List[Finding]:
+        tree = ctx.tree
+        assert tree is not None
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef) and astutil.is_frozen_dataclass(node):
+                findings.extend(self._check_frozen_class(ctx, node))
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module)):
+                findings.extend(self._check_scope(ctx, node, project))
+        return findings
+
+    # -- REPRO301: self-mutation inside the frozen class ----------------- #
+    def _check_frozen_class(self, ctx: FileContext, cls: ast.ClassDef) -> List[Finding]:
+        findings: List[Finding] = []
+        for method in astutil.class_methods(cls):
+            if method.name in _ESCAPE_METHODS:
+                continue
+            for node in ast.walk(method):
+                targets = []
+                if isinstance(node, ast.Assign):
+                    targets = node.targets
+                elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                    targets = [node.target]
+                for target in targets:
+                    if astutil.is_self_attr(target):
+                        findings.append(
+                            ctx.finding(
+                                "REPRO301",
+                                target,
+                                f"'{cls.name}' is a frozen dataclass; "
+                                f"'self.{target.attr} = ...' in method "
+                                f"'{method.name}' will raise "
+                                "FrozenInstanceError",
+                            )
+                        )
+        return findings
+
+    # -- REPRO302: mutating a locally constructed frozen instance -------- #
+    def _check_scope(
+        self, ctx: FileContext, scope: ast.AST, project: ProjectIndex
+    ) -> List[Finding]:
+        """Linear walk of one function (or module) body in source order,
+        tracking which local names currently hold a frozen instance."""
+        frozen_locals: Dict[str, str] = {}  # var name -> frozen class name
+        findings: List[Finding] = []
+
+        def constructed_class(value: ast.AST) -> str:
+            """Frozen class name when ``value`` builds a frozen instance."""
+            if not isinstance(value, ast.Call):
+                return ""
+            chain = astutil.attr_chain(value.func)
+            if chain is None:
+                return ""
+            head = chain.split(".")[0]
+            # Direct constructor `Frozen(...)` or classmethod
+            # `Frozen.square(...)`; either way the *root* name is the class.
+            return head if head in project.frozen_classes else ""
+
+        def visit(node: ast.AST) -> None:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                return  # nested scopes are visited as their own scope
+            if isinstance(node, ast.Assign):
+                cls_name = constructed_class(node.value)
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        if cls_name:
+                            frozen_locals[target.id] = cls_name
+                        else:
+                            frozen_locals.pop(target.id, None)
+                    elif (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id in frozen_locals
+                    ):
+                        findings.append(self._mutation(ctx, target, frozen_locals))
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                target = node.target
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in frozen_locals
+                ):
+                    findings.append(self._mutation(ctx, target, frozen_locals))
+            for child in ast.iter_child_nodes(node):
+                visit(child)
+
+        body = scope.body if hasattr(scope, "body") else []
+        for stmt in body:
+            visit(stmt)
+        return findings
+
+    def _mutation(
+        self, ctx: FileContext, target: ast.Attribute, frozen_locals: Dict[str, str]
+    ) -> Finding:
+        var = target.value.id
+        return ctx.finding(
+            "REPRO302",
+            target,
+            f"'{var}' holds a frozen '{frozen_locals[var]}' instance; "
+            f"assigning '{var}.{target.attr}' raises FrozenInstanceError — "
+            "use dataclasses.replace to derive a new instance",
+        )

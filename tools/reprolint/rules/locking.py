@@ -1,0 +1,147 @@
+"""REPRO201 — lock discipline: a lightweight race detector.
+
+Classes that create ``self._lock`` in ``__init__`` (``TuningDatabase``,
+``TuningService``) promise that their shared mutable state is only touched
+under that lock.  The rule infers the guarded attribute set per class — the
+``self.<attr>`` names accessed anywhere inside a ``with self._lock:`` block
+(the record map, the revision counter, the change log, the active-run list,
+the stats counters), minus the class's own methods/properties, which take
+the lock themselves — and then flags any access to a guarded attribute that
+happens *outside* a ``with self._lock:`` block.
+
+Escape hatches, both deliberate:
+
+* ``__init__`` is exempt (the object is not shared during construction);
+* a method whose docstring contains ``"lock held"`` is exempt — the
+  repository's existing convention for private helpers that document they
+  are only called with the lock already taken (``TuningService._finalize``
+  / ``_fail``).  The docstring is the contract; the rule makes dropping it
+  a lint failure the moment the helper touches guarded state.
+
+Scoped to ``src/``: the production classes live there, and test helpers
+often poke state without locks on purpose.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from .. import astutil
+from ..findings import Finding
+from ..registry import Rule, register
+from ..runner import FileContext, ProjectIndex
+
+_LOCK_ATTR = "_lock"
+_HELD_MARKER = "lock held"
+
+
+def _creates_lock(cls: ast.ClassDef) -> bool:
+    for method in astutil.class_methods(cls):
+        if method.name != "__init__":
+            continue
+        for node in ast.walk(method):
+            if isinstance(node, ast.Assign) and any(
+                astutil.is_self_attr(t, _LOCK_ATTR) for t in node.targets
+            ):
+                return True
+    return False
+
+
+def _is_lock_with(node: ast.With) -> bool:
+    return any(
+        astutil.is_self_attr(item.context_expr, _LOCK_ATTR) for item in node.items
+    )
+
+
+def _walk_lock_regions(node: ast.AST, locked: bool, visit) -> None:
+    """Depth-first walk calling ``visit(node, locked)``; ``with self._lock``
+    bodies flip ``locked``; nested classes are not descended into (their
+    ``self`` is a different object)."""
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, ast.ClassDef):
+            continue
+        child_locked = locked
+        if isinstance(child, ast.With) and _is_lock_with(child):
+            # The with-items themselves (the lock lookup) run unlocked, the
+            # body runs locked; visiting the items as unlocked is fine
+            # because ``_lock`` itself is never a guarded attribute.
+            child_locked = True
+        visit(child, child_locked)
+        _walk_lock_regions(child, child_locked, visit)
+
+
+def _has_held_marker(method: ast.FunctionDef) -> bool:
+    doc = ast.get_docstring(method)
+    return doc is not None and _HELD_MARKER in doc.lower()
+
+
+@register
+class LockDisciplineRule(Rule):
+    name = "lock-discipline"
+    codes = {
+        "REPRO201": (
+            "attribute guarded by self._lock accessed outside a 'with "
+            "self._lock' block (data race); take the lock or document the "
+            "method as called with the lock held"
+        ),
+    }
+
+    def applies_to(self, relpath: str) -> bool:
+        return relpath.startswith("src/")
+
+    def check(self, ctx: FileContext, project: ProjectIndex) -> List[Finding]:
+        tree = ctx.tree
+        assert tree is not None
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef) and _creates_lock(node):
+                findings.extend(self._check_class(ctx, node))
+        return findings
+
+    # ------------------------------------------------------------------ #
+    def _check_class(self, ctx: FileContext, cls: ast.ClassDef) -> List[Finding]:
+        methods = [
+            m
+            for m in astutil.class_methods(cls)
+            if m.args.args and m.args.args[0].arg == "self"
+        ]
+        own_names = astutil.defined_names(cls)
+
+        # Pass 1: the guarded set — self attributes touched under the lock.
+        guarded: Set[str] = set()
+
+        def collect(node: ast.AST, locked: bool) -> None:
+            if locked and astutil.is_self_attr(node):
+                if node.attr != _LOCK_ATTR and node.attr not in own_names:
+                    guarded.add(node.attr)
+
+        for method in methods:
+            _walk_lock_regions(method, locked=False, visit=collect)
+        if not guarded:
+            return []
+
+        # Pass 2: flag guarded-attribute accesses outside the lock.
+        findings: List[Finding] = []
+        for method in methods:
+            if method.name == "__init__" or _has_held_marker(method):
+                continue
+
+            def flag(node: ast.AST, locked: bool, method=method) -> None:
+                if (
+                    not locked
+                    and astutil.is_self_attr(node)
+                    and node.attr in guarded
+                ):
+                    findings.append(
+                        ctx.finding(
+                            "REPRO201",
+                            node,
+                            f"'self.{node.attr}' of lock-guarded class "
+                            f"'{cls.name}' is accessed outside 'with "
+                            f"self.{_LOCK_ATTR}' in method '{method.name}'",
+                        )
+                    )
+
+            _walk_lock_regions(method, locked=False, visit=flag)
+        return findings

@@ -1,0 +1,152 @@
+"""REPRO101/REPRO102 — RNG discipline.
+
+The repository's bit-identity guarantees (a service-driven session equals
+``tune_direct()`` bit-for-bit; explorer streams are data-independent) hold
+because every random stream is an explicitly seeded generator object owned
+by a session/explorer.  Two patterns break that silently:
+
+* **REPRO101 (unseeded generator)** — ``random.Random()``,
+  ``np.random.default_rng()`` / ``SeedSequence()`` / bit generators called
+  without an explicit seed draw from OS entropy; two runs diverge.
+* **REPRO102 (global-state RNG)** — module-level ``random.*`` /
+  ``np.random.*`` calls (``random.random()``, ``np.random.shuffle`` …)
+  share one hidden global stream, so any unrelated consumer (another
+  thread, an imported library, a test running earlier) shifts every later
+  draw.  ``random.SystemRandom`` is flagged here too: it is *designed* to
+  be unseedable.
+
+Applies everywhere (``src``/``tests``/``benchmarks``/``tools``): a test
+drawing from the global stream is order-dependent, which is exactly the
+flakiness class tier-1 must not admit.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from .. import astutil
+from ..findings import Finding
+from ..registry import Rule, register
+from ..runner import FileContext, ProjectIndex
+
+#: numpy.random attributes that construct an independent generator and are
+#: fine *when seeded*; everything else on numpy.random is global state.
+_NP_CONSTRUCTORS = {
+    "default_rng",
+    "SeedSequence",
+    "Generator",
+    "RandomState",
+    "PCG64",
+    "PCG64DXSM",
+    "MT19937",
+    "Philox",
+    "SFC64",
+}
+
+#: modules whose bare attribute calls mean the hidden global stream.
+_RANDOM_MODULES = {"random", "numpy.random"}
+
+
+@register
+class RngDisciplineRule(Rule):
+    name = "rng-discipline"
+    codes = {
+        "REPRO101": (
+            "RNG constructed without an explicit seed (breaks run-to-run "
+            "bit-identity); pass a seed/SeedSequence"
+        ),
+        "REPRO102": (
+            "global-state RNG call (hidden shared stream; order-dependent); "
+            "use an explicitly seeded random.Random/np.random.default_rng"
+        ),
+    }
+
+    def check(self, ctx: FileContext, project: ProjectIndex) -> List[Finding]:
+        tree = ctx.tree
+        assert tree is not None
+        aliases = astutil.module_aliases(tree)
+        imported = astutil.from_imports(tree)
+        findings: List[Finding] = []
+
+        def classify(call: ast.Call) -> None:
+            target = self._resolve(call.func, aliases, imported)
+            if target is None:
+                return
+            module, attr = target
+            if module == "random":
+                if attr == "Random":
+                    if not astutil.call_is_seeded(call):
+                        findings.append(
+                            ctx.finding(
+                                "REPRO101",
+                                call,
+                                "random.Random() without an explicit seed",
+                            )
+                        )
+                elif attr == "SystemRandom":
+                    findings.append(
+                        ctx.finding(
+                            "REPRO102",
+                            call,
+                            "random.SystemRandom is unseedable OS entropy",
+                        )
+                    )
+                else:
+                    findings.append(
+                        ctx.finding(
+                            "REPRO102",
+                            call,
+                            f"random.{attr}() draws from the hidden global stream",
+                        )
+                    )
+            elif module == "numpy.random":
+                if attr in _NP_CONSTRUCTORS:
+                    if attr != "Generator" and not astutil.call_is_seeded(call):
+                        findings.append(
+                            ctx.finding(
+                                "REPRO101",
+                                call,
+                                f"np.random.{attr}() without an explicit seed",
+                            )
+                        )
+                else:
+                    findings.append(
+                        ctx.finding(
+                            "REPRO102",
+                            call,
+                            f"np.random.{attr}() mutates numpy's global RNG state",
+                        )
+                    )
+
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                classify(node)
+        return findings
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _resolve(func: ast.AST, aliases, imported):
+        """Map a call target onto ``(rng module, attribute)`` if it is one.
+
+        Handles ``random.x`` / ``np.random.x`` attribute chains through
+        module aliases and ``from random import x`` / ``from numpy.random
+        import x`` bindings (aliased or not).
+        """
+        chain = astutil.attr_chain(func)
+        if chain is None:
+            return None
+        head, _, rest = chain.partition(".")
+        if rest and head in aliases:
+            dotted = f"{aliases[head]}.{rest}"
+            for module in _RANDOM_MODULES:
+                prefix = module + "."
+                if dotted.startswith(prefix) and "." not in dotted[len(prefix):]:
+                    return module, dotted[len(prefix):]
+            return None
+        if not rest and head in imported:
+            dotted = imported[head]
+            module, _, attr = dotted.rpartition(".")
+            if module in _RANDOM_MODULES:
+                return module, attr
+        return None

@@ -1,0 +1,209 @@
+"""File discovery, parsing and rule orchestration.
+
+:func:`run_paths` is the whole pipeline: discover ``*.py`` files under the
+given paths, parse each into a :class:`FileContext`, build the cross-file
+:class:`ProjectIndex` (pass 1 — e.g. the set of frozen dataclass names, so
+the frozen-mutation rule can flag ``space.pruned = False`` in a *different*
+file than the one defining ``SearchSpace``), run every registered rule over
+every file it applies to (pass 2), drop inline-suppressed findings, and
+split the rest against the baseline.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import os
+from typing import Dict, List, Optional, Sequence, Set
+
+from .baseline import DEFAULT_BASELINE_PATH, load_baseline, split_baselined
+from .findings import Finding
+from .registry import PARSE_ERROR_CODE, all_codes, all_rules
+from .suppressions import is_suppressed, parse_suppressions
+from . import astutil
+
+#: repository root = two levels above this file (tools/reprolint/runner.py).
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+#: directories never descended into during discovery.
+_SKIP_DIRS = {".git", "__pycache__", ".ruff_cache", ".pytest_cache", "build", "dist"}
+
+
+class FileContext:
+    """One parsed source file plus its suppression table."""
+
+    def __init__(self, path: str, relpath: str, source: str) -> None:
+        self.path = path
+        self.relpath = relpath
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree: Optional[ast.Module] = None
+        self.parse_error: Optional[SyntaxError] = None
+        try:
+            self.tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            self.parse_error = exc
+        self.suppressions, self.malformed_directives = parse_suppressions(source)
+
+    @classmethod
+    def read(cls, path: str, root: str) -> "FileContext":
+        with open(path, "r", encoding="utf-8") as fh:
+            source = fh.read()
+        try:
+            relpath = os.path.relpath(path, root)
+        except ValueError:  # pragma: no cover - different drive (Windows)
+            relpath = path
+        if relpath.startswith(".."):
+            relpath = path  # outside the root: keep the path as given
+        return cls(path=path, relpath=relpath.replace(os.sep, "/"), source=source)
+
+    # ------------------------------------------------------------------ #
+    def finding(self, code: str, node: ast.AST, message: str) -> Finding:
+        """Build a finding anchored at ``node``."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        snippet = self.lines[line - 1].strip() if 0 < line <= len(self.lines) else ""
+        return Finding(
+            code=code,
+            path=self.relpath,
+            line=line,
+            col=col,
+            message=message,
+            snippet=snippet,
+        )
+
+    def suppressed(self, finding: Finding) -> bool:
+        return is_suppressed(self.suppressions, finding.line, finding.code)
+
+
+class ProjectIndex:
+    """Cross-file facts collected before any rule runs."""
+
+    def __init__(self, contexts: Sequence[FileContext]) -> None:
+        #: names of classes declared ``@dataclass(frozen=True)`` anywhere in
+        #: the scanned set (plus stdlib-frozen names rules may assume).
+        self.frozen_classes: Set[str] = set()
+        for ctx in contexts:
+            if ctx.tree is None:
+                continue
+            for node in ast.walk(ctx.tree):
+                if isinstance(node, ast.ClassDef) and astutil.is_frozen_dataclass(node):
+                    self.frozen_classes.add(node.name)
+
+
+@dataclasses.dataclass
+class LintResult:
+    """Outcome of one :func:`run_paths` invocation."""
+
+    findings: List[Finding]  # new findings (fail the run)
+    baselined: List[Finding]  # grandfathered by the baseline file
+    suppressed: int  # count of inline-suppressed findings
+    files: int  # files scanned
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def discover(paths: Sequence[str]) -> List[str]:
+    """All ``*.py`` files under ``paths`` (files pass through), sorted."""
+    out: Set[str] = set()
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py"):
+                out.add(os.path.abspath(path))
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(d for d in dirnames if d not in _SKIP_DIRS)
+            for name in filenames:
+                if name.endswith(".py"):
+                    out.add(os.path.abspath(os.path.join(dirpath, name)))
+    return sorted(out)
+
+
+def run_paths(
+    paths: Sequence[str],
+    root: Optional[str] = None,
+    baseline_path: Optional[str] = None,
+    use_baseline: bool = True,
+) -> LintResult:
+    """Lint ``paths`` and return the partitioned findings.
+
+    ``root`` anchors repo-relative paths (defaults to this repository's
+    root) — rule scopes like "``src/`` only" and baseline fingerprints are
+    expressed in root-relative terms, which is also what makes the fixture
+    tests hermetic: they point ``root`` at a temp directory shaped like the
+    repo.
+    """
+    root = os.path.abspath(root or REPO_ROOT)
+    files = discover(paths)
+    contexts = [FileContext.read(path, root) for path in files]
+    project = ProjectIndex(contexts)
+    rules = all_rules()
+    known = all_codes()
+
+    raw: List[Finding] = []
+    for ctx in contexts:
+        if ctx.parse_error is not None:
+            exc = ctx.parse_error
+            raw.append(
+                Finding(
+                    code=PARSE_ERROR_CODE,
+                    path=ctx.relpath,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    message=f"file does not parse: {exc.msg}",
+                    snippet=(exc.text or "").strip(),
+                )
+            )
+            continue
+        for line, comment in ctx.malformed_directives:
+            raw.append(
+                Finding(
+                    code=PARSE_ERROR_CODE,
+                    path=ctx.relpath,
+                    line=line,
+                    col=0,
+                    message=f"malformed reprolint directive: {comment!r}",
+                    snippet=comment,
+                )
+            )
+        unknown: Dict[str, int] = {}
+        for ln, codes in ctx.suppressions.items():
+            for code in codes:
+                if code != "all" and code != PARSE_ERROR_CODE and code not in known:
+                    unknown[code] = min(ln, unknown.get(code, ln))
+        for code in sorted(unknown):
+            raw.append(
+                Finding(
+                    code=PARSE_ERROR_CODE,
+                    path=ctx.relpath,
+                    line=unknown[code],
+                    col=0,
+                    message=f"suppression names unknown rule {code!r}",
+                    snippet=code,
+                )
+            )
+        for rule in rules:
+            if rule.applies_to(ctx.relpath):
+                raw.extend(rule.check(ctx, project))
+
+    by_path: Dict[str, FileContext] = {ctx.relpath: ctx for ctx in contexts}
+    kept: List[Finding] = []
+    suppressed = 0
+    for finding in raw:
+        ctx = by_path.get(finding.path)
+        if ctx is not None and ctx.suppressed(finding):
+            suppressed += 1
+        else:
+            kept.append(finding)
+    kept.sort(key=Finding.sort_key)
+
+    if use_baseline:
+        baseline = load_baseline(baseline_path or DEFAULT_BASELINE_PATH)
+        new, baselined = split_baselined(kept, baseline)
+    else:
+        new, baselined = kept, []
+    return LintResult(
+        findings=new, baselined=baselined, suppressed=suppressed, files=len(contexts)
+    )

@@ -1,0 +1,89 @@
+"""Inline ``# reprolint: disable=...`` suppression comments.
+
+Grammar (trailing free text after ``-`` is encouraged — say *why*)::
+
+    # reprolint: disable=REPRO302 - intentional: asserting FrozenInstanceError
+    # reprolint: disable=REPRO101,REPRO102
+    # reprolint: disable=all
+
+A suppression silences matching findings on its own line; a comment-only
+line additionally silences the line below it, so long statements can carry
+the suppression above them.  Unknown codes in a suppression are themselves
+reported by the runner (an unknown code silences nothing — a typo must not
+quietly disable a real rule).
+"""
+
+from __future__ import annotations
+
+import re
+import tokenize
+from io import StringIO
+from typing import Dict, List, Set, Tuple
+
+_DIRECTIVE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\s]+?)(?:\s+-\s.*)?$")
+
+#: wildcard silencing every rule on the line.
+ALL = "all"
+
+
+def parse_suppressions(source: str) -> Tuple[Dict[int, Set[str]], List[Tuple[int, str]]]:
+    """Extract suppression directives from ``source``.
+
+    Returns ``(by_line, malformed)``: ``by_line`` maps a 1-based line number
+    to the set of silenced codes on that line (comment-only directives are
+    mapped onto the following line as well), and ``malformed`` lists
+    ``(line, comment)`` pairs for comments that *look* like reprolint
+    directives but do not parse — surfaced as findings so a broken
+    suppression cannot silently stop suppressing.
+    """
+    by_line: Dict[int, Set[str]] = {}
+    malformed: List[Tuple[int, str]] = []
+    try:
+        tokens = list(tokenize.generate_tokens(StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        # The runner reports unparseable files separately (REPRO000).
+        return by_line, malformed
+
+    # Line numbers that hold any non-comment code, to spot comment-only lines.
+    code_lines: Set[int] = set()
+    for tok in tokens:
+        if tok.type not in (
+            tokenize.COMMENT,
+            tokenize.NL,
+            tokenize.NEWLINE,
+            tokenize.INDENT,
+            tokenize.DEDENT,
+            tokenize.ENCODING,
+            tokenize.ENDMARKER,
+        ):
+            code_lines.add(tok.start[0])
+
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        # A directive *attempt* has the tool name followed by a colon, or
+        # pairs the tool name with the disable keyword; a passing mention of
+        # e.g. the tool's package path in prose is not one.
+        if not re.search(r"reprolint\s*:", tok.string) and not (
+            "reprolint" in tok.string and "disable" in tok.string
+        ):
+            continue
+        line = tok.start[0]
+        match = _DIRECTIVE.search(tok.string)
+        if not match:
+            malformed.append((line, tok.string.strip()))
+            continue
+        codes = {c.strip() for c in match.group(1).split(",") if c.strip()}
+        if not codes:
+            malformed.append((line, tok.string.strip()))
+            continue
+        by_line.setdefault(line, set()).update(codes)
+        if line not in code_lines:
+            # Comment-only directive: it governs the next line too.
+            by_line.setdefault(line + 1, set()).update(codes)
+    return by_line, malformed
+
+
+def is_suppressed(by_line: Dict[int, Set[str]], line: int, code: str) -> bool:
+    codes = by_line.get(line)
+    return bool(codes) and (code in codes or ALL in codes)
