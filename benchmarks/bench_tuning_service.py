@@ -32,14 +32,14 @@ CI's perf-trajectory artifacts.
 from __future__ import annotations
 
 import os
-import time
 import warnings
 
 import pytest
 
-from conftest import emit, write_bench_json
+from conftest import emit, write_bench_json, write_obs_json
 from repro.analysis import ResultTable, render_table
 from repro.conv import ConvParams
+from repro.obs import MonotonicClock, Observability
 from repro.service import TuningRequest, TuningService, TuningWorkerPool
 
 BUDGET = 48
@@ -109,12 +109,17 @@ def _mixed_tuner_requests(spec):
     ]
 
 
+#: benchmarks are a real timing edge (REPRO701): one monotonic clock,
+#: read only here.
+_CLOCK = MonotonicClock()
+
+
 def _best_of(fn, rounds=ROUNDS):
     best_time, result = float("inf"), None
     for _ in range(rounds):
-        start = time.perf_counter()
+        start = _CLOCK.now()
         result = fn()
-        best_time = min(best_time, time.perf_counter() - start)
+        best_time = min(best_time, _CLOCK.now() - start)
     return best_time, result
 
 
@@ -360,6 +365,77 @@ def test_streaming_pool_cuts_measurements(benchmark, gpu_v100):
     assert stream_stats.records_streamed >= len(_POOL_PROBLEMS)
     assert stream_stats.poisoned_envelopes == 0
     _gate_speedup(speedup, floor=2.0)
+
+
+def run_observability_overhead(spec):
+    """Time the service leg with observability off and fully on.
+
+    The enabled leg runs with a real monotonic clock, a live registry and
+    the span tracer — the most expensive configuration the observability
+    layer has.  Results must stay bit-identical (write-only telemetry) and
+    the enabled leg must finish within 5% of the disabled one.
+    """
+    requests = _requests(spec)
+
+    def disabled():
+        return TuningService().tune(list(requests))
+
+    last = {}
+
+    def enabled():
+        obs = Observability(clock=MonotonicClock())
+        service = TuningService(obs=obs)
+        results = service.tune(list(requests))
+        last["service"], last["obs"] = service, obs  # deterministic per round
+        return results
+
+    t_disabled, disabled_results = _best_of(disabled)
+    t_enabled, enabled_results = _best_of(enabled)
+    for want, got in zip(disabled_results, enabled_results):
+        assert _trajectory(got) == _trajectory(want), (
+            "observability perturbed a tuning trajectory"
+        )
+    snapshot = last["service"].metrics_snapshot().merged(last["obs"].snapshot())
+    return t_disabled, t_enabled, snapshot
+
+
+@pytest.mark.benchmark(group="tuning-service")
+def test_observability_overhead(benchmark, gpu_v100):
+    t_disabled, t_enabled, snapshot = benchmark.pedantic(
+        run_observability_overhead, args=(gpu_v100,), rounds=1, iterations=1
+    )
+    # >= 1.0 means enabled was not slower at all; the gate allows 5%.
+    overhead_ratio = t_disabled / t_enabled
+    emit(
+        f"observability overhead: disabled {t_disabled * 1e3:.1f}ms vs "
+        f"enabled {t_enabled * 1e3:.1f}ms ({overhead_ratio:.3f}x ratio, "
+        f"floor 0.95)"
+    )
+    fill = snapshot.histograms.get("service.pack.fill_ratio")
+    assert fill is not None and fill.total > 0, (
+        "enabled run recorded no packing fill-ratio observations"
+    )
+    assert snapshot.counters.get("service.requests") == len(_MIX)
+    write_obs_json(
+        "tuning_service",
+        snapshot,
+        gpu=gpu_v100.name,
+        requests=len(_MIX),
+        budget=BUDGET,
+        disabled_seconds=t_disabled,
+        enabled_seconds=t_enabled,
+        overhead_ratio=overhead_ratio,
+    )
+    write_bench_json(
+        "obs_overhead",
+        gpu=gpu_v100.name,
+        requests=len(_MIX),
+        budget=BUDGET,
+        disabled_seconds=t_disabled,
+        enabled_seconds=t_enabled,
+        overhead_ratio=overhead_ratio,
+    )
+    _gate_speedup(overhead_ratio, floor=0.95)
 
 
 @pytest.mark.benchmark(group="tuning-service")

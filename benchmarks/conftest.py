@@ -37,6 +37,24 @@ def write_bench_json(name: str, **payload) -> str:
     return path
 
 
+def write_obs_json(name: str, snapshot, **extra) -> str:
+    """Persist an observability snapshot next to the bench telemetry.
+
+    Writes ``OBS_<name>.json`` into ``$BENCH_DIR`` with the snapshot's wire
+    form under ``"metrics"`` plus any flat extras (overhead ratios, run
+    parameters).  CI uploads ``OBS_*.json`` alongside ``BENCH_*.json``, so
+    the perf trajectory carries the metric values that explain the timings
+    (fill ratios, coalesce hits, db short-circuits), not just the timings.
+    """
+    path = os.path.join(os.environ.get("BENCH_DIR", "."), f"OBS_{name}.json")
+    payload = dict(extra)
+    payload["metrics"] = snapshot.to_wire()
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+    emit(f"observability telemetry written to {path}")
+    return path
+
+
 @pytest.fixture(scope="session")
 def gpu_1080ti():
     return GTX_1080TI

@@ -41,6 +41,7 @@ from ...gpusim.kernels import (
     winograd_kernel_name,
 )
 from ...gpusim.spec import GPUSpec
+from ...obs.metrics import BATCH_SIZE_BOUNDS, NULL_COUNTER, NULL_HISTOGRAM
 from ..dataflow.common import OutputTile
 
 __all__ = [
@@ -636,6 +637,21 @@ class Measurer:
         #: key -> ExecutionResult, or None for configurations that failed to lower.
         self._cache: Dict[Tuple, Optional[ExecutionResult]] = {}
         self.num_measurements = 0
+        # Telemetry mirrors (null no-ops until attach_metrics binds real
+        # ones); REPRO601 scope, so only counts/sizes are recorded.
+        self._m_measurements = NULL_COUNTER
+        self._m_batch_size = NULL_HISTOGRAM
+
+    def attach_metrics(self, metrics) -> None:
+        """Bind measurement telemetry to a metrics scope (see ``repro.obs``).
+
+        Records ``measurements`` (simulator executions) and ``batch_size``
+        (configs per prepared batch), and forwards an ``executor`` sub-scope
+        to :meth:`~repro.gpusim.executor.GPUExecutor.attach_metrics`.
+        """
+        self._m_measurements = metrics.counter("measurements")
+        self._m_batch_size = metrics.histogram("batch_size", BATCH_SIZE_BOUNDS)
+        self.executor.attach_metrics(metrics.scope("executor"))
 
     # -- scalar path --------------------------------------------------- #
     def _measure_uncached(self, config: Configuration) -> Optional[ExecutionResult]:
@@ -648,6 +664,7 @@ class Measurer:
         except ValueError:
             return None
         self.num_measurements += 1
+        self._m_measurements.inc()
         return execution
 
     def try_measure(self, config: Configuration) -> Optional[ExecutionResult]:
@@ -684,6 +701,7 @@ class Measurer:
         :meth:`~repro.gpusim.executor.GPUExecutor.run_batch_groups` — and
         handed back to :meth:`finish_batch`.
         """
+        self._m_batch_size.observe(len(configs))
         results: List[Optional[ExecutionResult]] = [None] * len(configs)
         pending: Dict[Tuple, List[int]] = {}
         pending_configs: List[Configuration] = []
@@ -717,6 +735,7 @@ class Measurer:
             execution = next(it) if ok else None
             if execution is not None:
                 self.num_measurements += 1
+                self._m_measurements.inc()
             self._cache[key] = execution
             for i in prepared.pending[key]:
                 prepared.results[i] = execution

@@ -28,6 +28,7 @@ from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from ...conv.tensor import ConvParams, Layout
 from ...gpusim.spec import GPUSpec
+from ...obs.metrics import NULL_COUNTER, NULL_GAUGE
 from .config import Configuration
 from .engine import TrialRecord, TuningResult
 
@@ -300,8 +301,32 @@ class TuningDatabase:
         self.path = os.fspath(path) if path is not None else None
         self.hits = 0
         self.misses = 0
+        # Telemetry mirrors (null no-ops until attach_metrics binds real
+        # ones); the database sits in the REPRO601 no-wall-clock scope, so
+        # only counts and levels are recorded.
+        self._m_puts = NULL_COUNTER
+        self._m_puts_effective = NULL_COUNTER
+        self._m_serve_hits = NULL_COUNTER
+        self._m_serve_misses = NULL_COUNTER
+        self._m_revision = NULL_GAUGE
         for record in records:
             self.put(record)
+
+    def attach_metrics(self, metrics) -> None:
+        """Bind database telemetry to a metrics scope (see ``repro.obs``).
+
+        Records ``puts_total`` vs ``puts_effective`` (keep-better inserts
+        that actually changed a slot), ``serve_hits``/``serve_misses``
+        (lookup outcomes) and the ``revision`` growth gauge.  Observability
+        never alters database state: instruments are written on the same
+        code paths that already mutate the map, nothing more.
+        """
+        with self._lock:
+            self._m_puts = metrics.counter("puts_total")
+            self._m_puts_effective = metrics.counter("puts_effective")
+            self._m_serve_hits = metrics.counter("serve_hits")
+            self._m_serve_misses = metrics.counter("serve_misses")
+            self._m_revision = metrics.gauge("revision")
 
     # -- default on-disk location --------------------------------------- #
     @classmethod
@@ -383,6 +408,7 @@ class TuningDatabase:
         the two: a configuration that beats the outcome of a more thorough
         search also satisfies requests at that search's budget."""
         with self._lock:
+            self._m_puts.inc()
             bucket = self._records.setdefault(record.key(), {})
             cond = record.conditions()
             existing = bucket.get(cond)
@@ -413,6 +439,8 @@ class TuningDatabase:
                 bucket[cond] = winner
                 self._change_log.append((record.key(), cond))
                 self._revision += 1
+                self._m_puts_effective.inc()
+                self._m_revision.set(self._revision)
                 if len(self._change_log) >= 2 * _CHANGE_LOG_CAP:
                     # Amortised O(1) compaction keeps a daemon-lifetime
                     # database's log bounded; stale checkpoints fall back
@@ -509,8 +537,10 @@ class TuningDatabase:
             ]
             if not candidates:
                 self.misses += 1
+                self._m_serve_misses.inc()
                 return None
             self.hits += 1
+            self._m_serve_hits.inc()
             return min(candidates, key=lambda r: r.time_seconds)
 
     def contains(

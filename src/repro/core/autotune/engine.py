@@ -55,6 +55,7 @@ import numpy as np
 from ...conv.tensor import ConvParams
 from ...gpusim.executor import ExecutionResult
 from ...gpusim.spec import GPUSpec
+from ...obs.metrics import NULL_COUNTER
 from .config import Configuration, Measurer
 from .cost_model import CostModel
 from .explorer import ExplorerConfig, ParallelRandomWalkExplorer
@@ -140,6 +141,7 @@ class TuningSession:
                 self._init_pending = False
                 return self.propose()
             self._awaiting_update = True
+            engine._m_proposals.inc()
             return init
 
         if self.result.num_measurements >= engine.max_measurements:
@@ -164,6 +166,7 @@ class TuningSession:
         for c in batch:
             self._visited.add(c.key())
         self._awaiting_update = True
+        engine._m_proposals.inc()
         return batch
 
     def update(
@@ -217,6 +220,7 @@ class TuningSession:
         if not self._trained_rows:
             return
         self.engine.cost_model.fit(np.stack(self._trained_rows), self._trained_times)
+        self.engine._m_retrains.inc()
 
 
 class AutoTuningEngine:
@@ -268,6 +272,23 @@ class AutoTuningEngine:
         )
         self.database = database
         self.rng = random.Random(seed)
+        # Telemetry mirrors (null no-ops until attach_metrics binds real
+        # ones); REPRO601 scope, so only counts are recorded — never times.
+        self._m_proposals = NULL_COUNTER
+        self._m_retrains = NULL_COUNTER
+
+    def attach_metrics(self, metrics) -> None:
+        """Bind engine telemetry to a metrics scope (see ``repro.obs``).
+
+        Records ``proposals`` (session proposal batches) and ``retrains``
+        (cost-model refits), and forwards a ``feature_cache`` sub-scope to
+        :meth:`~repro.core.autotune.features.FeatureCache.attach_metrics`.
+        Observability is write-only: nothing recorded here feeds back into
+        the session RNG, the explorer, or the cost model.
+        """
+        self._m_proposals = metrics.counter("proposals")
+        self._m_retrains = metrics.counter("retrains")
+        self.features.attach_metrics(metrics.scope("feature_cache"))
 
     # ------------------------------------------------------------------ #
     @property

@@ -30,6 +30,7 @@ import numpy as np
 
 from ...conv.tensor import ConvParams, Layout
 from ...gpusim.spec import GPUSpec
+from ...obs.metrics import NULL_COUNTER, MetricsRegistry
 from ..dataflow.common import OutputTile, ceil_div
 from ..dataflow.direct import direct_dataflow_io
 from ..dataflow.winograd import winograd_dataflow_io
@@ -285,12 +286,40 @@ class FeatureCache:
         self.spec = spec
         self.max_entries = max_entries
         self._rows: Dict[Tuple, np.ndarray] = {}
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        # Per-cache traffic counters live on a private metrics registry (the
+        # counters are thread-safe and snapshot-able); ``hits``/``misses``/
+        # ``evictions`` stay available as read-only views.  attach_metrics
+        # binds additional fleet mirrors (null no-ops until then) so service
+        # runs aggregate cache traffic across engines without disturbing the
+        # exact per-cache counts the tests assert on.
+        self._metrics = MetricsRegistry()
+        self._c_hits = self._metrics.counter("feature_cache.hits")
+        self._c_misses = self._metrics.counter("feature_cache.misses")
+        self._c_evictions = self._metrics.counter("feature_cache.evictions")
+        self._m_hits = NULL_COUNTER
+        self._m_misses = NULL_COUNTER
+        self._m_evictions = NULL_COUNTER
 
     def __len__(self) -> int:
         return len(self._rows)
+
+    @property
+    def hits(self) -> int:
+        return self._c_hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._c_misses.value
+
+    @property
+    def evictions(self) -> int:
+        return self._c_evictions.value
+
+    def attach_metrics(self, metrics) -> None:
+        """Mirror cache traffic into a shared metrics scope (see ``repro.obs``)."""
+        self._m_hits = metrics.counter("hits")
+        self._m_misses = metrics.counter("misses")
+        self._m_evictions = metrics.counter("evictions")
 
     def stats(self) -> Dict[str, int]:
         return {
@@ -304,15 +333,18 @@ class FeatureCache:
         key = config.key()
         row = self._rows.get(key)
         if row is None:
-            self.misses += 1
+            self._c_misses.inc()
+            self._m_misses.inc()
             row = feature_vector(config, self.params, self.spec)
             if self.max_entries is not None and len(self._rows) >= self.max_entries:
                 # FIFO eviction: dicts preserve insertion order.
                 self._rows.pop(next(iter(self._rows)))
-                self.evictions += 1
+                self._c_evictions.inc()
+                self._m_evictions.inc()
             self._rows[key] = row
         else:
-            self.hits += 1
+            self._c_hits.inc()
+            self._m_hits.inc()
         return row
 
     def matrix(self, configs: Sequence[Configuration]) -> np.ndarray:

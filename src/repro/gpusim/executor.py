@@ -35,6 +35,12 @@ from typing import List, Sequence, Union
 
 import numpy as np
 
+from ..obs.metrics import (
+    BATCH_SIZE_BOUNDS,
+    GROUP_COUNT_BOUNDS,
+    NULL_COUNTER,
+    NULL_HISTOGRAM,
+)
 from .kernels import KernelProfile, ProfileBatch
 from .spec import GPUSpec
 
@@ -162,6 +168,24 @@ class GPUExecutor:
         self.spec = spec
         self.noise = noise
         self.seed = seed
+        # Telemetry mirrors: module-level null no-ops until attach_metrics
+        # binds real instruments.  The executor lives in the REPRO601
+        # no-wall-clock scope, so it records only counts/sizes, never times.
+        self._m_runs = NULL_COUNTER
+        self._m_batch_size = NULL_HISTOGRAM
+        self._m_group_count = NULL_HISTOGRAM
+
+    def attach_metrics(self, metrics) -> None:
+        """Bind executor telemetry to a metrics scope (see ``repro.obs``).
+
+        ``metrics`` is a :class:`~repro.obs.metrics.Scope` (or registry);
+        instruments recorded: ``runs`` (scalar executions), ``batch_size``
+        (configs per batched call) and ``group_count`` (slices per packed
+        ``run_batch_groups`` call).
+        """
+        self._m_runs = metrics.counter("runs")
+        self._m_batch_size = metrics.histogram("batch_size", BATCH_SIZE_BOUNDS)
+        self._m_group_count = metrics.histogram("group_count", GROUP_COUNT_BOUNDS)
 
     # ------------------------------------------------------------------ #
     def _noise_factor_fields(
@@ -213,6 +237,7 @@ class GPUExecutor:
 
     def run(self, profile: KernelProfile) -> ExecutionResult:
         """Predict the execution time of one kernel launch."""
+        self._m_runs.inc()
         spec = self.spec
         occ = occupancy(profile, spec)
 
@@ -273,6 +298,7 @@ class GPUExecutor:
         n = len(batch)
         if n == 0:
             return []
+        self._m_batch_size.observe(n)
         spec = self.spec
 
         smem = batch.smem_per_block
@@ -418,6 +444,7 @@ class GPUExecutor:
         sizes = [len(b) for b in batches]
         if sum(sizes) == 0:
             return [[] for _ in batches]
+        self._m_group_count.observe(len(batches))
         flat = self.run_batch(ProfileBatch.concat(batches))
         out: List[List[ExecutionResult]] = []
         offset = 0

@@ -1,0 +1,147 @@
+"""Span tracing with parent links, attributes and bounded retention.
+
+A :class:`SpanTracer` records named regions of execution against whatever
+:class:`~repro.obs.clock.Clock` it was constructed with — a real monotonic
+clock in drivers and benchmarks, a :class:`~repro.obs.clock.FakeClock` in
+tests (exact duration assertions), and the null clock on the disabled path
+(all timestamps 0.0, nothing retained).
+
+Retention is a fixed-capacity ring buffer: a long-lived service keeps the
+most recent ``capacity`` finished spans and silently drops the oldest, so
+tracing can stay on for days without growing memory.  The ``dropped``
+counter records how many spans aged out.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from .clock import NULL_CLOCK, Clock
+
+__all__ = ["Span", "SpanTracer", "NullTracer", "NULL_TRACER"]
+
+
+@dataclass
+class Span:
+    """One finished (or in-flight) traced region."""
+
+    name: str
+    span_id: int
+    parent_id: Optional[int]
+    start: float
+    end: Optional[float] = None
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def to_wire(self) -> dict:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "end": self.end,
+            "attrs": dict(self.attrs),
+        }
+
+
+class SpanTracer:
+    """Records spans into a bounded ring buffer.
+
+    Parent links come from a per-thread stack of open spans: a span started
+    while another is open on the same thread becomes its child.  Cross-thread
+    parentage is intentionally not inferred — each thread traces its own
+    call tree.
+    """
+
+    def __init__(self, clock: Optional[Clock] = None, capacity: int = 1024) -> None:
+        if capacity <= 0:
+            raise ValueError(f"tracer capacity must be positive, got {capacity}")
+        self.clock = clock if clock is not None else NULL_CLOCK
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._finished: deque = deque(maxlen=capacity)
+        self._dropped = 0
+        self._ids = itertools.count(1)
+        self._stacks = threading.local()
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._stacks, "open", None)
+        if stack is None:
+            stack = self._stacks.open = []
+        return stack
+
+    @contextmanager
+    def span(self, name: str, **attrs: object) -> Iterator[Span]:
+        stack = self._stack()
+        parent = stack[-1].span_id if stack else None
+        with self._lock:
+            span_id = next(self._ids)
+        record = Span(
+            name=name,
+            span_id=span_id,
+            parent_id=parent,
+            start=self.clock.now(),
+            attrs=dict(attrs),
+        )
+        stack.append(record)
+        try:
+            yield record
+        finally:
+            stack.pop()
+            record.end = self.clock.now()
+            with self._lock:
+                if len(self._finished) == self.capacity:
+                    self._dropped += 1
+                self._finished.append(record)
+
+    def finished(self) -> List[Span]:
+        with self._lock:
+            return list(self._finished)
+
+    @property
+    def dropped(self) -> int:
+        with self._lock:
+            return self._dropped
+
+
+class _NoopSpanContext:
+    """Reusable context manager handed out by :class:`NullTracer`.
+
+    One shared instance serves every ``with tracer.span(...)`` on the
+    disabled path — entering and exiting allocates nothing.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+_NOOP_SPAN = _NoopSpanContext()
+
+
+class NullTracer(SpanTracer):
+    """Tracer for the disabled path: ``span()`` is a constant no-op."""
+
+    def __init__(self) -> None:
+        super().__init__(clock=NULL_CLOCK, capacity=1)
+
+    def span(self, name: str, **attrs: object) -> _NoopSpanContext:  # type: ignore[override]
+        return _NOOP_SPAN
+
+    def finished(self) -> List[Span]:
+        return []
+
+
+NULL_TRACER = NullTracer()

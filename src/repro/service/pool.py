@@ -67,6 +67,13 @@ from ..core.autotune.database import (
     TuningRecord,
 )
 from ..core.autotune.engine import TuningResult
+from ..obs import (
+    NULL_OBS,
+    MetricsRegistry,
+    MetricsSnapshot,
+    MonotonicClock,
+    Observability,
+)
 from .policy import SchedulingPolicy, make_policy
 from .request import TuningRequest
 from .scheduler import ServiceStats, TuningService
@@ -82,7 +89,13 @@ _DEATH_GRACE_POLLS = 3
 
 @dataclass
 class PoolStats:
-    """Accounting of one :meth:`TuningWorkerPool.tune` workload."""
+    """Accounting of one :meth:`TuningWorkerPool.tune` workload.
+
+    Like :class:`~repro.service.scheduler.ServiceStats`, this is a *snapshot
+    view* since the registry migration: the live counts are thread-safe
+    registry counters and :attr:`TuningWorkerPool.stats` materialises one
+    coherent copy per read.
+    """
 
     requests: int = 0
     #: requests answered from the caller's database before sharding.
@@ -104,13 +117,6 @@ class PoolStats:
     tuning_runs: int = 0
     database_hits: int = 0
     coalesced: int = 0
-
-    def absorb(self, service_stats: ServiceStats) -> None:
-        """Fold one shard service's accounting into the pool totals."""
-        self.measurements += service_stats.measurements
-        self.tuning_runs += service_stats.tuning_runs
-        self.database_hits += service_stats.database_hits
-        self.coalesced += service_stats.coalesced
 
     def describe(self) -> str:
         return (
@@ -172,8 +178,9 @@ class _ShardRunner:
         policy: Optional[SchedulingPolicy] = None,
         admit_window: int = 0,
         database: Optional[TuningDatabase] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
-        self.service = TuningService(database=database, policy=policy)
+        self.service = TuningService(database=database, policy=policy, obs=obs)
         self.admit_window = admit_window
         #: backlog of (shard position, request); duplicates may be admitted
         #: out of backlog order (to coalesce onto their twin's in-flight
@@ -244,16 +251,25 @@ class _ShardRunner:
 def _tune_shard(
     requests: Sequence[TuningRequest],
     policy: Optional[SchedulingPolicy] = None,
-) -> Tuple[List[TuningResult], List[dict], ServiceStats]:
+    obs_enabled: bool = False,
+) -> Tuple[List[TuningResult], List[dict], ServiceStats, dict]:
     """Merge-at-end worker: run one whole shard through a private service.
 
     Module-level so it pickles under every start method.  Returns the
     shard's results (in shard submission order), the worker database as
-    plain dicts ready for the parent to merge, and the shard's accounting.
+    plain dicts ready for the parent to merge, the shard's accounting, and
+    a metrics-snapshot wire dict for the parent's fleet view.
+
+    :class:`~repro.obs.Observability` holds locks and ring buffers and is
+    deliberately not picklable, so the parent sends only ``obs_enabled`` and
+    the worker builds its own bundle (real monotonic clock — a worker entry
+    point is an edge of the system, where real clocks are allowed).
     """
-    service = TuningService(policy=policy)
+    obs = Observability(enabled=obs_enabled, clock=MonotonicClock() if obs_enabled else None)
+    service = TuningService(policy=policy, obs=obs)
     results = service.tune(list(requests))
-    return results, [r.to_dict() for r in service.database.records()], service.stats
+    wire = service.metrics_snapshot().merged(obs.snapshot()).to_wire()
+    return results, [r.to_dict() for r in service.database.records()], service.stats, wire
 
 
 def _stream_shard(
@@ -263,19 +279,27 @@ def _stream_shard(
     admit_window: int,
     sync_queue,
     results_queue,
+    obs_enabled: bool = False,
 ) -> None:
     """Streaming worker entry point (module-level: pickles everywhere).
 
     Runs the shard through a :class:`_ShardRunner`; between scheduling
     rounds it drains the sync queue (dropping poisoned envelopes) and ships
     every newly stored record to the parent.  Ends with a ``("done", ...)``
-    message carrying results, accounting and the full shard database (a
-    final merge-at-end safety net in case any streamed message was lost);
-    any crash becomes an ``("error", ...)`` message instead of a silent
-    death.
+    message carrying results, accounting, a metrics-snapshot wire dict
+    (``obs_enabled`` telemetry — the worker builds its own
+    :class:`~repro.obs.Observability`, since the parent's is not picklable)
+    and the full shard database (a final merge-at-end safety net in case any
+    streamed message was lost); any crash becomes an ``("error", ...)``
+    message instead of a silent death.
     """
     try:
-        runner = _ShardRunner(requests, policy=policy, admit_window=admit_window)
+        obs = Observability(
+            enabled=obs_enabled, clock=MonotonicClock() if obs_enabled else None
+        )
+        runner = _ShardRunner(
+            requests, policy=policy, admit_window=admit_window, obs=obs
+        )
         poisoned = 0
         while True:
             incoming: List[TuningRecord] = []
@@ -303,6 +327,9 @@ def _stream_shard(
                 {
                     "results": runner.results(),
                     "stats": runner.service.stats,
+                    "metrics": runner.service.metrics_snapshot()
+                    .merged(obs.snapshot())
+                    .to_wire(),
                     "records": [r.to_dict() for r in runner.service.database.records()],
                     "poisoned": poisoned,
                 },
@@ -335,6 +362,14 @@ class TuningWorkerPool:
     ``False`` always runs serially in-process, ``True`` requires processes
     (raises where they are unavailable).  Workloads that fit one shard
     always run serially — a pool buys nothing there.
+
+    ``obs`` is an optional :class:`~repro.obs.Observability` bundle for the
+    telemetry extras (stream counters, worker lifecycle events, sync-queue
+    depths, spans).  The accounting behind :attr:`stats` is always live.
+    Worker processes cannot share the parent's bundle (it is not picklable),
+    so each worker builds its own when observability is enabled and ships a
+    metrics snapshot back in its ``done`` report; :meth:`fleet_snapshot`
+    merges the shards' snapshots with the parent's into one fleet view.
     """
 
     def __init__(
@@ -346,6 +381,7 @@ class TuningWorkerPool:
         streaming: bool = True,
         admit_window: int = 4,
         use_processes: Optional[bool] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         if num_workers < 0:
             raise ValueError("num_workers must be >= 0 (0 = one per CPU, capped)")
@@ -361,8 +397,81 @@ class TuningWorkerPool:
         #: True when the last workload ran in worker processes (False = the
         #: serial in-process interleaving was used).
         self.used_processes = False
-        #: accounting of the last workload (reset by every :meth:`tune`).
-        self.stats = PoolStats()
+        self.obs = obs if obs is not None else NULL_OBS
+        # Observability extras: cumulative across workloads (unlike the
+        # per-workload accounting), all null no-ops when obs is disabled.
+        reg = self.obs.registry
+        self._o_envelopes = reg.counter("pool.stream.envelopes")
+        self._o_workers_started = reg.counter("pool.workers.started")
+        self._o_workers_done = reg.counter("pool.workers.done")
+        self._o_workers_failed = reg.counter("pool.workers.failed")
+        self._o_sync_depth = reg.gauge("pool.sync.queue_depth")
+        self._reset_accounting(streaming=False)
+
+    def _reset_accounting(self, streaming: bool) -> None:
+        """Fresh per-workload accounting registry (called by every tune)."""
+        self._metrics = MetricsRegistry()
+        acc = self._metrics.scope("pool")
+        self._c_requests = acc.counter("requests")
+        self._c_pre_served = acc.counter("pre_served")
+        self._c_shards = acc.counter("shards")
+        self._c_records_streamed = acc.counter("records_streamed")
+        self._c_records_applied = acc.counter("records_applied")
+        self._c_poisoned = acc.counter("poisoned_envelopes")
+        self._c_worker_failures = acc.counter("worker_failures")
+        self._c_measurements = acc.counter("measurements")
+        self._c_tuning_runs = acc.counter("tuning_runs")
+        self._c_database_hits = acc.counter("database_hits")
+        self._c_coalesced = acc.counter("coalesced")
+        self._stats_mode = "unused"
+        self._stats_streaming = streaming
+        #: merged shard telemetry (worker wire snapshots in process mode,
+        #: shard-service accounting in serial mode) for :meth:`fleet_snapshot`.
+        self._shard_metrics = MetricsSnapshot()
+
+    @property
+    def stats(self) -> PoolStats:
+        """One consistent accounting snapshot (see :class:`PoolStats`)."""
+        c = self._metrics.snapshot().counters
+        return PoolStats(
+            requests=c.get("pool.requests", 0),
+            pre_served=c.get("pool.pre_served", 0),
+            shards=c.get("pool.shards", 0),
+            mode=self._stats_mode,
+            streaming=self._stats_streaming,
+            records_streamed=c.get("pool.records_streamed", 0),
+            records_applied=c.get("pool.records_applied", 0),
+            poisoned_envelopes=c.get("pool.poisoned_envelopes", 0),
+            worker_failures=c.get("pool.worker_failures", 0),
+            measurements=c.get("pool.measurements", 0),
+            tuning_runs=c.get("pool.tuning_runs", 0),
+            database_hits=c.get("pool.database_hits", 0),
+            coalesced=c.get("pool.coalesced", 0),
+        )
+
+    def _absorb(self, service_stats: ServiceStats) -> None:
+        """Fold one shard service's accounting into the pool totals."""
+        self._c_measurements.inc(service_stats.measurements)
+        self._c_tuning_runs.inc(service_stats.tuning_runs)
+        self._c_database_hits.inc(service_stats.database_hits)
+        self._c_coalesced.inc(service_stats.coalesced)
+
+    def _merge_shard_metrics(self, snapshot: MetricsSnapshot) -> None:
+        self._shard_metrics = self._shard_metrics.merged(snapshot)
+
+    def fleet_snapshot(self) -> MetricsSnapshot:
+        """One merged telemetry view of the last workload's whole fleet.
+
+        Pool-level accounting (``pool.*``), the parent's observability
+        extras, and every shard's shipped/absorbed telemetry (``service.*``
+        plus worker-side extras), merged with the associative snapshot-merge
+        semantics — so the totals are independent of shard report order.
+        """
+        return (
+            self._metrics.snapshot()
+            .merged(self._shard_metrics)
+            .merged(self.obs.snapshot())
+        )
 
     # ------------------------------------------------------------------ #
     def _shard(
@@ -410,10 +519,10 @@ class TuningWorkerPool:
         merge is a keep-better no-op for anything already streamed).
         """
         requests = list(requests)
-        self.stats = PoolStats(streaming=self.streaming)
+        self._reset_accounting(streaming=self.streaming)
         if not requests:
             return []
-        self.stats.requests = len(requests)
+        self._c_requests.inc(len(requests))
         # Serve covered requests from the caller's database up front, exactly
         # like TuningService.submit does — workers start with empty private
         # databases and must not re-tune what the caller already knows.
@@ -434,14 +543,14 @@ class TuningWorkerPool:
                 served[i] = record.as_result()
             else:
                 pending_indices.append(i)
-        self.stats.pre_served = len(served)
+        self._c_pre_served.inc(len(served))
         if not pending_indices:
             self.used_processes = False
-            self.stats.mode = "serial"
+            self._stats_mode = "serial"
             return [served[i] for i in range(len(requests))]
         pending = [requests[i] for i in pending_indices]
         shards, placement = self._shard(pending)
-        self.stats.shards = len(shards)
+        self._c_shards.inc(len(shards))
         #: the cross-shard exchange point: the caller's database when given
         #: (so streamed records are visible to the caller mid-workload),
         #: otherwise a workload-private one.
@@ -458,7 +567,7 @@ class TuningWorkerPool:
         if shard_results is None:
             shard_results = self._run_serial(shards, exchange)
             self.used_processes = False
-        self.stats.mode = "processes" if self.used_processes else "serial"
+        self._stats_mode = "processes" if self.used_processes else "serial"
 
         for i, (shard, pos) in zip(pending_indices, placement):
             served[i] = shard_results[shard][pos]
@@ -471,9 +580,12 @@ class TuningWorkerPool:
         if not self.streaming:
             outputs: Dict[int, List[TuningResult]] = {}
             for i, shard in enumerate(shards):
-                results, record_dicts, stats = _tune_shard(shard, self.policy)
+                results, record_dicts, stats, wire = _tune_shard(
+                    shard, self.policy, obs_enabled=self.obs.enabled
+                )
                 exchange.merge(TuningRecord.from_dict(d) for d in record_dicts)
-                self.stats.absorb(stats)
+                self._absorb(stats)
+                self._merge_shard_metrics(MetricsSnapshot.from_wire(wire))
                 outputs[i] = results
             return outputs
         # Streaming: interleave the shards round-robin, one scheduling round
@@ -481,7 +593,12 @@ class TuningWorkerPool:
         # workload always yields the same serving pattern and measurement
         # count, which is what the streaming benchmark gates on.
         runners = [
-            _ShardRunner(shard, policy=self.policy, admit_window=self.admit_window)
+            _ShardRunner(
+                shard,
+                policy=self.policy,
+                admit_window=self.admit_window,
+                obs=self.obs,
+            )
             for shard in shards
         ]
         inboxes: List[List[TuningRecord]] = [[] for _ in shards]
@@ -490,14 +607,16 @@ class TuningWorkerPool:
             still_running: List[int] = []
             for i in unfinished:
                 runner = runners[i]
+                self._o_sync_depth.set(len(inboxes[i]))
                 runner.sync(inboxes[i])
                 inboxes[i] = []
                 progressed = runner.step()
                 for record in runner.take_new_records():
-                    self.stats.records_streamed += 1
+                    self._c_records_streamed.inc()
+                    self._o_envelopes.inc()
                     applied = exchange.apply([record])
                     if applied:
-                        self.stats.records_applied += 1
+                        self._c_records_applied.inc()
                         # Broadcast what apply() kept, not the raw incoming
                         # record: on a collision the exchange's surviving
                         # (faster / budget-upgraded) record is the one the
@@ -511,7 +630,11 @@ class TuningWorkerPool:
         outputs = {}
         for i, runner in enumerate(runners):
             exchange.merge(runner.service.database)
-            self.stats.absorb(runner.service.stats)
+            self._absorb(runner.service.stats)
+            # Serial shards share self.obs, so their extras are already in
+            # the parent registry — only the per-service accounting needs
+            # merging here (process workers ship both over the wire).
+            self._merge_shard_metrics(runner.service.metrics_snapshot())
             outputs[i] = runner.results()
         return outputs
 
@@ -523,12 +646,14 @@ class TuningWorkerPool:
             ctx = self._context()
             with ctx.Pool(processes=len(shards)) as pool:
                 shard_outputs = pool.starmap(
-                    _tune_shard, [(s, self.policy) for s in shards]
+                    _tune_shard,
+                    [(s, self.policy, self.obs.enabled) for s in shards],
                 )
             outputs = {}
-            for i, (results, record_dicts, stats) in enumerate(shard_outputs):
+            for i, (results, record_dicts, stats, wire) in enumerate(shard_outputs):
                 exchange.merge(TuningRecord.from_dict(d) for d in record_dicts)
-                self.stats.absorb(stats)
+                self._absorb(stats)
+                self._merge_shard_metrics(MetricsSnapshot.from_wire(wire))
                 outputs[i] = results
             return outputs
         return self._run_streaming_processes(shards, exchange)
@@ -544,12 +669,13 @@ class TuningWorkerPool:
         improved it, forward it to every shard but the sender."""
         envelope = _decode_envelope(wire)
         if envelope is None:
-            self.stats.poisoned_envelopes += 1
+            self._c_poisoned.inc()
             return
-        self.stats.records_streamed += 1
+        self._c_records_streamed.inc()
+        self._o_envelopes.inc()
         applied = exchange.apply([envelope.record])
         if applied:
-            self.stats.records_applied += 1
+            self._c_records_applied.inc()
             if sync_queues is not None:
                 # Forward what apply() kept, not the original wire: on a
                 # collision (e.g. with a faster caller-database record) the
@@ -560,6 +686,12 @@ class TuningWorkerPool:
                 for j, sync_queue in enumerate(sync_queues):
                     if j != origin:
                         sync_queue.put(winner)
+                if self.obs.enabled:
+                    try:
+                        depth = max(q.qsize() for q in sync_queues)
+                    except NotImplementedError:  # pragma: no cover - macOS
+                        depth = 0
+                    self._o_sync_depth.set(depth)
 
     def _handle_message(
         self,
@@ -579,7 +711,7 @@ class TuningWorkerPool:
         degrades to the in-parent recovery rerun like a dead worker.
         """
         if not (isinstance(message, tuple) and len(message) == 3):
-            self.stats.poisoned_envelopes += 1
+            self._c_poisoned.inc()
             return
         tag, index, payload = message
         if (
@@ -587,13 +719,13 @@ class TuningWorkerPool:
             or isinstance(index, bool)
             or not 0 <= index < len(shards)
         ):
-            self.stats.poisoned_envelopes += 1
+            self._c_poisoned.inc()
             return
         if tag == "record":
             self._ingest_record(payload, index, exchange, sync_queues)
         elif tag == "done":
             if index in outputs or index in failures:
-                self.stats.poisoned_envelopes += 1
+                self._c_poisoned.inc()
             elif (
                 isinstance(payload, dict)
                 and isinstance(payload.get("results"), list)
@@ -606,7 +738,7 @@ class TuningWorkerPool:
             if index not in outputs and index not in failures:
                 failures[index] = str(payload)
         else:
-            self.stats.poisoned_envelopes += 1
+            self._c_poisoned.inc()
 
     def _run_streaming_processes(
         self, shards: List[List[TuningRequest]], exchange: TuningDatabase
@@ -626,10 +758,12 @@ class TuningWorkerPool:
                         self.admit_window,
                         sync_queues[i],
                         results_queue,
+                        self.obs.enabled,
                     ),
                     daemon=True,
                 )
                 process.start()
+                self._o_workers_started.inc()
                 workers.append(process)
         except BaseException:
             for process in workers:
@@ -668,7 +802,7 @@ class TuningWorkerPool:
                     # failure class as a poisoned envelope: count it, keep
                     # polling liveness (the sender will be noticed dead),
                     # and pace the loop — a wedged pipe raises immediately.
-                    self.stats.poisoned_envelopes += 1
+                    self._c_poisoned.inc()
                     note_silent_deaths()
                     time.sleep(_POLL_SECONDS)
                     continue
@@ -699,27 +833,39 @@ class TuningWorkerPool:
 
         shard_results: Dict[int, List[TuningResult]] = {}
         for i, payload in outputs.items():
+            self._o_workers_done.inc()
             exchange.merge(
                 TuningRecord.from_dict(d) for d in payload.get("records", [])
             )
             stats = payload.get("stats")
             if isinstance(stats, ServiceStats):
-                self.stats.absorb(stats)
-            self.stats.poisoned_envelopes += int(payload.get("poisoned", 0))
+                self._absorb(stats)
+            wire = payload.get("metrics")
+            if isinstance(wire, dict):
+                try:
+                    self._merge_shard_metrics(MetricsSnapshot.from_wire(wire))
+                except Exception:
+                    # A corrupted telemetry blob is the same failure class as
+                    # a poisoned envelope — never crash the parent over it.
+                    self._c_poisoned.inc()
+            self._c_poisoned.inc(int(payload.get("poisoned", 0)))
             shard_results[i] = payload["results"]
         # Graceful degradation: every failed shard re-runs in the parent
         # against the shared database — anything its worker streamed before
         # dying (or other shards solved meanwhile) is served, not re-tuned.
         for i in sorted(failures):
-            self.stats.worker_failures += 1
+            self._c_worker_failures.inc()
+            self._o_workers_failed.inc()
             runner = _ShardRunner(
                 shards[i],
                 policy=self.policy,
                 admit_window=self.admit_window,
                 database=exchange,
+                obs=self.obs,
             )
             while runner.step():
                 pass
-            self.stats.absorb(runner.service.stats)
+            self._absorb(runner.service.stats)
+            self._merge_shard_metrics(runner.service.metrics_snapshot())
             shard_results[i] = runner.results()
         return shard_results

@@ -58,6 +58,16 @@ from ..core.autotune.config import Measurer
 from ..core.autotune.database import TuningDatabase, TuningRecord
 from ..core.autotune.engine import TuningResult
 from ..core.autotune.session import TuningSessionProtocol
+from ..obs import (
+    FILL_RATIO_BOUNDS,
+    GROUP_COUNT_BOUNDS,
+    LATENCY_BOUNDS,
+    NULL_OBS,
+    BATCH_SIZE_BOUNDS,
+    MetricsRegistry,
+    MetricsSnapshot,
+    Observability,
+)
 from .coalescer import RequestCoalescer
 from .futures import TuningFuture
 from .policy import SchedulingPolicy, make_policy
@@ -73,6 +83,12 @@ class ServiceStats:
     ``measurements`` counts actual simulator executions across all finished
     runs — the coalescing tests assert that N identical requests leave this
     equal to a single direct run's count.
+
+    Since the registry migration this dataclass is a *snapshot view*: the
+    live counts are thread-safe :class:`~repro.obs.metrics.Counter`
+    instruments on the service's accounting registry, and
+    :attr:`TuningService.stats` materialises one consistent copy per read —
+    mutating the returned object changes nothing in the service.
     """
 
     requests: int = 0
@@ -130,23 +146,96 @@ class TuningService:
     ``policy`` picks which active runs propose each round (see
     :mod:`repro.service.policy`); pass an instance or a registry name
     (``"uniform"``, ``"fair_share"``, ``"edf"``).
+
+    ``obs`` is an optional :class:`~repro.obs.Observability` bundle.  The
+    accounting behind :attr:`stats` is always live (a private registry of
+    thread-safe counters — that is what makes :attr:`stats` reads race-free);
+    ``obs`` only adds the extras: packing histograms, per-policy pick
+    latency, spans, and database/measurer/engine telemetry.  Observability
+    is write-only — it never touches session RNG or database state, so
+    trajectories stay bit-identical with it enabled or disabled.
     """
 
     def __init__(
         self,
         database: Optional[TuningDatabase] = None,
         policy: Union[str, SchedulingPolicy, None] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         #: shared across all requests; pruned-domain results are stored here
         #: and repeat requests are answered from it.
         self.database = database if database is not None else TuningDatabase()
         self.coalescer = RequestCoalescer()
         self.policy = make_policy(policy)
-        self.stats = ServiceStats()
+        self.obs = obs if obs is not None else NULL_OBS
+        # Always-live accounting registry: one counter per ServiceStats
+        # field, pre-bound so the scheduling hot paths pay one attribute
+        # load + one locked increment each.
+        self._metrics = MetricsRegistry()
+        acc = self._metrics.scope("service")
+        self._c_requests = acc.counter("requests")
+        self._c_coalesced = acc.counter("coalesced")
+        self._c_database_hits = acc.counter("database_hits")
+        self._c_tuning_runs = acc.counter("tuning_runs")
+        self._c_completed_runs = acc.counter("completed_runs")
+        self._c_measurements = acc.counter("measurements")
+        self._c_rounds = acc.counter("rounds")
+        self._c_executor_calls = acc.counter("executor_calls")
+        self._c_packed_configs = acc.counter("packed_configs")
+        self._c_records_injected = acc.counter("records_injected")
+        self._c_records_applied = acc.counter("records_applied")
+        # Observability extras (null no-op instruments when obs is disabled).
+        reg = self.obs.registry
+        self._h_fill_ratio = reg.histogram("service.pack.fill_ratio", FILL_RATIO_BOUNDS)
+        self._h_call_configs = reg.histogram(
+            "service.pack.configs_per_call", BATCH_SIZE_BOUNDS
+        )
+        self._h_call_sessions = reg.histogram(
+            "service.pack.sessions_per_call", GROUP_COUNT_BOUNDS
+        )
+        self._h_policy_select = reg.histogram(
+            f"service.policy.{self.policy.name}.select_seconds", LATENCY_BOUNDS
+        )
+        self._tracer = self.obs.tracer
+        self._clock = self.obs.clock
+        if self.obs.enabled:
+            self.database.attach_metrics(reg.scope("db"))
         self._active: List[_ActiveRun] = []
         self._lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
+    @property
+    def stats(self) -> ServiceStats:
+        """One consistent accounting snapshot (see :class:`ServiceStats`).
+
+        Reads go through the registry's locked snapshot, so a caller reading
+        stats while a scheduling round or a submitting thread mutates them
+        sees a coherent point-in-time copy, never a torn read.
+        """
+        c = self._metrics.snapshot().counters
+        return ServiceStats(
+            requests=c.get("service.requests", 0),
+            coalesced=c.get("service.coalesced", 0),
+            database_hits=c.get("service.database_hits", 0),
+            tuning_runs=c.get("service.tuning_runs", 0),
+            completed_runs=c.get("service.completed_runs", 0),
+            measurements=c.get("service.measurements", 0),
+            rounds=c.get("service.rounds", 0),
+            executor_calls=c.get("service.executor_calls", 0),
+            packed_configs=c.get("service.packed_configs", 0),
+            records_injected=c.get("service.records_injected", 0),
+            records_applied=c.get("service.records_applied", 0),
+        )
+
+    def metrics_snapshot(self) -> MetricsSnapshot:
+        """Point-in-time snapshot of the service's accounting registry.
+
+        The ``service.*``-named half of the telemetry; the observability
+        extras live on ``self.obs`` and are snapshotted separately (a worker
+        shard ships both merged — see ``TuningWorkerPool``).
+        """
+        return self._metrics.snapshot()
+
     @property
     def num_active(self) -> int:
         with self._lock:
@@ -161,11 +250,11 @@ class TuningService:
         """
         future = TuningFuture(request)
         with self._lock:
-            self.stats.requests += 1
+            self._c_requests.inc()
             entry = self.coalescer.get(request)
             if entry is not None:
                 self.coalescer.join(future)
-                self.stats.coalesced += 1
+                self._c_coalesced.inc()
                 return future
             if request.pruned:
                 record = self.database.lookup(
@@ -177,7 +266,7 @@ class TuningService:
                     noise_seed=request.noise_seed,
                 )
                 if record is not None:
-                    self.stats.database_hits += 1
+                    self._c_database_hits.inc()
                     future.from_database = True
                     future._set_result(record.as_result())
                     return future
@@ -185,10 +274,18 @@ class TuningService:
             # The session consults no database itself — lookups and stores
             # are the service's job, so an in-flight run is never pre-empted.
             tuner, session = request.make_session()
+            if self.obs.enabled:
+                # Fleet-aggregated telemetry for the run's measurement and
+                # search machinery; attached before the first proposal so
+                # nothing is missed, and write-only so nothing is perturbed.
+                run_tuner_attach = getattr(tuner, "attach_metrics", None)
+                if run_tuner_attach is not None:
+                    run_tuner_attach(self.obs.scope("engine"))
+                tuner.measurer.attach_metrics(self.obs.scope("measurer"))
             self._active.append(
                 _ActiveRun(request=request, tuner=tuner, session=session)
             )
-            self.stats.tuning_runs += 1
+            self._c_tuning_runs.inc()
         return future
 
     def inject_records(
@@ -212,8 +309,8 @@ class TuningService:
         with self._lock:
             records = list(records)
             applied = self.database.apply(records)
-            self.stats.records_injected += len(records)
-            self.stats.records_applied += len(applied)
+            self._c_records_injected.inc(len(records))
+            self._c_records_applied.inc(len(applied))
             return applied
 
     # ------------------------------------------------------------------ #
@@ -228,59 +325,72 @@ class TuningService:
         with self._lock:
             if not self._active:
                 return False
-            self.stats.rounds += 1
-            # Phase 0: the policy picks this round's runs.  Deduplicate,
-            # drop anything the policy invented, and never accept an empty
-            # selection — a policy bug must not stall the service.
-            active = {id(run): run for run in self._active}
-            selected: List[_ActiveRun] = []
-            seen: set = set()
-            for run in self.policy.select(list(self._active)):
-                if id(run) in active and id(run) not in seen:
-                    seen.add(id(run))
-                    selected.append(run)
-            if not selected:
-                selected = list(self._active)
+            self._c_rounds.inc()
+            with self._tracer.span("service.step", active=len(self._active)):
+                # Phase 0: the policy picks this round's runs.  Deduplicate,
+                # drop anything the policy invented, and never accept an empty
+                # selection — a policy bug must not stall the service.
+                active = {id(run): run for run in self._active}
+                selected: List[_ActiveRun] = []
+                seen: set = set()
+                select_start = self._clock.now()
+                picked = self.policy.select(list(self._active))
+                self._h_policy_select.observe(self._clock.now() - select_start)
+                for run in picked:
+                    if id(run) in active and id(run) not in seen:
+                        seen.add(id(run))
+                        selected.append(run)
+                if not selected:
+                    selected = list(self._active)
 
-            # Phase 1: collect proposals; finalise finished sessions.
-            work: List[Tuple[_ActiveRun, list, object]] = []
-            for run in selected:
-                try:
-                    configs = run.session.propose()
-                    if not configs:
-                        self._finalize(run)
-                        continue
-                    prepared = run.measurer.prepare_batch(configs)
-                except Exception as exc:  # defensive: fail only this run
-                    self._fail(run, exc)
-                    continue
-                work.append((run, configs, prepared))
-
-            # Phase 2: pack compatible slices into shared executor calls.
-            groups: Dict[tuple, List[Tuple[_ActiveRun, list, object]]] = {}
-            for item in work:
-                groups.setdefault(item[0].request.executor_group(), []).append(item)
-            for items in groups.values():
-                to_run = [it for it in items if len(it[2]) > 0]
-                executions_for = dict.fromkeys(map(id, items), ())
-                if to_run:
-                    executor = to_run[0][0].measurer.executor
-                    batches = [it[2].batch for it in to_run]
-                    grouped = executor.run_batch_groups(batches)
-                    self.stats.executor_calls += 1
-                    self.stats.packed_configs += sum(len(b) for b in batches)
-                    for it, executions in zip(to_run, grouped):
-                        executions_for[id(it)] = executions
-                # Phase 3: hand each session its own measurements back.
-                for it in items:
-                    run, configs, prepared = it
+                # Phase 1: collect proposals; finalise finished sessions.
+                work: List[Tuple[_ActiveRun, list, object]] = []
+                for run in selected:
                     try:
-                        results = run.measurer.finish_batch(
-                            prepared, executions_for[id(it)]
-                        )
-                        run.session.update(configs, results)
-                    except Exception as exc:
+                        configs = run.session.propose()
+                        if not configs:
+                            self._finalize(run)
+                            continue
+                        prepared = run.measurer.prepare_batch(configs)
+                    except Exception as exc:  # defensive: fail only this run
                         self._fail(run, exc)
+                        continue
+                    work.append((run, configs, prepared))
+
+                # Phase 2: pack compatible slices into shared executor calls.
+                groups: Dict[tuple, List[Tuple[_ActiveRun, list, object]]] = {}
+                for item in work:
+                    groups.setdefault(item[0].request.executor_group(), []).append(item)
+                for items in groups.values():
+                    to_run = [it for it in items if len(it[2]) > 0]
+                    executions_for = dict.fromkeys(map(id, items), ())
+                    if to_run:
+                        executor = to_run[0][0].measurer.executor
+                        batches = [it[2].batch for it in to_run]
+                        grouped = executor.run_batch_groups(batches)
+                        self._c_executor_calls.inc()
+                        packed = sum(len(b) for b in batches)
+                        self._c_packed_configs.inc(packed)
+                        # Packing telemetry: how full the shared call was
+                        # relative to its largest single slice (1.0 = no
+                        # cross-request benefit, higher = better packing).
+                        self._h_call_configs.observe(packed)
+                        self._h_call_sessions.observe(len(to_run))
+                        self._h_fill_ratio.observe(
+                            packed / max(len(b) for b in batches)
+                        )
+                        for it, executions in zip(to_run, grouped):
+                            executions_for[id(it)] = executions
+                    # Phase 3: hand each session its own measurements back.
+                    for it in items:
+                        run, configs, prepared = it
+                        try:
+                            results = run.measurer.finish_batch(
+                                prepared, executions_for[id(it)]
+                            )
+                            run.session.update(configs, results)
+                        except Exception as exc:
+                            self._fail(run, exc)
             return True
 
     def drain(self) -> None:
@@ -336,8 +446,8 @@ class TuningService:
             future._set_result(result)
         self.coalescer.discard(request)
         self._active.remove(run)
-        self.stats.measurements += run.measurer.num_measurements
-        self.stats.completed_runs += 1
+        self._c_measurements.inc(run.measurer.num_measurements)
+        self._c_completed_runs.inc()
 
     def _fail(self, run: _ActiveRun, exc: BaseException) -> None:
         """Propagate a run's failure to all of its futures (lock held).
@@ -346,8 +456,8 @@ class TuningService:
         user-supplied database), so it must tolerate a run whose coalescer
         entry was already popped or whose futures are partially answered.
         """
-        self.stats.completed_runs += 1
-        self.stats.measurements += run.measurer.num_measurements
+        self._c_completed_runs.inc()
+        self._c_measurements.inc(run.measurer.num_measurements)
         entry = self.coalescer.get(run.request)
         if entry is not None:
             self.coalescer.discard(run.request)
@@ -359,7 +469,7 @@ class TuningService:
 
     def describe(self) -> str:
         with self._lock:
-            # The stats snapshot must not race a concurrent scheduling
-            # round's counter updates (reprolint REPRO201); the re-entrant
-            # lock keeps the nested num_active acquisition cheap.
+            # num_active under the lock for a coherent pairing with the
+            # stats snapshot (itself race-free: the property reads a locked
+            # registry snapshot, satisfying reprolint REPRO201 by design).
             return f"TuningService[{self.num_active} active, {self.stats.describe()}]"

@@ -528,7 +528,10 @@ class TestCoreDeterminism:
         assert lines(result, "REPRO601") == [6, 7]
         assert lines(result, "REPRO602") == [8, 9]
 
-    def test_outside_core_scope_exempt(self, tmp_path):
+    def test_outside_core_scope_is_repro701_not_601(self, tmp_path):
+        # Clock reads outside the core are no longer exempt — they trip the
+        # repo-wide clock-discipline rule instead of the core-only one, and
+        # exactly once per read (the scopes are disjoint).
         result = lint(
             tmp_path,
             {
@@ -546,7 +549,7 @@ class TestCoreDeterminism:
                 """,
             },
         )
-        assert result.ok
+        assert codes(result) == ["REPRO701", "REPRO701"]
 
     def test_deterministic_core_passes(self, tmp_path):
         result = lint(
@@ -557,6 +560,83 @@ class TestCoreDeterminism:
 
                 def f(xs):
                     return sorted(math.log2(x) for x in xs)
+                """
+            },
+        )
+        assert result.ok
+
+
+# --------------------------------------------------------------------------- #
+class TestClockDiscipline:
+    def test_clock_reads_caught_everywhere(self, tmp_path):
+        # REPRO701 is repo-wide: tests, tools and service code alike.
+        result = lint(
+            tmp_path,
+            {
+                "tests/test_x.py": """
+                import time
+
+                def wall():
+                    return time.monotonic()
+                """,
+                "tools/helper.py": """
+                from time import perf_counter_ns
+
+                def wall():
+                    return perf_counter_ns()
+                """,
+                "src/repro/service/driver.py": """
+                import datetime
+
+                def stamp():
+                    return datetime.datetime.now()
+                """,
+            },
+        )
+        assert codes(result) == ["REPRO701", "REPRO701", "REPRO701"]
+
+    def test_clock_edge_module_exempt(self, tmp_path):
+        # src/repro/obs/clock.py is the one sanctioned edge.
+        result = lint(
+            tmp_path,
+            {
+                "src/repro/obs/clock.py": """
+                import time
+
+                class MonotonicClock:
+                    def now(self):
+                        return time.perf_counter()
+                """
+            },
+        )
+        assert result.ok
+
+    def test_core_reads_stay_repro601(self, tmp_path):
+        # Inside the core scopes REPRO601 owns the finding — exactly one
+        # report per read, never a 601+701 double.
+        result = lint(
+            tmp_path,
+            {
+                "src/repro/core/autotune/x.py": """
+                import time
+
+                def f():
+                    return time.time()
+                """
+            },
+        )
+        assert codes(result) == ["REPRO601"]
+
+    def test_sleep_is_not_a_clock_read(self, tmp_path):
+        # Pacing is allowed; only *reading* the clock is disciplined.
+        result = lint(
+            tmp_path,
+            {
+                "tests/test_pacing.py": """
+                import time
+
+                def pace():
+                    time.sleep(0.01)
                 """
             },
         )

@@ -33,6 +33,7 @@ from repro.core.autotune import (
     TuningRecord,
 )
 from repro.gpusim import V100
+from repro.obs import MonotonicClock
 from repro.service import TuningRequest, TuningService, TuningWorkerPool
 
 import repro.service.pool as pool_module
@@ -692,10 +693,11 @@ class TestSubmitStress:
         start.wait()
         # Drive scheduling concurrently with the submitters, like a
         # production driver thread would.
-        deadline = time.monotonic() + 120.0
+        clock = MonotonicClock()
+        deadline = clock.now() + 120.0
         while any(thread.is_alive() for thread in threads):
             service.drain()
-            assert time.monotonic() < deadline, "stress drive wedged"
+            assert clock.now() < deadline, "stress drive wedged"
         for thread in threads:
             thread.join()
         service.drain()

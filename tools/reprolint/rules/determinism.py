@@ -1,4 +1,4 @@
-"""REPRO601/REPRO602 — nondeterminism ban in the search/measure core.
+"""REPRO601/REPRO602/REPRO701 — nondeterminism and clock-discipline bans.
 
 The tuning core (``src/repro/core/`` and the simulator ``src/repro/gpusim/``)
 is a pure function of its inputs: that is what makes trajectories
@@ -14,6 +14,16 @@ Figure 11 benchmarks reproducible.  Two nondeterminism leaks are banned:
   Config-time reads with a documented contract (the
   ``$REPRO_TUNING_DB`` database-path resolution) carry inline suppressions
   with a reason — the rule keeps the *default* no.
+
+**REPRO701 (clock discipline)** generalises the wall-clock half repo-wide:
+every direct clock read anywhere in the repository — benchmarks, tests and
+tools included — must go through the one sanctioned edge,
+``src/repro/obs/clock.py`` (:class:`repro.obs.MonotonicClock` and friends).
+That keeps "who reads the clock" a one-file audit, lets any timing consumer
+take a ``FakeClock`` in tests, and stops new wall-clock reads from creeping
+toward the core one directory at a time.  ``time.sleep`` is a *pacing* call,
+not a clock read, and stays allowed.  The core scopes are excluded here only
+because REPRO601 already reports them (one finding per read, not two).
 """
 
 from __future__ import annotations
@@ -39,6 +49,42 @@ _CLOCK_CALLS = {
     ("time", "process_time_ns"),
 }
 _DATETIME_ATTRS = {"now", "utcnow", "today"}
+
+#: the one file allowed to read the clock (REPRO701's sanctioned edge).
+_CLOCK_EDGE = "src/repro/obs/clock.py"
+
+
+def _resolve_call(node: ast.AST, aliases, imported) -> Optional[Tuple[str, str]]:
+    """``(module, attr)`` for a call through an alias or from-import."""
+    if not isinstance(node, ast.Call):
+        return None
+    chain = astutil.attr_chain(node.func)
+    if chain is None:
+        return None
+    head, _, rest = chain.partition(".")
+    if rest and "." not in rest and head in aliases:
+        return aliases[head], rest
+    if not rest and head in imported:
+        module, _, attr = imported[head].rpartition(".")
+        return module, attr
+    return None
+
+
+def _clock_call(node: ast.AST, aliases, imported) -> Optional[str]:
+    """Dotted name of the clock read at ``node``, or ``None``."""
+    resolved = _resolve_call(node, aliases, imported)
+    if resolved in _CLOCK_CALLS:
+        return ".".join(resolved)
+    # datetime.datetime.now() / date.today() style constructors.
+    if isinstance(node, ast.Call):
+        chain = astutil.attr_chain(node.func)
+        if chain is not None:
+            parts = chain.split(".")
+            if parts[-1] in _DATETIME_ATTRS and (
+                "datetime" in parts[:-1] or "date" in parts[:-1]
+            ):
+                return chain
+    return None
 
 
 @register
@@ -67,7 +113,7 @@ class CoreDeterminismRule(Rule):
         findings: List[Finding] = []
 
         for node in ast.walk(tree):
-            clock = self._clock_call(node, aliases, imported)
+            clock = _clock_call(node, aliases, imported)
             if clock is not None:
                 findings.append(
                     ctx.finding(
@@ -85,41 +131,8 @@ class CoreDeterminismRule(Rule):
         return findings
 
     # ------------------------------------------------------------------ #
-    @staticmethod
-    def _resolve_call(
-        node: ast.AST, aliases, imported
-    ) -> Optional[Tuple[str, str]]:
-        """``(module, attr)`` for a call through an alias or from-import."""
-        if not isinstance(node, ast.Call):
-            return None
-        chain = astutil.attr_chain(node.func)
-        if chain is None:
-            return None
-        head, _, rest = chain.partition(".")
-        if rest and "." not in rest and head in aliases:
-            return aliases[head], rest
-        if not rest and head in imported:
-            module, _, attr = imported[head].rpartition(".")
-            return module, attr
-        return None
-
-    def _clock_call(self, node: ast.AST, aliases, imported) -> Optional[str]:
-        resolved = self._resolve_call(node, aliases, imported)
-        if resolved in _CLOCK_CALLS:
-            return ".".join(resolved)
-        # datetime.datetime.now() / date.today() style constructors.
-        if isinstance(node, ast.Call):
-            chain = astutil.attr_chain(node.func)
-            if chain is not None:
-                parts = chain.split(".")
-                if parts[-1] in _DATETIME_ATTRS and (
-                    "datetime" in parts[:-1] or "date" in parts[:-1]
-                ):
-                    return chain
-        return None
-
     def _env_read(self, node: ast.AST, aliases, imported) -> Optional[str]:
-        resolved = self._resolve_call(node, aliases, imported)
+        resolved = _resolve_call(node, aliases, imported)
         if resolved is not None and resolved[0] == "os" and resolved[1] == "getenv":
             return "os.getenv"
         # os.environ in any expression position (subscript, .get, iteration).
@@ -136,3 +149,40 @@ class CoreDeterminismRule(Rule):
     # note: ``environ.get(...)`` produces one finding for the Attribute node
     # ``os.environ`` itself; the enclosing call is not double-reported
     # because ``environ`` != ``getenv`` at the call resolution above.
+
+
+@register
+class ClockDisciplineRule(Rule):
+    name = "clock-discipline"
+    codes = {
+        "REPRO701": (
+            "direct clock read outside src/repro/obs/clock.py; construct a "
+            "repro.obs clock (MonotonicClock at real edges, FakeClock in "
+            "tests) and read through it"
+        ),
+    }
+
+    def applies_to(self, relpath: str) -> bool:
+        # The core scopes stay with REPRO601 (same read, older code, one
+        # finding); the clock module itself is the sanctioned edge.
+        if relpath.startswith(_SCOPES) or relpath == _CLOCK_EDGE:
+            return False
+        return True
+
+    def check(self, ctx: FileContext, project: ProjectIndex) -> List[Finding]:
+        tree = ctx.tree
+        assert tree is not None
+        aliases = astutil.module_aliases(tree)
+        imported = astutil.from_imports(tree)
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            clock = _clock_call(node, aliases, imported)
+            if clock is not None:
+                findings.append(
+                    ctx.finding(
+                        "REPRO701",
+                        node,
+                        f"direct clock read '{clock}' bypasses repro.obs.clock",
+                    )
+                )
+        return findings
