@@ -14,6 +14,7 @@ Run with:  python examples/tune_conv_layer.py
 
 from repro.analysis import Series, render_series
 from repro.core.autotune import AutoTuningEngine, TVMStyleTuner, TuningDatabase
+from repro.obs import format_describe
 from repro.gpusim import V100, CudnnLibrary
 from repro.nets import alexnet
 
@@ -49,7 +50,7 @@ def main() -> None:
     if ate.from_cache:
         print("\nATE result served from the tuning database (zero measurements).")
     saved = database.save()
-    print(f"Tuning database: {database.describe()} -> {saved}")
+    print(f"Tuning database: {format_describe(database.describe())} -> {saved}")
 
 
 if __name__ == "__main__":

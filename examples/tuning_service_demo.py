@@ -25,6 +25,7 @@ import threading
 
 from repro.analysis import render_rows
 from repro.core.autotune import TuningDatabase
+from repro.obs import format_describe
 from repro.gpusim import V100
 from repro.nets import get_model
 from repro.service import TuningRequest, TuningService, TuningWorkerPool
@@ -70,9 +71,9 @@ def main() -> None:
     ]
     print(render_rows(["request", "source", "best (us)"], rows))
     print(f"... {len(futures)} requests total\n")
-    print(service.describe())
+    print(format_describe(service.describe()))
     saved = database.save()
-    print(f"Tuning database: {database.describe()} -> {saved}")
+    print(f"Tuning database: {format_describe(database.describe())} -> {saved}")
 
     streaming_pool_demo()
 

@@ -26,6 +26,7 @@ from .database import (
     TuningRecord,
     default_database_path,
 )
+from .store import JsonMapStore, LogStore, RecordStore
 from .baselines import (
     BaselineSession,
     BaselineTuner,
@@ -49,6 +50,9 @@ __all__ = [
     "TuningDatabaseError",
     "TuningRecord",
     "default_database_path",
+    "JsonMapStore",
+    "LogStore",
+    "RecordStore",
     "FEATURE_NAMES",
     "FeatureCache",
     "feature_matrix",

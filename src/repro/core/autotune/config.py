@@ -135,7 +135,10 @@ class Configuration:
         )
 
     def as_dict(self) -> Dict[str, object]:
-        d = dataclasses.asdict(self)
+        # Shallow field copy: every field is a scalar (layout normalised
+        # below), and dataclasses.asdict's recursive deep copy dominates
+        # record serialisation on the log-store append path.
+        d = dict(self.__dict__)
         d["layout"] = self.layout.value
         return d
 

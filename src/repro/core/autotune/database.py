@@ -6,8 +6,17 @@ the paper's tuner spends essentially all of its time measuring batches of
 configurations.  The :class:`TuningDatabase` removes the repeated work: the
 best configuration found for a ``(ConvParams, GPUSpec, algorithm)`` triple is
 recorded once and every later tuning request for the same triple — in the
-same process or after a JSON save/load round trip — is answered from the
+same process or after a persistence round trip — is answered from the
 database instead of re-running the search.
+
+The database itself is a thin coordination façade: all state lives in a
+pluggable :class:`~repro.core.autotune.store.RecordStore` backend (see
+``store.py``) — :class:`~repro.core.autotune.store.JsonMapStore` for the
+whole-file JSON map (the compatibility reference) or
+:class:`~repro.core.autotune.store.LogStore` for the append-only log with
+compaction and crash recovery that daemon-scale serving needs.  The façade
+adds the request-level semantics: budget/conditions-aware :meth:`lookup`,
+hit/miss accounting, and the :meth:`put` / :meth:`apply` write path.
 
 The :class:`~repro.core.autotune.engine.AutoTuningEngine` consults an attached
 database at the start of :meth:`~repro.core.autotune.engine.AutoTuningEngine.tune`
@@ -22,15 +31,25 @@ import dataclasses
 import json
 import math
 import os
-import tempfile
-import threading
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+import warnings
+from typing import Dict, Iterable, List, Optional, Union
 
-from ...conv.tensor import ConvParams, Layout
+from ...conv.tensor import ConvParams
 from ...gpusim.spec import GPUSpec
-from ...obs.metrics import NULL_COUNTER, NULL_GAUGE
-from .config import Configuration
-from .engine import TrialRecord, TuningResult
+from ...obs.metrics import NULL_COUNTER, NULL_GAUGE, Counter
+from .session import TuningResult
+from .store import (
+    FORMAT_VERSION as _FORMAT_VERSION,
+    JsonMapStore,
+    LogStore,
+    RecordStore,
+    TuningDatabaseError,
+    TuningRecord,
+    _gpu_name,
+    _params_key,
+    read_map_file,
+    write_map_file,
+)
 
 __all__ = [
     "RecordEnvelope",
@@ -39,22 +58,6 @@ __all__ = [
     "TuningRecord",
     "default_database_path",
 ]
-
-
-class TuningDatabaseError(ValueError):
-    """A tuning-database file or wire payload is unusable.
-
-    Subclasses :class:`ValueError` so existing callers catching ``ValueError``
-    around :meth:`TuningDatabase.load` keep working; raised with a message
-    naming the offending path/payload so misconfiguration (a truncated
-    ``$REPRO_TUNING_DB`` file, a poisoned sync-queue envelope) fails loudly
-    instead of silently starting empty.
-    """
-
-_FORMAT_VERSION = 1
-
-#: retained change-log tail; the log compacts once it reaches twice this.
-_CHANGE_LOG_CAP = 4096
 
 #: environment variable overriding the default on-disk database location.
 DATABASE_ENV_VAR = "REPRO_TUNING_DB"
@@ -73,131 +76,6 @@ def default_database_path() -> str:
     # reprolint: disable=REPRO602 - XDG convention, resolved once at open time
     cache_home = os.environ.get("XDG_CACHE_HOME") or os.path.expanduser("~/.cache")
     return os.path.join(cache_home, "repro-tuning.json")
-
-
-def _gpu_name(spec: Union[GPUSpec, str]) -> str:
-    return spec.name if isinstance(spec, GPUSpec) else str(spec)
-
-
-def _params_key(params: ConvParams) -> Tuple:
-    return (
-        params.in_height,
-        params.in_width,
-        params.in_channels,
-        params.out_channels,
-        params.ker_height,
-        params.ker_width,
-        params.stride,
-        params.padding,
-        params.batch,
-        params.layout.value,
-    )
-
-
-def _params_to_dict(params: ConvParams) -> Dict[str, object]:
-    d = dataclasses.asdict(params)
-    d["layout"] = params.layout.value
-    return d
-
-
-def _params_from_dict(d: Dict[str, object]) -> ConvParams:
-    d = dict(d)
-    d["layout"] = Layout(d["layout"])
-    return ConvParams(**d)
-
-
-@dataclasses.dataclass(frozen=True)
-class TuningRecord:
-    """Best known implementation of one convolution problem on one GPU."""
-
-    params: ConvParams
-    gpu: str
-    algorithm: str
-    config: Configuration
-    time_seconds: float
-    gflops: float
-    tuner: str = "ate"
-    num_measurements: int = 0  # measurements spent producing this record
-    space_size: int = 0
-    #: measurement budget of the producing run; 0 = unknown.  The engine only
-    #: serves a cached record to requests with an equal-or-smaller budget, so
-    #: a quick low-budget record never pins down a thorough later search.
-    budget: int = 0
-    #: measurement conditions (GPUExecutor noise amplitude and seed) of the
-    #: producing run; None = unknown.  Lookups from a measurer with different
-    #: conditions are misses — their times would not be comparable.
-    noise: Optional[float] = None
-    noise_seed: Optional[int] = None
-
-    def key(self) -> Tuple:
-        """Problem identity: the ``(params, gpu, algorithm)`` triple."""
-        return (_params_key(self.params), self.gpu, self.algorithm)
-
-    def conditions(self) -> Tuple:
-        """Measurement-conditions identity; records measured under different
-        conditions coexist under the same problem key."""
-        return (self.noise, self.noise_seed)
-
-    def as_result(self) -> TuningResult:
-        """Reconstitute a (single-trial) :class:`TuningResult` for callers
-        that expect the tuner interface.
-
-        The synthesized result contains exactly one trial (the recorded
-        best), so its ``num_measurements`` is 1 and its convergence curve is
-        a single point — neither the zero measurements the cache hit cost
-        nor the ``self.num_measurements`` the original search spent.
-        Consumers aggregating measurement counts or convergence speed must
-        branch on ``from_cache`` (set True here) and read this record's
-        ``num_measurements`` for the original cost."""
-        result = TuningResult(
-            tuner=self.tuner,
-            params=self.params,
-            gpu=self.gpu,
-            space_size=self.space_size,
-            from_cache=True,
-        )
-        result.trials.append(
-            TrialRecord(
-                index=0,
-                config=self.config,
-                time_seconds=self.time_seconds,
-                gflops=self.gflops,
-            )
-        )
-        return result
-
-    def to_dict(self) -> Dict[str, object]:
-        return {
-            "params": _params_to_dict(self.params),
-            "gpu": self.gpu,
-            "algorithm": self.algorithm,
-            "config": self.config.as_dict(),
-            "time_seconds": self.time_seconds,
-            "gflops": self.gflops,
-            "tuner": self.tuner,
-            "num_measurements": self.num_measurements,
-            "space_size": self.space_size,
-            "budget": self.budget,
-            "noise": self.noise,
-            "noise_seed": self.noise_seed,
-        }
-
-    @classmethod
-    def from_dict(cls, d: Dict[str, object]) -> "TuningRecord":
-        return cls(
-            params=_params_from_dict(d["params"]),
-            gpu=str(d["gpu"]),
-            algorithm=str(d["algorithm"]),
-            config=Configuration(**d["config"]),
-            time_seconds=float(d["time_seconds"]),
-            gflops=float(d["gflops"]),
-            tuner=str(d.get("tuner", "ate")),
-            num_measurements=int(d.get("num_measurements", 0)),
-            space_size=int(d.get("space_size", 0)),
-            budget=int(d.get("budget", 0)),
-            noise=None if d.get("noise") is None else float(d["noise"]),
-            noise_seed=None if d.get("noise_seed") is None else int(d["noise_seed"]),
-        )
 
 
 #: wire-format version of :class:`RecordEnvelope`.
@@ -260,47 +138,39 @@ class RecordEnvelope:
 
 
 class TuningDatabase:
-    """In-memory map of tuning records with JSON persistence.
+    """Keep-better record map over a pluggable :class:`RecordStore` backend.
 
     ``hits``/``misses`` count :meth:`lookup` outcomes so callers (tests, the
     model runner) can verify that repeated layers reuse tuning work instead
     of re-measuring.
 
-    The map is protected by an internal re-entrant lock, so a database can be
-    shared between a :class:`~repro.service.TuningService` driver thread and
-    submitting threads; :meth:`save` writes atomically (temp file +
-    ``os.replace``), so a crash mid-save never corrupts an existing file.
+    The façade holds no state of its own beyond the hit/miss counters: the
+    record map, revision counter and change log live in the backend, whose
+    internal lock makes every write safe to share between a
+    :class:`~repro.service.TuningService` driver thread and submitting
+    threads.  Reads (:meth:`lookup`, :meth:`contains`) go through the
+    backend's lock-free read-copy hot tier, so serving never contends with
+    writers.  :meth:`apply` is the single documented write path for record
+    batches; :meth:`put` is its one-record primitive.
     """
 
     def __init__(
         self,
         records: Iterable[TuningRecord] = (),
         path: Optional[Union[str, os.PathLike]] = None,
+        store: Optional[RecordStore] = None,
     ) -> None:
-        #: problem key -> {measurement conditions -> record}; records for the
-        #: same problem measured under different conditions coexist, so two
-        #: runners with different executors never evict each other's entries.
-        self._records: Dict[Tuple, Dict[Tuple, TuningRecord]] = {}
-        #: monotonic change counter: bumped once per *effective* put (an
-        #: insert, a faster record, or a budget upgrade; a losing or equal
-        #: record leaves it untouched).  ``_change_log`` appends the changed
-        #: (problem, conditions) slot per bump, so :meth:`changes_since` can
-        #: stream exactly the records that moved by slicing the tail — the
-        #: primitive the worker pool's cross-shard exchange is built on —
-        #: without rescanning the whole map every scheduling round.  The log
-        #: is compacted once it doubles ``_CHANGE_LOG_CAP`` (``_log_base``
-        #: tracks the revision of its first retained entry); a checkpoint
-        #: older than the retained tail falls back to over-delivering the
-        #: whole map, which keep-better apply makes safe.
-        self._revision = 0
-        self._log_base = 0
-        self._change_log: List[Tuple[Tuple, Tuple]] = []
-        self._lock = threading.RLock()
-        #: where :meth:`save` persists when called without a path (set by
-        #: :meth:`default` / :meth:`load`, or explicitly).
-        self.path = os.fspath(path) if path is not None else None
-        self.hits = 0
-        self.misses = 0
+        if store is not None and path is not None:
+            raise ValueError("pass either a store or a path, not both")
+        #: the persistence/serving backend; defaults to the whole-file JSON
+        #: map for compatibility with every existing call site.
+        self._store = store if store is not None else JsonMapStore(path=path)
+        #: where :meth:`save` persists when called without a path (the
+        #: backend's location; assignable for the legacy load()/default()
+        #: contract).
+        self.path = self._store.path
+        self._hits = Counter("db.serve_hits")
+        self._misses = Counter("db.serve_misses")
         # Telemetry mirrors (null no-ops until attach_metrics binds real
         # ones); the database sits in the REPRO601 no-wall-clock scope, so
         # only counts and levels are recorded.
@@ -312,23 +182,38 @@ class TuningDatabase:
         for record in records:
             self.put(record)
 
+    @property
+    def store(self) -> RecordStore:
+        """The backend this façade coordinates (read-only)."""
+        return self._store
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
     def attach_metrics(self, metrics) -> None:
         """Bind database telemetry to a metrics scope (see ``repro.obs``).
 
         Records ``puts_total`` vs ``puts_effective`` (keep-better inserts
         that actually changed a slot), ``serve_hits``/``serve_misses``
-        (lookup outcomes) and the ``revision`` growth gauge.  Observability
-        never alters database state: instruments are written on the same
-        code paths that already mutate the map, nothing more.
+        (lookup outcomes) and the ``revision`` growth gauge, and wires the
+        backend under the nested ``store`` scope (``db.store.*``: appends,
+        compactions, recoveries — see :meth:`RecordStore.attach_metrics`).
+        Observability never alters database state: instruments are written
+        on the same code paths that already mutate the map, nothing more.
         """
-        with self._lock:
-            self._m_puts = metrics.counter("puts_total")
-            self._m_puts_effective = metrics.counter("puts_effective")
-            self._m_serve_hits = metrics.counter("serve_hits")
-            self._m_serve_misses = metrics.counter("serve_misses")
-            self._m_revision = metrics.gauge("revision")
+        self._m_puts = metrics.counter("puts_total")
+        self._m_puts_effective = metrics.counter("puts_effective")
+        self._m_serve_hits = metrics.counter("serve_hits")
+        self._m_serve_misses = metrics.counter("serve_misses")
+        self._m_revision = metrics.gauge("revision")
+        self._store.attach_metrics(metrics.scope("store"))
 
-    # -- default on-disk location --------------------------------------- #
+    # -- construction at the edges --------------------------------------- #
     @classmethod
     def default(cls) -> "TuningDatabase":
         """Open the default on-disk database (see :func:`default_database_path`).
@@ -351,7 +236,7 @@ class TuningDatabase:
         explicit = bool(os.environ.get(DATABASE_ENV_VAR))
         if os.path.exists(path):
             try:
-                db = cls.load(path)
+                db = cls.open(path)
                 db.path = path
             except (OSError, ValueError, KeyError, TypeError, AttributeError) as exc:
                 if explicit:
@@ -388,14 +273,42 @@ class TuningDatabase:
                 )
         return cls(path=path)
 
+    @classmethod
+    def open(cls, path: Union[str, os.PathLike]) -> "TuningDatabase":
+        """Open an on-disk database of either backend format.
+
+        Sniffs the file: an append-only log (first line is a
+        ``kind: "log"`` header, or a ``.snap`` sibling exists) opens as a
+        recovered :class:`LogStore`; anything else goes through the
+        whole-file map reader (:meth:`load`).  Use this at edges that
+        accept a user-supplied path; use the constructors directly when
+        the backend is known.
+        """
+        name = os.fspath(path)
+        if cls._sniff_log(name):
+            return cls(store=LogStore(name))
+        return cls.load(name)
+
+    @staticmethod
+    def _sniff_log(name: str) -> bool:
+        if os.path.exists(name + ".snap"):
+            return True
+        if not os.path.exists(name):
+            return False
+        try:
+            with open(name, "r", encoding="utf-8") as fh:
+                first = fh.readline()
+            header = json.loads(first)
+        except (OSError, ValueError):
+            return False
+        return isinstance(header, dict) and header.get("kind") == "log"
+
     # -- core map ------------------------------------------------------- #
     def __len__(self) -> int:
-        with self._lock:
-            return sum(len(bucket) for bucket in self._records.values())
+        return len(self._store)
 
     def records(self) -> List[TuningRecord]:
-        with self._lock:
-            return [r for bucket in self._records.values() for r in bucket.values()]
+        return self._store.scan()
 
     def put(self, record: TuningRecord) -> TuningRecord:
         """Insert a record; the faster one wins among same-conditions records.
@@ -406,54 +319,20 @@ class TuningDatabase:
         record set yields the same survivors in any order.  The surviving
         record of a same-conditions collision inherits the larger budget of
         the two: a configuration that beats the outcome of a more thorough
-        search also satisfies requests at that search's budget."""
-        with self._lock:
-            self._m_puts.inc()
-            bucket = self._records.setdefault(record.key(), {})
-            cond = record.conditions()
-            existing = bucket.get(cond)
-            if existing is None:
-                winner = record
-            else:
-                # Faster time wins; an exact time tie breaks on the config
-                # key so the surviving record is a deterministic function of
-                # the record *set*, not of arrival order (two shards finding
-                # equal-time configs must converge on one winner whatever
-                # the queue timing).
-                if record.time_seconds < existing.time_seconds or (
-                    record.time_seconds == existing.time_seconds
-                    and record.config.key() < existing.config.key()
-                ):
-                    winner = record
-                else:
-                    winner = existing
-                budget = max(record.budget, existing.budget)
-                if budget != winner.budget:
-                    winner = dataclasses.replace(winner, budget=budget)
-            if winner is not existing:
-                # Effective change: log it so changes_since() streams it.
-                # A losing (or identical) record leaves the revision
-                # untouched, which is what keeps record exchange loop-free:
-                # re-applying a record the database already holds never
-                # re-broadcasts it.
-                bucket[cond] = winner
-                self._change_log.append((record.key(), cond))
-                self._revision += 1
-                self._m_puts_effective.inc()
-                self._m_revision.set(self._revision)
-                if len(self._change_log) >= 2 * _CHANGE_LOG_CAP:
-                    # Amortised O(1) compaction keeps a daemon-lifetime
-                    # database's log bounded; stale checkpoints fall back
-                    # to safe over-delivery in changes_since().
-                    del self._change_log[:_CHANGE_LOG_CAP]
-                    self._log_base += _CHANGE_LOG_CAP
-            return bucket[cond]
+        search also satisfies requests at that search's budget.  This is
+        the one-record primitive behind :meth:`apply`, the documented write
+        path for record batches."""
+        self._m_puts.inc()
+        winner, effective = self._store.append(record)
+        if effective:
+            self._m_puts_effective.inc()
+            self._m_revision.set(self._store.revision)
+        return winner
 
     @property
     def revision(self) -> int:
         """Monotonic change counter (see :meth:`changes_since`)."""
-        with self._lock:
-            return self._revision
+        return self._store.revision
 
     def changes_since(self, revision: int) -> List[TuningRecord]:
         """Records whose slot changed after ``revision``, oldest change first.
@@ -464,39 +343,35 @@ class TuningDatabase:
         date (keep-better apply is idempotent and order-independent, so
         over-delivery is always safe).
         """
-        with self._lock:
-            if revision < self._log_base:
-                # The checkpoint predates the retained log tail (compacted
-                # away): over-deliver everything — idempotent keep-better
-                # apply makes that merely redundant, never wrong.
-                return self.records()
-            seen: set = set()
-            changed: List[TuningRecord] = []
-            for slot in self._change_log[max(revision - self._log_base, 0):]:
-                if slot not in seen:
-                    seen.add(slot)
-                    key, cond = slot
-                    changed.append(self._records[key][cond])
-            return changed
+        return self._store.changes_since(revision)
 
-    def apply(self, records: Iterable[TuningRecord]) -> List[TuningRecord]:
+    def apply(
+        self,
+        records: Union["TuningDatabase", Iterable[TuningRecord]],
+    ) -> List[TuningRecord]:
         """Keep-better fold of ``records``; returns the surviving changes.
 
-        The streaming pool's sync primitive: each record lands via
-        :meth:`put` (monotonic — an incoming record can only improve a slot,
-        never regress it), and the returned list holds the records that
-        actually changed the database (the winners, post budget-upgrade).
-        Callers use the return value for accounting and to decide what to
-        re-broadcast; an empty list means the database already knew
-        everything the batch carried.
+        **The** write path for record batches (and the streaming pool's
+        sync primitive): accepts a record iterable or a whole
+        :class:`TuningDatabase`, lands each record via :meth:`put`
+        (monotonic — an incoming record can only improve a slot, never
+        regress it), and returns the records that actually changed the
+        database (the winners, post budget-upgrade).  Callers use the
+        return value for accounting and to decide what to re-broadcast; an
+        empty list means the database already knew everything the batch
+        carried.
         """
+        if isinstance(records, TuningDatabase):
+            records = records.records()
         applied: List[TuningRecord] = []
-        with self._lock:
-            for record in records:
-                before = self._revision
-                kept = self.put(record)
-                if self._revision != before:
-                    applied.append(kept)
+        for record in records:
+            self._m_puts.inc()
+            winner, effective = self._store.append(record)
+            if effective:
+                self._m_puts_effective.inc()
+                applied.append(winner)
+        if applied:
+            self._m_revision.set(self._store.revision)
         return applied
 
     def lookup(
@@ -519,37 +394,37 @@ class TuningDatabase:
           executor noise/seed does not count as a hit; its time would not be
           reproducible by the caller's measurer.  Records of unknown
           conditions serve any caller; a caller with unknown conditions is
-          served the fastest record on file."""
-        with self._lock:
-            bucket = self._records.get(
-                (_params_key(params), _gpu_name(spec), algorithm), {}
-            )
-            if noise is None:
-                candidates = list(bucket.values())
-            else:
-                candidates = [
-                    r
-                    for cond, r in bucket.items()
-                    if cond == (noise, noise_seed) or cond == (None, None)
-                ]
+          served the fastest record on file.
+
+        Runs entirely on the backend's lock-free read-copy hot tier, so a
+        million lookups a second never stall behind a writer."""
+        bucket = self._store.serve((_params_key(params), _gpu_name(spec), algorithm))
+        if noise is None:
+            candidates = list(bucket.values())
+        else:
             candidates = [
-                r for r in candidates if not (budget and r.budget and r.budget < budget)
+                r
+                for cond, r in bucket.items()
+                if cond == (noise, noise_seed) or cond == (None, None)
             ]
-            if not candidates:
-                self.misses += 1
-                self._m_serve_misses.inc()
-                return None
-            self.hits += 1
-            self._m_serve_hits.inc()
-            return min(candidates, key=lambda r: r.time_seconds)
+        candidates = [
+            r for r in candidates if not (budget and r.budget and r.budget < budget)
+        ]
+        if not candidates:
+            self._misses.inc()
+            self._m_serve_misses.inc()
+            return None
+        self._hits.inc()
+        self._m_serve_hits.inc()
+        return min(candidates, key=lambda r: r.time_seconds)
 
     def contains(
         self, params: ConvParams, spec: Union[GPUSpec, str], algorithm: str
     ) -> bool:
         """Membership probe that does not touch the hit/miss counters."""
-        with self._lock:
-            return (_params_key(params), _gpu_name(spec), algorithm) in self._records
+        return bool(self._store.serve((_params_key(params), _gpu_name(spec), algorithm)))
 
+    # -- deprecated mutation surface ------------------------------------- #
     def add_result(
         self,
         result: TuningResult,
@@ -557,118 +432,84 @@ class TuningDatabase:
         noise: Optional[float] = None,
         noise_seed: Optional[int] = None,
     ) -> TuningRecord:
-        """Record the best trial of a finished tuning run.
+        """Deprecated: use ``put(TuningRecord.from_result(result, ...))``.
 
-        ``budget`` is the measurement budget the run was allowed (its
-        ``max_measurements``), which may exceed ``result.num_measurements``
-        when the run stopped early on patience; ``noise``/``noise_seed`` are
-        the measurement conditions of the run's executor."""
-        best = result.best_trial
+        Retained as a thin shim for one release so external callers keep
+        working; in-repo callers are migrated."""
+        warnings.warn(
+            "TuningDatabase.add_result() is deprecated; use "
+            "db.put(TuningRecord.from_result(result, ...)) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.put(
-            TuningRecord(
-                params=result.params,
-                gpu=result.gpu,
-                algorithm=best.config.algorithm,
-                config=best.config,
-                time_seconds=best.time_seconds,
-                gflops=best.gflops,
-                tuner=result.tuner,
-                num_measurements=result.num_measurements,
-                space_size=result.space_size,
-                budget=budget,
-                noise=noise,
-                noise_seed=noise_seed,
+            TuningRecord.from_result(
+                result, budget=budget, noise=noise, noise_seed=noise_seed
             )
         )
 
     def merge(
         self, other: Union["TuningDatabase", Iterable[TuningRecord]]
     ) -> "TuningDatabase":
-        """Fold another database (or a bare record iterable) into this one.
+        """Deprecated: use :meth:`apply` (same fold, structured return).
 
-        Collisions resolve through :meth:`put` — per (problem, conditions)
-        the better (faster, larger-covered-budget) record survives — which is
-        what makes the worker pool's merge of independently tuned shard
-        databases safe: no worker's result can regress another's.
-        """
-        records = other.records() if isinstance(other, TuningDatabase) else other
-        self.apply(records)
+        Retained as a thin shim for one release; ``apply`` returns the
+        surviving changes instead of ``self``."""
+        warnings.warn(
+            "TuningDatabase.merge() is deprecated; use db.apply(records) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.apply(other)
         return self
 
     # -- persistence ---------------------------------------------------- #
     def save(self, path: Optional[Union[str, os.PathLike]] = None) -> str:
-        """Atomically persist to ``path`` (default: :attr:`path`).
+        """Persist durably; returns the path written.
 
-        The payload is written to a temporary sibling file and moved into
-        place with ``os.replace``, so readers never observe a half-written
-        database and a crash mid-save leaves any previous file intact.
-        Parent directories are created as needed.  Returns the path written.
+        Without a path, asks the backend for a full snapshot at its own
+        location (atomic whole-file rewrite for :class:`JsonMapStore`,
+        fsync'd snapshot + log reset for :class:`LogStore`).  With an
+        explicit ``path``, exports the live record set as a portable
+        whole-file JSON map regardless of backend — the interchange format
+        every build can read.
         """
-        target = os.fspath(path) if path is not None else self.path
-        if target is None:
-            raise ValueError("no path given and the database has no default path")
-        payload = {
-            "version": _FORMAT_VERSION,
-            "records": [r.to_dict() for r in self.records()],
-        }
-        directory = os.path.dirname(os.path.abspath(target))
-        os.makedirs(directory, exist_ok=True)
-        fd, tmp_path = tempfile.mkstemp(
-            prefix=os.path.basename(target) + ".", suffix=".tmp", dir=directory
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(payload, fh, indent=1, sort_keys=True)
-            os.replace(tmp_path, target)
-        except BaseException:
-            # The half-written temp file must not survive a failed save.
-            try:
-                os.unlink(tmp_path)
-            except OSError:
-                pass
-            raise
-        return target
+        if path is None:
+            target = self._store.snapshot()
+            if target is None:
+                if self.path is None:
+                    raise ValueError(
+                        "no path given and the database has no default path"
+                    )
+                return write_map_file(self.path, self.records())
+            return target
+        return write_map_file(path, self.records())
 
     @classmethod
     def load(cls, path: Union[str, os.PathLike]) -> "TuningDatabase":
-        """Load a saved database; ``OSError`` for I/O trouble,
+        """Load a saved whole-file JSON map; ``OSError`` for I/O trouble,
         :class:`TuningDatabaseError` for truncated/corrupt/incompatible
-        content (with the offending path in the message)."""
-        with open(path, "r", encoding="utf-8") as fh:
-            try:
-                payload = json.load(fh)
-            except ValueError as exc:  # includes json.JSONDecodeError
-                raise TuningDatabaseError(
-                    f"{os.fspath(path)!r} is not valid JSON (truncated save or "
-                    f"foreign file?): {exc}"
-                ) from exc
-        if not isinstance(payload, dict):
-            raise TuningDatabaseError(
-                f"{os.fspath(path)!r} does not hold a tuning database "
-                f"(top level is {type(payload).__name__}, expected an object)"
-            )
-        version = payload.get("version")
-        if version != _FORMAT_VERSION:
-            raise TuningDatabaseError(
-                f"{os.fspath(path)!r}: unsupported tuning-database version {version!r}"
-            )
-        try:
-            db = cls(TuningRecord.from_dict(d) for d in payload.get("records", []))
-        except TuningDatabaseError:
-            raise
-        except Exception as exc:
-            raise TuningDatabaseError(
-                f"{os.fspath(path)!r} holds malformed tuning records: {exc}"
-            ) from exc
+        content — including a file written by a newer store format, which
+        is rejected naming that format version.  See :meth:`open` for
+        format sniffing that also accepts append-only logs."""
+        db = cls(read_map_file(path))
         db.path = os.fspath(path)
+        db._store.path = db.path
         return db
 
-    def describe(self) -> str:
-        with self._lock:
-            # Snapshot under the lock: size and both counters must come from
-            # the same moment, and the counter reads themselves race lookup()
-            # writers otherwise (flagged by reprolint REPRO201).
-            return (
-                f"TuningDatabase[{len(self)} records, "
-                f"{self.hits} hits / {self.misses} misses]"
-            )
+    def close(self) -> None:
+        """Release backend resources (log file handles); idempotent."""
+        self._store.close()
+
+    # -- introspection --------------------------------------------------- #
+    def describe(self) -> Dict[str, object]:
+        """JSON-native status snapshot (serve it over the wire, or render
+        with :func:`repro.obs.format_describe` for humans)."""
+        return {
+            "kind": "TuningDatabase",
+            "records": len(self),
+            "hits": self.hits,
+            "misses": self.misses,
+            "revision": self.revision,
+            "store": self._store.describe(),
+        }

@@ -62,6 +62,7 @@ from .explorer import ExplorerConfig, ParallelRandomWalkExplorer
 from .features import FeatureCache
 from .session import TrialRecord, TuningResult, record_trial
 from .space import SearchSpace
+from .store import TuningRecord
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (database imports us)
     from .database import TuningDatabase
@@ -336,11 +337,13 @@ class AutoTuningEngine:
                 return record.as_result()
         result = self._tune(initial_random)
         if use_database and any(t.valid for t in result.trials):
-            self.database.add_result(
-                result,
-                budget=self.max_measurements,
-                noise=executor.noise,
-                noise_seed=executor.seed,
+            self.database.put(
+                TuningRecord.from_result(
+                    result,
+                    budget=self.max_measurements,
+                    noise=executor.noise,
+                    noise_seed=executor.seed,
+                )
             )
         return result
 

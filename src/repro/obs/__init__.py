@@ -27,7 +27,13 @@ trajectories with observability enabled vs. disabled is enforced by
 """
 
 from .clock import NULL_CLOCK, Clock, FakeClock, MonotonicClock, NullClock, WallClock
-from .export import metrics_jsonl, prometheus_text, spans_jsonl, summary
+from .export import (
+    format_describe,
+    metrics_jsonl,
+    prometheus_text,
+    spans_jsonl,
+    summary,
+)
 from .metrics import (
     BATCH_SIZE_BOUNDS,
     FILL_RATIO_BOUNDS,
@@ -56,6 +62,7 @@ __all__ = [
     "Counter",
     "FakeClock",
     "Gauge",
+    "format_describe",
     "Histogram",
     "HistogramData",
     "MetricsRegistry",

@@ -11,6 +11,11 @@ service keeps recording.  Three formats:
   cumulative with ``le`` labels and a ``+Inf`` terminator);
 * :func:`summary` — fixed-width human table for ``describe()``-style CLI
   output.
+
+:func:`format_describe` is the companion for the structured-introspection
+surface: ``TuningDatabase.describe()`` / ``TuningService.describe()``
+return JSON-native dicts (so the future daemon serves status over the
+wire), and this renders one as the classic human one-liner.
 """
 
 from __future__ import annotations
@@ -21,7 +26,34 @@ from typing import Iterable, List
 from .metrics import MetricsSnapshot
 from .trace import Span
 
-__all__ = ["metrics_jsonl", "spans_jsonl", "prometheus_text", "summary"]
+__all__ = [
+    "format_describe",
+    "metrics_jsonl",
+    "spans_jsonl",
+    "prometheus_text",
+    "summary",
+]
+
+
+def format_describe(info: object) -> str:
+    """Render a ``describe()`` dict as a compact human one-liner.
+
+    ``{"kind": "TuningDatabase", "records": 3, ...}`` becomes
+    ``TuningDatabase[records=3, ...]``; nested describe dicts (a database's
+    backend, a service's database) render recursively.  Pure function over
+    JSON-native data — the inverse direction (parsing) is never needed,
+    because the dict itself is the machine-readable form.
+    """
+    if not isinstance(info, dict):
+        return repr(info)
+    kind = info.get("kind", "describe")
+    parts = []
+    for key, value in info.items():
+        if key == "kind":
+            continue
+        rendered = format_describe(value) if isinstance(value, dict) else repr(value)
+        parts.append(f"{key}={rendered}")
+    return f"{kind}[{', '.join(parts)}]"
 
 
 def metrics_jsonl(snapshot: MetricsSnapshot) -> str:

@@ -66,6 +66,7 @@ from ..core.autotune.database import (
     TuningDatabaseError,
     TuningRecord,
 )
+from ..core.autotune.store import LogStore
 from ..core.autotune.engine import TuningResult
 from ..obs import (
     NULL_OBS,
@@ -112,6 +113,9 @@ class PoolStats:
     poisoned_envelopes: int = 0
     #: workers that died mid-workload (their shards re-ran in the parent).
     worker_failures: int = 0
+    #: records recovered from a dead worker's shard log (``store_dir``
+    #: pools only): work the worker persisted but never got to stream.
+    records_recovered: int = 0
     # Aggregates over every shard service (plus in-parent recovery reruns):
     measurements: int = 0
     tuning_runs: int = 0
@@ -125,7 +129,8 @@ class PoolStats:
             f"{self.measurements} measurements, {self.records_streamed} records "
             f"streamed ({self.records_applied} applied, "
             f"{self.poisoned_envelopes} poisoned), "
-            f"{self.worker_failures} worker failures]"
+            f"{self.worker_failures} worker failures / "
+            f"{self.records_recovered} records recovered]"
         )
 
 
@@ -179,7 +184,14 @@ class _ShardRunner:
         admit_window: int = 0,
         database: Optional[TuningDatabase] = None,
         obs: Optional[Observability] = None,
+        store_path: Optional[str] = None,
     ) -> None:
+        if database is None and store_path is not None:
+            # Durable shard: every effective put lands in an append-only
+            # log, and constructing the store replays whatever an earlier
+            # (crashed) incarnation of this shard persisted — the worker
+            # restarts with its records instead of re-tuning them.
+            database = TuningDatabase(store=LogStore(store_path))
         self.service = TuningService(database=database, policy=policy, obs=obs)
         self.admit_window = admit_window
         #: backlog of (shard position, request); duplicates may be admitted
@@ -280,6 +292,7 @@ def _stream_shard(
     sync_queue,
     results_queue,
     obs_enabled: bool = False,
+    store_path: Optional[str] = None,
 ) -> None:
     """Streaming worker entry point (module-level: pickles everywhere).
 
@@ -298,7 +311,11 @@ def _stream_shard(
             enabled=obs_enabled, clock=MonotonicClock() if obs_enabled else None
         )
         runner = _ShardRunner(
-            requests, policy=policy, admit_window=admit_window, obs=obs
+            requests,
+            policy=policy,
+            admit_window=admit_window,
+            obs=obs,
+            store_path=store_path,
         )
         poisoned = 0
         while True:
@@ -342,6 +359,8 @@ def _stream_shard(
             )
         except Exception:
             pass
+    else:
+        runner.service.database.close()
 
 
 class TuningWorkerPool:
@@ -370,6 +389,16 @@ class TuningWorkerPool:
     so each worker builds its own when observability is enabled and ships a
     metrics snapshot back in its ``done`` report; :meth:`fleet_snapshot`
     merges the shards' snapshots with the parent's into one fleet view.
+
+    ``store_dir`` makes streaming shards durable: shard ``i``'s private
+    database is backed by an append-only
+    :class:`~repro.core.autotune.store.LogStore` at
+    ``<store_dir>/shard-<i>.log``, so every effective put survives the
+    worker process.  A restarted worker recovers its records from the log
+    instead of re-tuning them, and when a worker dies mid-workload the
+    parent recovers its log directly — records the worker persisted but
+    never streamed are folded into the shared database before the shard's
+    in-parent rerun (counted in :attr:`PoolStats.records_recovered`).
     """
 
     def __init__(
@@ -382,6 +411,7 @@ class TuningWorkerPool:
         admit_window: int = 4,
         use_processes: Optional[bool] = None,
         obs: Optional[Observability] = None,
+        store_dir: Optional[str] = None,
     ) -> None:
         if num_workers < 0:
             raise ValueError("num_workers must be >= 0 (0 = one per CPU, capped)")
@@ -394,6 +424,9 @@ class TuningWorkerPool:
         self.streaming = streaming
         self.admit_window = admit_window
         self.use_processes = use_processes
+        #: directory for durable per-shard record logs (None = in-memory
+        #: shard databases, the default).
+        self.store_dir = os.fspath(store_dir) if store_dir is not None else None
         #: True when the last workload ran in worker processes (False = the
         #: serial in-process interleaving was used).
         self.used_processes = False
@@ -419,6 +452,7 @@ class TuningWorkerPool:
         self._c_records_applied = acc.counter("records_applied")
         self._c_poisoned = acc.counter("poisoned_envelopes")
         self._c_worker_failures = acc.counter("worker_failures")
+        self._c_records_recovered = acc.counter("records_recovered")
         self._c_measurements = acc.counter("measurements")
         self._c_tuning_runs = acc.counter("tuning_runs")
         self._c_database_hits = acc.counter("database_hits")
@@ -443,6 +477,7 @@ class TuningWorkerPool:
             records_applied=c.get("pool.records_applied", 0),
             poisoned_envelopes=c.get("pool.poisoned_envelopes", 0),
             worker_failures=c.get("pool.worker_failures", 0),
+            records_recovered=c.get("pool.records_recovered", 0),
             measurements=c.get("pool.measurements", 0),
             tuning_runs=c.get("pool.tuning_runs", 0),
             database_hits=c.get("pool.database_hits", 0),
@@ -496,6 +531,37 @@ class TuningWorkerPool:
             shards[shard].append(request)
             placement.append((shard, len(shards[shard]) - 1))
         return shards, placement
+
+    def _shard_store_path(self, index: int) -> Optional[str]:
+        """The durable log location for streaming shard ``index`` (None
+        when the pool was built without ``store_dir``)."""
+        if self.store_dir is None:
+            return None
+        return os.path.join(self.store_dir, f"shard-{index}.log")
+
+    def _recover_shard_store(self, index: int, exchange: TuningDatabase) -> int:
+        """Fold a dead worker's shard log into the shared database.
+
+        Returns how many recovered records improved it.  Recovery is
+        best-effort in the pool's degrade-never-crash style: a missing log
+        means the worker died before its first put (nothing to recover),
+        and an unreadable one is counted as poisoned — the in-parent rerun
+        re-tunes that work either way.
+        """
+        path = self._shard_store_path(index)
+        if path is None or not os.path.exists(path):
+            return 0
+        try:
+            store = LogStore(path)
+        except (OSError, TuningDatabaseError):
+            self._c_poisoned.inc()
+            return 0
+        try:
+            applied = exchange.apply(store.scan())
+        finally:
+            store.close()
+        self._c_records_recovered.inc(len(applied))
+        return len(applied)
 
     def _context(self):
         if self.start_method is not None:
@@ -583,7 +649,7 @@ class TuningWorkerPool:
                 results, record_dicts, stats, wire = _tune_shard(
                     shard, self.policy, obs_enabled=self.obs.enabled
                 )
-                exchange.merge(TuningRecord.from_dict(d) for d in record_dicts)
+                exchange.apply(TuningRecord.from_dict(d) for d in record_dicts)
                 self._absorb(stats)
                 self._merge_shard_metrics(MetricsSnapshot.from_wire(wire))
                 outputs[i] = results
@@ -598,8 +664,9 @@ class TuningWorkerPool:
                 policy=self.policy,
                 admit_window=self.admit_window,
                 obs=self.obs,
+                store_path=self._shard_store_path(i),
             )
-            for shard in shards
+            for i, shard in enumerate(shards)
         ]
         inboxes: List[List[TuningRecord]] = [[] for _ in shards]
         unfinished = list(range(len(shards)))
@@ -629,7 +696,8 @@ class TuningWorkerPool:
             unfinished = still_running
         outputs = {}
         for i, runner in enumerate(runners):
-            exchange.merge(runner.service.database)
+            exchange.apply(runner.service.database)
+            runner.service.database.close()
             self._absorb(runner.service.stats)
             # Serial shards share self.obs, so their extras are already in
             # the parent registry — only the per-service accounting needs
@@ -651,7 +719,7 @@ class TuningWorkerPool:
                 )
             outputs = {}
             for i, (results, record_dicts, stats, wire) in enumerate(shard_outputs):
-                exchange.merge(TuningRecord.from_dict(d) for d in record_dicts)
+                exchange.apply(TuningRecord.from_dict(d) for d in record_dicts)
                 self._absorb(stats)
                 self._merge_shard_metrics(MetricsSnapshot.from_wire(wire))
                 outputs[i] = results
@@ -759,6 +827,7 @@ class TuningWorkerPool:
                         sync_queues[i],
                         results_queue,
                         self.obs.enabled,
+                        self._shard_store_path(i),
                     ),
                     daemon=True,
                 )
@@ -834,7 +903,7 @@ class TuningWorkerPool:
         shard_results: Dict[int, List[TuningResult]] = {}
         for i, payload in outputs.items():
             self._o_workers_done.inc()
-            exchange.merge(
+            exchange.apply(
                 TuningRecord.from_dict(d) for d in payload.get("records", [])
             )
             stats = payload.get("stats")
@@ -856,6 +925,10 @@ class TuningWorkerPool:
         for i in sorted(failures):
             self._c_worker_failures.inc()
             self._o_workers_failed.inc()
+            # Durable pools first salvage what the dead worker persisted
+            # but never streamed, so the rerun serves it instead of
+            # re-measuring.
+            self._recover_shard_store(i, exchange)
             runner = _ShardRunner(
                 shards[i],
                 policy=self.policy,

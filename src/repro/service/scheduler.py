@@ -50,6 +50,7 @@ runs that store nothing (unpruned requests) receive the full result.
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -419,11 +420,13 @@ class TuningService:
         stored = False
         if request.pruned and any(t.valid for t in result.trials):
             executor = run.measurer.executor
-            self.database.add_result(
-                result,
-                budget=request.max_measurements,
-                noise=executor.noise,
-                noise_seed=executor.seed,
+            self.database.put(
+                TuningRecord.from_result(
+                    result,
+                    budget=request.max_measurements,
+                    noise=executor.noise,
+                    noise_seed=executor.seed,
+                )
             )
             stored = True
         entry.primary._set_result(result)
@@ -467,9 +470,18 @@ class TuningService:
         if run in self._active:
             self._active.remove(run)
 
-    def describe(self) -> str:
+    def describe(self) -> Dict[str, object]:
+        """JSON-native status snapshot (see the satellite redesign: the
+        future daemon serves this over the wire; render it with
+        :func:`repro.obs.format_describe` for humans)."""
         with self._lock:
             # num_active under the lock for a coherent pairing with the
             # stats snapshot (itself race-free: the property reads a locked
             # registry snapshot, satisfying reprolint REPRO201 by design).
-            return f"TuningService[{self.num_active} active, {self.stats.describe()}]"
+            return {
+                "kind": "TuningService",
+                "active": self.num_active,
+                "policy": self.policy.name,
+                "stats": dataclasses.asdict(self.stats),
+                "database": self.database.describe(),
+            }

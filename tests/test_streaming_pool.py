@@ -517,7 +517,7 @@ class TestStreamingApplyProperties:
     def test_any_arrival_permutation_equals_bulk_merge(self):
         records = self._record_pool()
         reference = TuningDatabase()
-        reference.merge(records)
+        reference.apply(records)
         rng = random.Random(99)
         for _ in range(20):
             permutation = list(records)
@@ -532,7 +532,7 @@ class TestStreamingApplyProperties:
         # chunks — the worker-pool topology — still equals one bulk merge.
         records = self._record_pool()
         reference = TuningDatabase()
-        reference.merge(records)
+        reference.apply(records)
         halves = (records[::2], records[1::2])
         db = TuningDatabase()
         for chunk_a, chunk_b in zip(halves[0], halves[1]):
@@ -588,9 +588,9 @@ class TestStreamingApplyProperties:
         # once compacted, a stale checkpoint over-delivers (harmless under
         # keep-better apply) while fresh checkpoints still stream exactly
         # the tail.
-        import repro.core.autotune.database as database_module
+        import repro.core.autotune.store as store_module
 
-        monkeypatch.setattr(database_module, "_CHANGE_LOG_CAP", 8)
+        monkeypatch.setattr(store_module, "_CHANGE_LOG_CAP", 8)
         base = _record_for(_request(A), 1e-3)
         db = TuningDatabase()
         for i in range(40):  # 40 effective inserts, distinct problems
@@ -601,7 +601,7 @@ class TestStreamingApplyProperties:
                 )
             )
         assert db.revision == 40
-        assert len(db._change_log) < 2 * 8
+        assert len(db.store._change_log) < 2 * 8
         # Stale checkpoint (compacted away): the whole map is delivered.
         assert len(db.changes_since(0)) == 40
         # Fresh checkpoint: exactly the records stored after it.

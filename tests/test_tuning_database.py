@@ -97,27 +97,28 @@ class TestPersistence:
         with pytest.raises(ValueError):
             TuningDatabase.load(path)
 
-    def test_merge(self):
+    def test_apply_folds_another_database(self):
         a = TuningDatabase([_record()])
         b = TuningDatabase([_record(params=SMALL)])
-        a.merge(b)
+        a.apply(b)
         assert len(a) == 2
 
-    def test_merge_keeps_better_config(self):
+    def test_apply_keeps_better_config(self):
         # Worker databases tuned independently may disagree on the same
-        # problem; the merged database must keep the faster configuration
-        # regardless of merge direction.
+        # problem; the folded database must keep the faster configuration
+        # regardless of fold direction.
         fast, slow = _record(time_seconds=1e-3), _record(time_seconds=2e-3)
-        a = TuningDatabase([slow]).merge(TuningDatabase([fast]))
-        b = TuningDatabase([fast]).merge(TuningDatabase([slow]))
+        a, b = TuningDatabase([slow]), TuningDatabase([fast])
+        a.apply(TuningDatabase([fast]))
+        b.apply(TuningDatabase([slow]))
         for db in (a, b):
             assert len(db) == 1
             assert db.lookup(LAYER, V100, "direct").time_seconds == 1e-3
 
-    def test_merge_accepts_record_iterables(self):
+    def test_apply_accepts_record_iterables(self):
         db = TuningDatabase()
-        db.merge([_record(), _record(params=SMALL)])
-        db.merge(r for r in [_record(params=LAYER.with_batch(4))])
+        db.apply([_record(), _record(params=SMALL)])
+        db.apply(r for r in [_record(params=LAYER.with_batch(4))])
         assert len(db) == 3
 
 
