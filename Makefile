@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint reprolint stress bench bench-batched bench-service bench-explorer bench-store compare-bench
+.PHONY: test lint reprolint stress bench bench-batched bench-service bench-explorer bench-store bench-daemon compare-bench
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -39,6 +39,9 @@ bench-explorer:
 
 bench-store:
 	$(PYTHON) -m pytest benchmarks/bench_record_store.py -q -s
+
+bench-daemon:
+	$(PYTHON) -m pytest benchmarks/bench_daemon.py -q -s
 
 # Diff the latest BENCH_*.json telemetry against benchmarks/bench_baseline.json
 # (exit non-zero on regressions beyond the tolerance; CI runs it as a hard gate).

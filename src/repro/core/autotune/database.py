@@ -31,13 +31,11 @@ import dataclasses
 import json
 import math
 import os
-import warnings
 from typing import Dict, Iterable, List, Optional, Union
 
 from ...conv.tensor import ConvParams
 from ...gpusim.spec import GPUSpec
 from ...obs.metrics import NULL_COUNTER, NULL_GAUGE, Counter
-from .session import TuningResult
 from .store import (
     FORMAT_VERSION as _FORMAT_VERSION,
     JsonMapStore,
@@ -423,45 +421,6 @@ class TuningDatabase:
     ) -> bool:
         """Membership probe that does not touch the hit/miss counters."""
         return bool(self._store.serve((_params_key(params), _gpu_name(spec), algorithm)))
-
-    # -- deprecated mutation surface ------------------------------------- #
-    def add_result(
-        self,
-        result: TuningResult,
-        budget: int = 0,
-        noise: Optional[float] = None,
-        noise_seed: Optional[int] = None,
-    ) -> TuningRecord:
-        """Deprecated: use ``put(TuningRecord.from_result(result, ...))``.
-
-        Retained as a thin shim for one release so external callers keep
-        working; in-repo callers are migrated."""
-        warnings.warn(
-            "TuningDatabase.add_result() is deprecated; use "
-            "db.put(TuningRecord.from_result(result, ...)) instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.put(
-            TuningRecord.from_result(
-                result, budget=budget, noise=noise, noise_seed=noise_seed
-            )
-        )
-
-    def merge(
-        self, other: Union["TuningDatabase", Iterable[TuningRecord]]
-    ) -> "TuningDatabase":
-        """Deprecated: use :meth:`apply` (same fold, structured return).
-
-        Retained as a thin shim for one release; ``apply`` returns the
-        surviving changes instead of ``self``."""
-        warnings.warn(
-            "TuningDatabase.merge() is deprecated; use db.apply(records) instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        self.apply(other)
-        return self
 
     # -- persistence ---------------------------------------------------- #
     def save(self, path: Optional[Union[str, os.PathLike]] = None) -> str:

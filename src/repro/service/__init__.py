@@ -23,6 +23,15 @@ batches:
   (parent folds each completed run's record into the shared database
   immediately and pushes it down every other shard's sync channel), with a
   merge-at-end batch mode and a deterministic serial fallback.
+* :class:`TuningDaemon` / :class:`DaemonClient` — the always-on deployment
+  shape: every accepted request is journaled durably (:class:`RequestJournal`)
+  *before* acknowledgement, admission control answers overload with a typed
+  ``RETRY_AFTER`` rejection, per-request timeouts cancel cleanly, and a
+  SIGKILLed daemon recovers on restart — journaled-done results re-serve
+  bit-identically with zero re-measurement, in-flight requests replay
+  idempotently.  Served over a line-delimited JSON socket protocol
+  (:class:`DaemonSocketServer`) or the deterministic in-process
+  :class:`FakeTransport`.
 
 Everything is bit-identical to driving each request's tuner directly
 (:meth:`TuningRequest.tune_direct`) — the service only removes redundant and
@@ -58,7 +67,35 @@ algorithms side by side, packing their measurement batches together::
 """
 
 from .coalescer import InFlightRun, RequestCoalescer
+from .daemon import DaemonStats, TuningDaemon
+from .errors import (
+    BadRequest,
+    DaemonDraining,
+    DeadlineExpired,
+    NotReady,
+    Overloaded,
+    RequestCancelled,
+    RequestError,
+    RequestFailed,
+    RequestTimeout,
+    UnknownRequest,
+    error_from_wire,
+)
+from .frontend import (
+    DaemonClient,
+    DaemonSocketServer,
+    FakeTransport,
+    SocketTransport,
+)
 from .futures import TuningFuture
+from .journal import (
+    RequestJournal,
+    request_from_wire,
+    request_id,
+    request_to_wire,
+    result_from_wire,
+    result_to_wire,
+)
 from .policy import (
     EarliestDeadlinePolicy,
     FairSharePolicy,
@@ -71,18 +108,41 @@ from .request import TUNERS, TuningRequest
 from .scheduler import ServiceStats, TuningService
 
 __all__ = [
+    "BadRequest",
+    "DaemonClient",
+    "DaemonDraining",
+    "DaemonSocketServer",
+    "DaemonStats",
+    "DeadlineExpired",
     "EarliestDeadlinePolicy",
     "FairSharePolicy",
+    "FakeTransport",
     "InFlightRun",
+    "NotReady",
+    "Overloaded",
     "PoolStats",
+    "RequestCancelled",
     "RequestCoalescer",
+    "RequestError",
+    "RequestFailed",
+    "RequestJournal",
+    "RequestTimeout",
     "SchedulingPolicy",
     "ServiceStats",
+    "SocketTransport",
     "TUNERS",
+    "TuningDaemon",
     "TuningFuture",
     "TuningRequest",
     "TuningService",
     "TuningWorkerPool",
     "UniformPolicy",
+    "UnknownRequest",
+    "error_from_wire",
     "make_policy",
+    "request_from_wire",
+    "request_id",
+    "request_to_wire",
+    "result_from_wire",
+    "result_to_wire",
 ]

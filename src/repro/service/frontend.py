@@ -1,0 +1,381 @@
+"""The daemon's front door: line-delimited JSON protocol, transports, client.
+
+One request/reply pair per line.  Ops are JSON objects with an ``"op"``
+discriminator (``ping`` / ``describe`` / ``submit`` / ``status`` /
+``result`` / ``drain``); replies are ``{"ok": true, ...}`` or ``{"ok":
+false, "error": {"code", "message"[, "retry_after"]}}`` with the typed
+error codes of :mod:`repro.service.errors`.  The daemon never hangs a
+client: every op gets exactly one reply line.
+
+Two transports speak the identical wire format:
+
+* :class:`SocketTransport` / :class:`DaemonSocketServer` — an ``AF_UNIX``
+  stream socket for real deployments; the server runs accept/connection
+  threads plus a pump thread that drives the daemon's scheduling ticks.
+* :class:`FakeTransport` — the deterministic in-process mode the fault
+  model is property-tested under: ops and replies make a full
+  ``json.dumps``/``loads`` round trip (so anything that would not survive
+  the socket does not survive the fake either), connection failures and
+  daemon kills are injectable, and each call optionally pumps one daemon
+  tick so client retry/poll loops make deterministic progress.
+
+:class:`DaemonClient` is the thin submit/await API on top of either
+transport: retryable errors (``RETRY_AFTER`` admission pushback,
+``NOT_READY`` polls) and transport ``ConnectionError`` are retried with
+exponential backoff + seeded jitter, and a resubmitted request is
+idempotent by construction — the daemon keys its journal on
+:func:`~repro.service.journal.request_id`, so a retried submit coalesces
+onto the original journal entry instead of duplicating work.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import socket
+import threading
+import time
+from typing import Dict, Optional
+
+from ..core.autotune.session import TuningResult
+from .errors import RequestError, RequestTimeout, error_from_wire
+from .journal import request_to_wire, result_from_wire
+from .request import TuningRequest
+
+__all__ = [
+    "DaemonClient",
+    "DaemonSocketServer",
+    "FakeTransport",
+    "SocketTransport",
+    "decode_line",
+    "encode_line",
+]
+
+#: wire protocol version, stamped into ping replies for handshake checks.
+PROTOCOL_VERSION = 1
+
+_MAX_LINE_BYTES = 16 * 1024 * 1024
+
+
+def encode_line(payload: Dict[str, object]) -> bytes:
+    """One wire line: canonical (sorted-keys) JSON + newline."""
+    return (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+
+
+def decode_line(line: bytes) -> Dict[str, object]:
+    payload = json.loads(line.decode("utf-8"))
+    if not isinstance(payload, dict):
+        raise ValueError(
+            f"wire payload is {type(payload).__name__}, expected an object"
+        )
+    return payload
+
+
+# -- transports ---------------------------------------------------------- #
+class FakeTransport:
+    """Deterministic in-process transport over a live ``TuningDaemon``.
+
+    Every call JSON round-trips the op and the reply, so wire-compatibility
+    is enforced even without sockets.  ``auto_pump`` (default) runs one
+    daemon tick before handling each op, so a client polling ``result``
+    advances the daemon's scheduling deterministically — the property tests
+    drive crash, overload and timeout scenarios this way with zero threads.
+
+    Fault injection: :meth:`kill` makes every later call raise
+    ``ConnectionError`` (the client sees exactly what a daemon SIGKILL
+    looks like from outside); :meth:`fail_next` injects transient
+    connection failures for retry-path tests.
+    """
+
+    def __init__(self, daemon, *, auto_pump: bool = True) -> None:
+        self.daemon = daemon
+        self.auto_pump = auto_pump
+        self.calls = 0
+        self._killed = False
+        self._fail_next = 0
+
+    def kill(self) -> None:
+        """Simulate the daemon process dying under this transport."""
+        self._killed = True
+
+    def revive(self, daemon) -> None:
+        """Point the transport at a restarted daemon (post-recovery)."""
+        self.daemon = daemon
+        self._killed = False
+
+    def fail_next(self, count: int = 1) -> None:
+        """Make the next ``count`` calls raise ``ConnectionError``."""
+        self._fail_next += count
+
+    def call(self, op: Dict[str, object]) -> Dict[str, object]:
+        if self._killed:
+            raise ConnectionError("tuning daemon is down")
+        if self._fail_next > 0:
+            self._fail_next -= 1
+            raise ConnectionError("injected transport fault")
+        self.calls += 1
+        wire_op = decode_line(encode_line(op))
+        if self.auto_pump:
+            self.daemon.tick()
+        reply = self.daemon.handle(wire_op)
+        return decode_line(encode_line(reply))
+
+
+class SocketTransport:
+    """Client side of the ``AF_UNIX`` line protocol (one call per connect).
+
+    Connection trouble surfaces as ``ConnectionError`` so
+    :class:`DaemonClient` retries it like any other transient fault.
+    """
+
+    def __init__(self, path: str, *, timeout: float = 30.0) -> None:
+        self.path = path
+        self.timeout = timeout
+
+    def call(self, op: Dict[str, object]) -> Dict[str, object]:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            sock.settimeout(self.timeout)
+            try:
+                sock.connect(self.path)
+                sock.sendall(encode_line(op))
+                line = _read_line(sock)
+            except (OSError, socket.timeout) as exc:
+                raise ConnectionError(
+                    f"tuning daemon at {self.path!r} unreachable: {exc}"
+                ) from exc
+            return decode_line(line)
+        finally:
+            sock.close()
+
+
+def _read_line(sock: socket.socket) -> bytes:
+    chunks = []
+    total = 0
+    while True:
+        chunk = sock.recv(65536)
+        if not chunk:
+            break
+        chunks.append(chunk)
+        total += len(chunk)
+        if chunk.endswith(b"\n"):
+            break
+        if total > _MAX_LINE_BYTES:
+            raise ConnectionError("wire line exceeds the size limit")
+    if not chunks:
+        raise ConnectionError("connection closed before a reply line arrived")
+    return b"".join(chunks)
+
+
+class DaemonSocketServer:
+    """Serve a ``TuningDaemon`` on an ``AF_UNIX`` socket.
+
+    Three kinds of threads: one accept loop, one short-lived thread per
+    connection (read op lines, write reply lines — the daemon's ``handle``
+    is thread-safe), and one pump thread running ``daemon.tick()`` so
+    tuning progresses while clients poll.  All threads are daemonic; the
+    sleep in the pump loop is pacing between ticks, not a timing source.
+    """
+
+    def __init__(self, daemon, path: str, *, idle_sleep: float = 0.002) -> None:
+        self.daemon = daemon
+        self.path = path
+        self._idle_sleep = idle_sleep
+        self._stop = threading.Event()
+        self._listener: Optional[socket.socket] = None
+        self._threads = []
+
+    def start(self) -> "DaemonSocketServer":
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            listener.bind(self.path)
+        except OSError:
+            listener.close()
+            raise
+        listener.listen(16)
+        listener.settimeout(0.1)
+        self._listener = listener
+        accept = threading.Thread(target=self._accept_loop, daemon=True)
+        pump = threading.Thread(target=self._pump_loop, daemon=True)
+        self._threads = [accept, pump]
+        accept.start()
+        pump.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+
+    # -- threads --------------------------------------------------------- #
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn,), daemon=True
+            )
+            thread.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        with conn:
+            buffer = b""
+            while not self._stop.is_set():
+                try:
+                    chunk = conn.recv(65536)
+                except OSError:
+                    return
+                if not chunk:
+                    return
+                buffer += chunk
+                while b"\n" in buffer:
+                    line, buffer = buffer.split(b"\n", 1)
+                    try:
+                        op = decode_line(line + b"\n")
+                    except ValueError as exc:
+                        reply = {
+                            "ok": False,
+                            "error": {
+                                "code": "BAD_REQUEST",
+                                "message": f"undecodable wire line: {exc}",
+                            },
+                        }
+                    else:
+                        reply = self.daemon.handle(op)
+                    try:
+                        conn.sendall(encode_line(reply))
+                    except OSError:
+                        return
+
+    def _pump_loop(self) -> None:
+        while not self._stop.is_set():
+            if not self.daemon.tick():
+                # Pacing between scheduling rounds, not a timing source.
+                time.sleep(self._idle_sleep)
+
+
+# -- client -------------------------------------------------------------- #
+class DaemonClient:
+    """Submit/await API over a transport, with idempotent retries.
+
+    Backoff is exponential with multiplicative jitter from an explicitly
+    seeded ``random.Random`` (deterministic under test, decorrelated in a
+    fleet); a server-supplied ``retry_after`` hint floors the delay.
+    ``sleep`` is injectable — tests pass ``FakeClock.advance`` so backoff
+    *advances* simulated time (refilling the daemon's token bucket) instead
+    of stalling the suite.
+
+    Submits are safe to retry blindly: the daemon journals requests under
+    their deadline-free idempotency key, so a retried submit — after a
+    connection fault, an overload rejection, or even a daemon restart —
+    coalesces onto the original journal entry and never duplicates a
+    measurement.
+    """
+
+    def __init__(
+        self,
+        transport,
+        *,
+        max_attempts: int = 8,
+        poll_attempts: int = 100_000,
+        backoff: float = 0.05,
+        backoff_cap: float = 2.0,
+        jitter_seed: int = 0,
+        sleep=None,
+    ) -> None:
+        if max_attempts < 1 or poll_attempts < 1:
+            raise ValueError("max_attempts and poll_attempts must be >= 1")
+        self.transport = transport
+        self.max_attempts = max_attempts
+        self.poll_attempts = poll_attempts
+        self.backoff = backoff
+        self.backoff_cap = backoff_cap
+        self._rng = random.Random(jitter_seed)
+        # time.sleep is pacing between retries, never a measurement.
+        self._sleep = time.sleep if sleep is None else sleep
+        #: retries performed (transport faults + retryable rejections).
+        self.retries = 0
+
+    # -- plumbing -------------------------------------------------------- #
+    def _backoff_delay(self, attempt: int, hint: Optional[float]) -> float:
+        base = min(self.backoff_cap, self.backoff * (2.0**attempt))
+        delay = base * (0.5 + self._rng.random())  # jitter in [0.5x, 1.5x)
+        if hint is not None:
+            delay = max(delay, float(hint))
+        return delay
+
+    def _call(
+        self, op: Dict[str, object], *, attempts: Optional[int] = None
+    ) -> Dict[str, object]:
+        """One op with retries; returns the ok-reply or raises typed."""
+        limit = self.max_attempts if attempts is None else attempts
+        attempt = 0
+        while True:
+            try:
+                reply = self.transport.call(op)
+            except ConnectionError:
+                if attempt + 1 >= limit:
+                    raise
+                self.retries += 1
+                self._sleep(self._backoff_delay(attempt, None))
+                attempt += 1
+                continue
+            if reply.get("ok"):
+                return reply
+            error = error_from_wire(reply.get("error", {}))
+            if error.retryable and attempt + 1 < limit:
+                self.retries += 1
+                self._sleep(self._backoff_delay(attempt, error.retry_after))
+                attempt += 1
+                continue
+            raise error
+
+    # -- ops ------------------------------------------------------------- #
+    def ping(self) -> bool:
+        reply = self._call({"op": "ping"})
+        return bool(reply.get("pong"))
+
+    def describe(self) -> Dict[str, object]:
+        return dict(self._call({"op": "describe"})["daemon"])
+
+    def submit(
+        self, request: TuningRequest, *, timeout: Optional[float] = None
+    ) -> str:
+        """Submit (retrying through overload pushback); returns the rid."""
+        op: Dict[str, object] = {"op": "submit", "request": request_to_wire(request)}
+        if timeout is not None:
+            op["timeout"] = float(timeout)
+        return str(self._call(op)["rid"])
+
+    def status(self, rid: str) -> Dict[str, object]:
+        return self._call({"op": "status", "rid": rid})
+
+    def result(self, rid: str) -> TuningResult:
+        """Poll until the journaled result is available, then decode it.
+
+        ``NOT_READY`` replies are the poll loop (bounded by
+        ``poll_attempts``); terminal failures raise their typed error."""
+        try:
+            reply = self._call({"op": "result", "rid": rid}, attempts=self.poll_attempts)
+        except RequestError as error:
+            if error.retryable:
+                raise RequestTimeout(
+                    f"request {rid} not ready after {self.poll_attempts} polls"
+                ) from error
+            raise
+        return result_from_wire(dict(reply["result"]))
+
+    def submit_and_wait(
+        self, request: TuningRequest, *, timeout: Optional[float] = None
+    ) -> TuningResult:
+        return self.result(self.submit(request, timeout=timeout))
+
+    def drain(self) -> Dict[str, object]:
+        return self._call({"op": "drain"})

@@ -1,0 +1,568 @@
+"""The daemon's durable request journal + request/result wire codecs.
+
+:class:`RequestJournal` is the write-ahead state machine behind the
+always-on :class:`~repro.service.daemon.TuningDaemon`: every accepted
+request is journaled *before* it is acknowledged, and every state
+transition (``accepted -> running -> done(result) / failed(error)``) is one
+appended JSON line, so a SIGKILLed daemon reconstructs exactly which
+promises it made — and which results it already computed — on restart.
+
+The on-disk shape deliberately reuses the proven
+:class:`~repro.core.autotune.store.LogStore` idioms:
+
+* ``path`` is an append-only JSON-lines log: an atomically-installed header
+  line ``{"format": 1, "kind": "journal", "snapshot_seq": S}`` followed by
+  one event per line, flushed per append (fsync'd when ``fsync_appends``).
+* ``path + ".snap"`` is the compaction snapshot (``kind:
+  "journal-snapshot"``, fsync'd, atomically replaced): the folded per-request
+  state map, written by :meth:`RequestJournal.snapshot` (a drain hook) or
+  automatically once the log tail reaches ``snapshot_min_entries`` lines.
+* Recovery folds the snapshot, then replays the log tail through the same
+  monotonic fold, tolerating exactly one undecodable *trailing* line (the
+  mid-append crash signature, truncated away); an undecodable line anywhere
+  else is corruption and raises
+  :class:`~repro.core.autotune.store.TuningDatabaseError`.
+
+The fold is **monotonic and idempotent**: ``accepted < running < terminal``,
+the first terminal event wins, and duplicate or stale events are no-ops —
+which is what makes "replay twice == replay once" hold and lets a restarted
+daemon re-apply a tail the snapshot already covers without harm.
+
+This module also owns the wire codecs the journal and the line protocol
+share: :func:`request_to_wire` / :func:`request_from_wire` (the full frozen
+:class:`~repro.service.request.TuningRequest`, GPU spec inlined),
+:func:`result_to_wire` / :func:`result_from_wire` (a faithful
+:class:`~repro.core.autotune.session.TuningResult` round trip, invalid
+infinite-time trials encoded as ``null``), and :func:`request_id` — the
+idempotency key: a digest of the request's canonical wire form *minus* the
+``deadline`` field, mirroring the frozen dataclass's coalescing equality.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import math
+import os
+import tempfile
+import threading
+from typing import Dict, List, Optional, Union
+
+from ..core.autotune.config import Configuration
+from ..core.autotune.session import TrialRecord, TuningResult
+from ..core.autotune.store import (
+    FORMAT_VERSION,
+    TuningDatabaseError,
+    _atomic_write_json,
+    _check_format,
+    _params_from_dict,
+    _params_to_dict,
+)
+from ..gpusim.spec import GPUSpec
+from .request import TuningRequest
+
+__all__ = [
+    "JournalEntry",
+    "RequestJournal",
+    "request_from_wire",
+    "request_id",
+    "request_to_wire",
+    "result_from_wire",
+    "result_to_wire",
+]
+
+#: request states a journal entry may hold, in lifecycle order.
+_ORDER = {"accepted": 0, "running": 1, "done": 2, "failed": 2}
+_TERMINAL = ("done", "failed")
+
+
+# -- wire codecs --------------------------------------------------------- #
+def request_to_wire(request: TuningRequest) -> Dict[str, object]:
+    """JSON-native form of a :class:`TuningRequest`, GPU spec inlined.
+
+    The spec is serialized field-by-field (it is a frozen dataclass of
+    scalars), not by registry name, so a journal written against a custom
+    GPU model replays without that GPU being registered."""
+    return {
+        "params": _params_to_dict(request.params),
+        "spec": dataclasses.asdict(request.spec),
+        "algorithm": request.algorithm,
+        "max_measurements": request.max_measurements,
+        "batch_size": request.batch_size,
+        "initial_random": request.initial_random,
+        "patience": request.patience,
+        "seed": request.seed,
+        "pruned": request.pruned,
+        "noise": request.noise,
+        "noise_seed": request.noise_seed,
+        "tuner": request.tuner,
+        "tuner_params": [list(pair) for pair in request.tuner_params],
+        "deadline": request.deadline,
+    }
+
+
+def request_from_wire(wire: Dict[str, object]) -> TuningRequest:
+    """Inverse of :func:`request_to_wire`; raises ``BadRequest``-worthy
+    ``KeyError``/``ValueError``/``TypeError`` on malformed payloads (the
+    daemon maps those to a typed rejection)."""
+    deadline = wire.get("deadline")
+    return TuningRequest(
+        params=_params_from_dict(dict(wire["params"])),
+        spec=GPUSpec(**dict(wire["spec"])),
+        algorithm=str(wire.get("algorithm", "direct")),
+        max_measurements=int(wire.get("max_measurements", 256)),
+        batch_size=int(wire.get("batch_size", 16)),
+        initial_random=int(wire.get("initial_random", 16)),
+        patience=int(wire.get("patience", 6)),
+        seed=int(wire.get("seed", 0)),
+        pruned=bool(wire.get("pruned", True)),
+        noise=float(wire["noise"]) if "noise" in wire else 0.05,
+        noise_seed=int(wire.get("noise_seed", 2021)),
+        tuner=str(wire.get("tuner", "ate")),
+        tuner_params=tuple(
+            (str(name), value) for name, value in wire.get("tuner_params", [])
+        ),
+        deadline=None if deadline is None else float(deadline),
+    )
+
+
+def request_id(request: TuningRequest) -> str:
+    """The idempotency key: a digest of the canonical wire form minus
+    ``deadline``.
+
+    Mirrors the frozen dataclass's equality (``deadline`` is ``compare=False``
+    scheduling metadata), so two requests coalesce in the service exactly
+    when they share a request id at the daemon — a client retrying a submit
+    (same request, any deadline) lands on the same journal entry instead of
+    duplicating work.
+    """
+    wire = request_to_wire(request)
+    del wire["deadline"]
+    canonical = json.dumps(wire, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(canonical).hexdigest()[:32]
+
+
+def result_to_wire(result: TuningResult) -> Dict[str, object]:
+    """JSON-native form of a :class:`TuningResult` (trial list included).
+
+    Invalid trials carry ``time_seconds: null`` on the wire (JSON has no
+    portable ``Infinity``); :func:`result_from_wire` restores ``inf``, so
+    the round trip is bit-identical — the property the daemon's re-serve
+    guarantee is tested against."""
+    trials = []
+    for t in result.trials:
+        trials.append(
+            {
+                "index": t.index,
+                "config": t.config.as_dict(),
+                "time_seconds": t.time_seconds if math.isfinite(t.time_seconds) else None,
+                "gflops": t.gflops,
+            }
+        )
+    return {
+        "tuner": result.tuner,
+        "params": _params_to_dict(result.params),
+        "gpu": result.gpu,
+        "space_size": result.space_size,
+        "from_cache": result.from_cache,
+        "trials": trials,
+    }
+
+
+def result_from_wire(wire: Dict[str, object]) -> TuningResult:
+    """Inverse of :func:`result_to_wire`."""
+    result = TuningResult(
+        tuner=str(wire["tuner"]),
+        params=_params_from_dict(dict(wire["params"])),
+        gpu=str(wire["gpu"]),
+        space_size=int(wire.get("space_size", 0)),
+        from_cache=bool(wire.get("from_cache", False)),
+    )
+    for t in wire.get("trials", []):
+        time_seconds = t.get("time_seconds")
+        result.trials.append(
+            TrialRecord(
+                index=int(t["index"]),
+                config=Configuration(**t["config"]),
+                time_seconds=float("inf") if time_seconds is None else float(time_seconds),
+                gflops=float(t.get("gflops", 0.0)),
+            )
+        )
+    return result
+
+
+# -- the journal --------------------------------------------------------- #
+@dataclasses.dataclass
+class JournalEntry:
+    """Folded state of one journaled request (one id, one promise)."""
+
+    rid: str
+    request: Dict[str, object]
+    status: str = "accepted"
+    result: Optional[Dict[str, object]] = None
+    error: Optional[Dict[str, object]] = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in _TERMINAL
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rid": self.rid,
+            "request": self.request,
+            "status": self.status,
+            "result": self.result,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, object]) -> "JournalEntry":
+        status = str(d.get("status", "accepted"))
+        if status not in _ORDER:
+            raise TuningDatabaseError(f"unknown journal entry status {status!r}")
+        return cls(
+            rid=str(d["rid"]),
+            request=dict(d["request"]),
+            status=status,
+            result=None if d.get("result") is None else dict(d["result"]),
+            error=None if d.get("error") is None else dict(d["error"]),
+        )
+
+
+class RequestJournal:
+    """Append-only request-lifecycle journal with snapshot compaction.
+
+    Thread-safe; every mutation happens under ``self._lock``.  Appends are
+    flushed per line (fsync'd when ``fsync_appends``), so the durability
+    unit against process death (SIGKILL) is one event line; snapshots are
+    always fsync'd before their atomic replace, so compaction can never
+    trade a recoverable log for an unrecoverable snapshot.  See the module
+    docstring for the on-disk shape and the crash-window analysis inherited
+    from ``LogStore._compact_locked``.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, os.PathLike],
+        *,
+        fsync_appends: bool = False,
+        snapshot_min_entries: int = 4096,
+    ) -> None:
+        self.path = os.fspath(path)
+        self.snapshot_path = self.path + ".snap"
+        self._fsync_appends = bool(fsync_appends)
+        self._snapshot_min_entries = int(snapshot_min_entries)
+        self._entries: Dict[str, JournalEntry] = {}
+        self._log_file = None
+        self._lines = 0  # event lines in the log tail since the last snapshot
+        self._recoveries = 0
+        self._lock = threading.RLock()
+        with self._lock:
+            self._recover_locked()
+
+    # -- state machine --------------------------------------------------- #
+    def _apply_locked(self, event: Dict[str, object]) -> bool:
+        """(lock held) Monotonic fold of one event into the state map.
+
+        Returns True when the event changed state.  Stale or duplicate
+        events are no-ops — never errors — because recovery replays a tail
+        the snapshot may already cover, and a retried client may resubmit a
+        request the journal already holds.
+        """
+        kind = event.get("event")
+        rid = str(event.get("rid", ""))
+        if kind == "accepted":
+            if rid in self._entries:
+                return False
+            self._entries[rid] = JournalEntry(rid=rid, request=dict(event["request"]))
+            return True
+        entry = self._entries.get(rid)
+        if entry is None or entry.terminal:
+            return False
+        if kind == "running":
+            if _ORDER["running"] <= _ORDER[entry.status]:
+                return False
+            entry.status = "running"
+            return True
+        if kind == "done":
+            entry.status = "done"
+            entry.result = dict(event["result"])
+            return True
+        if kind == "failed":
+            entry.status = "failed"
+            entry.error = dict(event["error"])
+            return True
+        raise TuningDatabaseError(
+            f"{self.path!r}: unknown journal event kind {kind!r}"
+        )
+
+    def _append_locked(self, event: Dict[str, object]) -> bool:
+        """(lock held) Fold an event and, when effective, write its line.
+
+        The line hits the OS (and, with ``fsync_appends``, the disk) before
+        this returns — the caller may acknowledge the event as durable.
+        """
+        if self._log_file is None:
+            raise TuningDatabaseError(
+                f"request journal {self.path!r} is closed; no further events"
+            )
+        if not self._apply_locked(event):
+            return False
+        self._log_file.write(json.dumps(event, sort_keys=True) + "\n")
+        self._log_file.flush()
+        if self._fsync_appends:
+            os.fsync(self._log_file.fileno())
+        self._lines += 1
+        if self._lines >= self._snapshot_min_entries:
+            self._snapshot_locked()
+        return True
+
+    # -- public recording API -------------------------------------------- #
+    def accept(self, rid: str, request_wire: Dict[str, object]) -> bool:
+        """Durably record an accepted request *before* it is acknowledged.
+
+        Returns False (and writes nothing) when ``rid`` is already
+        journaled — the idempotent-resubmit path."""
+        with self._lock:
+            return self._append_locked(
+                {"event": "accepted", "rid": rid, "request": request_wire}
+            )
+
+    def mark_running(self, rid: str) -> bool:
+        with self._lock:
+            self._require_locked(rid)
+            return self._append_locked({"event": "running", "rid": rid})
+
+    def complete(self, rid: str, result_wire: Dict[str, object]) -> bool:
+        """Record the request's result; re-served bit-identically forever after."""
+        with self._lock:
+            self._require_locked(rid)
+            return self._append_locked(
+                {"event": "done", "rid": rid, "result": result_wire}
+            )
+
+    def fail(self, rid: str, error_wire: Dict[str, object]) -> bool:
+        with self._lock:
+            self._require_locked(rid)
+            return self._append_locked(
+                {"event": "failed", "rid": rid, "error": error_wire}
+            )
+
+    def _require_locked(self, rid: str) -> None:
+        """(lock held) Transitions require an accepted entry; an unknown rid
+        is a daemon bug, not a replayable event, and raises."""
+        if rid not in self._entries:
+            raise TuningDatabaseError(
+                f"request journal {self.path!r} holds no entry {rid!r}"
+            )
+
+    # -- reads ----------------------------------------------------------- #
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, rid: str) -> Optional[JournalEntry]:
+        """The folded entry for ``rid`` (a defensive copy), or None."""
+        with self._lock:
+            entry = self._entries.get(rid)
+            return None if entry is None else dataclasses.replace(entry)
+
+    def states(self) -> Dict[str, JournalEntry]:
+        """Point-in-time copy of every folded entry, acceptance order."""
+        with self._lock:
+            return {rid: dataclasses.replace(e) for rid, e in self._entries.items()}
+
+    def in_flight(self) -> List[JournalEntry]:
+        """Entries whose promise is not yet settled (accepted/running) —
+        exactly the requests a restarted daemon must resubmit."""
+        with self._lock:
+            return [
+                dataclasses.replace(e)
+                for e in self._entries.values()
+                if not e.terminal
+            ]
+
+    def describe(self) -> Dict[str, object]:
+        with self._lock:
+            by_status: Dict[str, int] = {}
+            for entry in self._entries.values():
+                by_status[entry.status] = by_status.get(entry.status, 0) + 1
+            return {
+                "kind": "RequestJournal",
+                "path": self.path,
+                "snapshot_path": self.snapshot_path,
+                "entries": len(self._entries),
+                "log_lines": self._lines,
+                "recoveries": self._recoveries,
+                "by_status": by_status,
+                "closed": self._log_file is None,
+            }
+
+    # -- durability ------------------------------------------------------ #
+    def snapshot(self) -> str:
+        """Compact now: fsync'd snapshot of the folded state + log reset.
+
+        The drain hook — a journal snapshotted at drain time replays zero
+        tail lines on the next start."""
+        with self._lock:
+            if self._log_file is None:
+                raise TuningDatabaseError(
+                    f"request journal {self.path!r} is closed; cannot snapshot"
+                )
+            self._snapshot_locked()
+            return self.snapshot_path
+
+    def _snapshot_locked(self) -> None:
+        """(lock held) Snapshot the folded state, then reset the log.
+
+        Same crash-window story as ``LogStore._compact_locked``: a death
+        before the snapshot's atomic replace leaves old snapshot + full old
+        log; between replace and reset leaves new snapshot + old log, whose
+        replay is pure over-delivery (the fold is idempotent); a failed
+        reset reopens the old log and keeps appending to it."""
+        payload = {
+            "format": FORMAT_VERSION,
+            "kind": "journal-snapshot",
+            "entries": [e.to_dict() for e in self._entries.values()],
+        }
+        _atomic_write_json(self.snapshot_path, payload, fsync=True)
+        self._log_file.close()
+        self._log_file = None
+        try:
+            self._write_fresh_log_locked()
+        finally:
+            self._log_file = open(self.path, "a", encoding="utf-8")
+        self._lines = 0
+
+    def _write_fresh_log_locked(self) -> None:
+        """(lock held) Atomically install a header-only log file, so a
+        half-written header can never exist on disk."""
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(
+            prefix=os.path.basename(self.path) + ".", suffix=".tmp", dir=directory
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                header = {"format": FORMAT_VERSION, "kind": "journal"}
+                fh.write(json.dumps(header, sort_keys=True) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp_path, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    # -- recovery -------------------------------------------------------- #
+    def recover(self) -> int:
+        """Rebuild the folded state from snapshot + log tail; returns the
+        number of entries recovered.  Idempotent: recovering twice yields
+        the same state map (replay twice == replay once)."""
+        with self._lock:
+            return self._recover_locked()
+
+    def _recover_locked(self) -> int:
+        """(lock held) The recovery fold shared by ``__init__`` and
+        :meth:`recover`."""
+        if self._log_file is not None:
+            self._log_file.close()
+            self._log_file = None
+        self._entries = {}
+        self._lines = 0
+        if os.path.exists(self.snapshot_path):
+            self._fold_snapshot_locked()
+        if os.path.exists(self.path) and os.path.getsize(self.path) > 0:
+            self._replay_log_locked()
+        else:
+            # Missing (or zero-byte, i.e. never-written) log: install a
+            # fresh header so the file is well-formed from byte one.
+            self._write_fresh_log_locked()
+        self._log_file = open(self.path, "a", encoding="utf-8")
+        self._recoveries += 1
+        return len(self._entries)
+
+    def _fold_snapshot_locked(self) -> None:
+        """(lock held) Fold the compaction snapshot's folded entries."""
+        name = self.snapshot_path
+        with open(name, "r", encoding="utf-8") as fh:
+            try:
+                payload = json.load(fh)
+            except ValueError as exc:
+                raise TuningDatabaseError(
+                    f"{name!r} is not a valid journal snapshot (it is written "
+                    f"atomically, so this is corruption, not a crash): {exc}"
+                ) from exc
+        payload = _check_format(payload, name, kind="journal-snapshot")
+        try:
+            for d in payload.get("entries", []):
+                entry = JournalEntry.from_dict(d)
+                # First fold wins on terminal states — identical monotonic
+                # story to event replay, so snapshot + over-delivered tail
+                # converge on the same map.
+                if entry.rid not in self._entries:
+                    self._entries[entry.rid] = entry
+        except TuningDatabaseError:
+            raise
+        except Exception as exc:
+            raise TuningDatabaseError(
+                f"{name!r} holds malformed journal entries: {exc}"
+            ) from exc
+
+    def _replay_log_locked(self) -> None:
+        """(lock held) Replay the log tail through the monotonic fold.
+
+        Tolerates exactly one undecodable trailing line (the mid-append
+        crash signature), truncating it away so the next append starts on a
+        clean line; anything else raises."""
+        name = self.path
+        with open(name, "r", encoding="utf-8") as fh:
+            lines = fh.readlines()
+        try:
+            header = json.loads(lines[0])
+        except ValueError as exc:
+            raise TuningDatabaseError(
+                f"{name!r} has an undecodable journal header (the header is "
+                f"installed atomically, so this is not a crash artifact): {exc}"
+            ) from exc
+        _check_format(header, name, kind="journal")
+        for index, line in enumerate(lines[1:], start=2):
+            try:
+                event = json.loads(line)
+                if not isinstance(event, dict):
+                    # Eligible for torn-tail tolerance below: a truncated
+                    # line can decode to a bare JSON scalar.
+                    raise ValueError(
+                        f"journal event is {type(event).__name__}, expected object"
+                    )
+                self._apply_locked(event)
+            except TuningDatabaseError:
+                raise
+            except Exception as exc:
+                if index == len(lines):
+                    # Truncated trailing line: the event that was in flight
+                    # when the process died.  Only that event is lost — drop
+                    # the partial line so later appends do not concatenate
+                    # onto it (which would tear *them* too).
+                    keep = sum(len(kept.encode("utf-8")) for kept in lines[:-1])
+                    os.truncate(name, keep)
+                    break
+                raise TuningDatabaseError(
+                    f"{name!r} line {index} is undecodable but not the last "
+                    f"line; the journal is corrupt, not merely truncated: {exc}"
+                ) from exc
+            self._lines += 1
+
+    def close(self) -> None:
+        """Release the log handle without snapshotting (idempotent).
+
+        Deliberately *not* a flush point beyond the per-append flush: a
+        closed-then-reopened journal and a SIGKILLed-then-reopened journal
+        recover identically, which is what the crash tests rely on."""
+        with self._lock:
+            if self._log_file is not None:
+                self._log_file.close()
+                self._log_file = None

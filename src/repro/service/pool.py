@@ -259,6 +259,26 @@ class _ShardRunner:
             for position in range(self._num_requests)
         ]
 
+    def drain_store(self) -> None:
+        """Retire the shard's database: flush durable state, then close.
+
+        The pool-side drain hook (the daemon's graceful drain reaches
+        streaming shards through it): a log-backed shard compacts its
+        append-only store into an fsync'd snapshot before closing, so the
+        next incarnation recovers from the snapshot and replays a zero- or
+        near-zero-length log tail instead of the whole workload's appends.
+        Flush trouble is deliberately non-fatal (degrade-never-crash): the
+        uncompacted log still holds every effective put, so recovery is
+        merely slower, not lossy.
+        """
+        store = self.service.database.store
+        if isinstance(store, LogStore) and store.path is not None:
+            try:
+                store.snapshot()
+            except (OSError, TuningDatabaseError):
+                pass
+        self.service.database.close()
+
 
 def _tune_shard(
     requests: Sequence[TuningRequest],
@@ -360,7 +380,9 @@ def _stream_shard(
         except Exception:
             pass
     else:
-        runner.service.database.close()
+        # Graceful worker exit = a drained shard: durable stores are
+        # compacted before close so a restart replays a short tail.
+        runner.drain_store()
 
 
 class TuningWorkerPool:
@@ -697,7 +719,7 @@ class TuningWorkerPool:
         outputs = {}
         for i, runner in enumerate(runners):
             exchange.apply(runner.service.database)
-            runner.service.database.close()
+            runner.drain_store()
             self._absorb(runner.service.stats)
             # Serial shards share self.obs, so their extras are already in
             # the parent registry — only the per-service accounting needs

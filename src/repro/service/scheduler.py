@@ -70,6 +70,7 @@ from ..obs import (
     Observability,
 )
 from .coalescer import RequestCoalescer
+from .errors import DeadlineExpired, RequestCancelled
 from .futures import TuningFuture
 from .policy import SchedulingPolicy, make_policy
 from .request import TuningRequest
@@ -248,9 +249,19 @@ class TuningService:
         The request is answered from the database when covered, attached to
         an identical in-flight run when one exists, and scheduled as a new
         step-wise tuning session otherwise.
+
+        A request whose ``deadline`` has already passed (measured against
+        the service clock — a real clock only when one was injected at the
+        edge) raises :class:`~repro.service.errors.DeadlineExpired` up
+        front: it is never admitted only to be timed out later.
         """
         future = TuningFuture(request)
         with self._lock:
+            if request.deadline is not None and request.deadline < self._clock.now():
+                raise DeadlineExpired(
+                    f"deadline {request.deadline} already passed at submit "
+                    f"(now {self._clock.now()}); rejected up front, not admitted"
+                )
             self._c_requests.inc()
             entry = self.coalescer.get(request)
             if entry is not None:
@@ -393,6 +404,31 @@ class TuningService:
                         except Exception as exc:
                             self._fail(run, exc)
             return True
+
+    def cancel(
+        self, request: TuningRequest, exc: Optional[BaseException] = None
+    ) -> bool:
+        """Cancel the in-flight run for ``request``, answering its futures.
+
+        Every future attached to the run (the primary and any coalesced
+        duplicates) receives ``exc`` — default
+        :class:`~repro.service.errors.RequestCancelled` — and the run's
+        measurements-so-far are accounted exactly like a failed run.  The
+        daemon's per-request timeouts are built on this.  Returns False
+        when no matching run is active (already finished, served from the
+        database at submit, or never submitted).
+        """
+        with self._lock:
+            for run in self._active:
+                if run.request == request:
+                    self._fail(
+                        run,
+                        exc
+                        if exc is not None
+                        else RequestCancelled(f"cancelled: {request.describe()}"),
+                    )
+                    return True
+            return False
 
     def drain(self) -> None:
         """Run scheduling rounds until every submitted request is answered."""

@@ -30,6 +30,7 @@ def test_examples_directory_contents():
         "tune_conv_layer.py",
         "end_to_end_resnet.py",
         "pebble_game_demo.py",
+        "tuning_daemon_demo.py",
     }
     assert expected <= {p.name for p in EXAMPLES_DIR.glob("*.py")}
 
@@ -50,3 +51,10 @@ def test_end_to_end_resnet_example():
     out = _run("end_to_end_resnet.py")
     assert "ResNet-18" in out
     assert "speedup" in out
+
+
+def test_tuning_daemon_demo_example():
+    out = _run("tuning_daemon_demo.py")
+    assert "re-served result bit-identical: True" in out
+    assert "measurements taken by the restarted daemon: 0" in out
+    assert "backoff -> success" in out

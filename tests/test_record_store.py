@@ -509,22 +509,14 @@ class TestFormatVersioning:
         opened.close()
 
 
-class TestDeprecatedShims:
-    def test_add_result_warns_and_delegates_to_put(self):
-        db = TuningDatabase()
-        record = _record()
-        with pytest.warns(DeprecationWarning, match="from_result"):
-            stored = db.add_result(record.as_result(), budget=7)
-        assert len(db) == 1
-        assert stored.budget == 7
-        assert stored.config == record.config
+class TestRemovedShims:
+    """The PR 8 ``add_result``/``merge`` DeprecationWarning shims served
+    their one release and are gone; the migrated spellings are the API."""
 
-    def test_merge_warns_and_delegates_to_apply(self):
+    def test_shims_are_gone(self):
         db = TuningDatabase()
-        with pytest.warns(DeprecationWarning, match="apply"):
-            returned = db.merge([_record(), _record(params=SMALL)])
-        assert returned is db
-        assert len(db) == 2
+        assert not hasattr(db, "add_result")
+        assert not hasattr(db, "merge")
 
     def test_migrated_write_path_is_warning_free(self):
         record = _record()
@@ -535,7 +527,7 @@ class TestDeprecatedShims:
             db.apply([_record(params=SMALL)])
         assert len(db) == 2
 
-    def test_from_result_matches_add_result_record(self):
+    def test_from_result_builds_equivalent_record(self):
         record = _record(budget=0)
         result = record.as_result()
         built = TuningRecord.from_result(result, budget=9, noise=0.5, noise_seed=3)
@@ -668,10 +660,14 @@ class TestBackendBitIdentity:
             results["log"]
         )
         assert _canonical(databases["map"]) == _canonical(databases["log"])
-        # The durable run left per-shard logs behind.
+        # The durable run left per-shard logs behind, compacted at drain
+        # (drain_store snapshots each store so a restart replays a short
+        # tail instead of the whole workload's appends).
         assert sorted(os.listdir(os.path.join(tmp_path, "shards"))) == [
             "shard-0.log",
+            "shard-0.log.snap",
             "shard-1.log",
+            "shard-1.log.snap",
         ]
 
 

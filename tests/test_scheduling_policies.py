@@ -202,3 +202,81 @@ class TestPolicyRobustness:
     def test_pool_rejects_unknown_policy(self):
         with pytest.raises(ValueError):
             TuningWorkerPool(policy="lottery")
+
+
+class TestDeadlineExpiredAtSubmit:
+    """Regression (daemon PR satellite): an already-passed deadline is a
+    typed up-front rejection, never an admit-then-time-out."""
+
+    def _service(self, now):
+        from repro.obs import FakeClock, Observability
+
+        clock = FakeClock(now)
+        return TuningService(obs=Observability(enabled=True, clock=clock))
+
+    def test_expired_deadline_rejected_up_front(self):
+        from repro.service import DeadlineExpired
+
+        service = self._service(now=10.0)
+        with pytest.raises(DeadlineExpired, match="already passed"):
+            service.submit(_sa_request(budget=4, seed=0, deadline=5.0))
+        # Never admitted: no active run, no request accounted, nothing to
+        # time out later.
+        assert service.num_active == 0
+        assert service.stats.requests == 0
+
+    def test_future_deadline_still_admitted(self):
+        service = self._service(now=10.0)
+        future = service.submit(_sa_request(budget=4, seed=0, deadline=15.0))
+        service.drain()
+        assert future.result().num_measurements == 4
+
+    def test_null_clock_keeps_legacy_deadline_semantics(self):
+        # Without an injected clock the service clock reads 0.0 forever, so
+        # positive deadlines remain pure scheduling metadata (the EDF tests
+        # above rely on exactly this).
+        service = TuningService()
+        future = service.submit(_sa_request(budget=4, seed=0, deadline=1.0))
+        service.drain()
+        assert future.result().num_measurements == 4
+
+
+class TestCancel:
+    def test_cancel_answers_all_futures_with_typed_error(self):
+        from repro.service import RequestCancelled, RequestTimeout
+
+        service = TuningService()
+        request = _sa_request(budget=50, seed=3)
+        primary = service.submit(request)
+        duplicate = service.submit(_sa_request(budget=50, seed=3))
+        service.step()
+        assert service.cancel(request, RequestTimeout("took too long"))
+        for future in (primary, duplicate):
+            with pytest.raises(RequestTimeout):
+                future.result(timeout=0)
+        # The run is retired: nothing active, and a re-cancel finds nothing.
+        assert service.num_active == 0
+        assert not service.cancel(request)
+        # Default exception type.
+        again = service.submit(_sa_request(budget=50, seed=4))
+        assert service.cancel(again.request)
+        with pytest.raises(RequestCancelled):
+            again.result(timeout=0)
+
+    def test_cancel_accounts_partial_measurements(self):
+        service = TuningService()
+        request = _sa_request(budget=50, seed=5)
+        future = service.submit(request)
+        for _ in range(3):
+            service.step()
+        partial = next(
+            run.measurer.num_measurements
+            for run in service._active
+            if run.request == request
+        )
+        assert partial > 0
+        assert service.cancel(request)
+        # The partial work done before the cancel is accounted exactly like a
+        # failed run's: the service-side measurement count, no more, no less.
+        assert service.stats.measurements == partial
+        assert service.stats.completed_runs == 1

@@ -1,0 +1,584 @@
+"""The always-on daemon's fault model, property-tested deterministically.
+
+Everything here runs under :class:`FakeTransport` + ``FakeClock`` — zero
+real sockets, zero real time — so the crash, overload and timeout
+scenarios are exactly reproducible:
+
+* the journal's durability contract (torn trailing line tolerated,
+  corruption rejected, snapshot compaction, replay-twice == replay-once),
+* crash recovery (SIGKILL mid-request and mid-drain: done results
+  re-serve bit-identically with **zero** re-measurement, in-flight
+  requests replay idempotently through the keep-better database),
+* admission control (queue depth and token bucket answer with typed
+  ``RETRY_AFTER`` — a submit never hangs),
+* per-request timeouts (cancelled cleanly, journaled ``failed(TIMEOUT)``),
+* the client's retry discipline (overload -> backoff -> eventual success,
+  transient transport faults, idempotent resubmit).
+
+The one threaded test (socket server + concurrent clients + a kill) is
+marked ``slow`` and runs in the non-blocking stress CI job.
+"""
+
+import dataclasses
+import json
+import os
+import threading
+
+import pytest
+
+from repro.conv import ConvParams
+from repro.core.autotune.store import TuningDatabaseError
+from repro.gpusim import V100
+from repro.obs import FakeClock, MonotonicClock, Observability
+from repro.service import (
+    DaemonClient,
+    DaemonDraining,
+    DaemonSocketServer,
+    DeadlineExpired,
+    FakeTransport,
+    Overloaded,
+    RequestJournal,
+    RequestTimeout,
+    SocketTransport,
+    TuningDaemon,
+    TuningRequest,
+    UnknownRequest,
+    request_from_wire,
+    request_id,
+    request_to_wire,
+    result_from_wire,
+    result_to_wire,
+)
+
+SMALL = ConvParams.square(8, 16, 32, kernel=3, stride=1, padding=1)
+
+
+def _request(seed=0, budget=12, tuner="random", deadline=None):
+    """A small deterministic request (random tuner: cheap, budget-exact)."""
+    return TuningRequest(
+        SMALL,
+        V100,
+        max_measurements=budget,
+        seed=seed,
+        pruned=False,
+        tuner=tuner,
+        deadline=deadline,
+    )
+
+
+def _sa_request(seed=0, budget=50, deadline=None):
+    """One measurement per round — lets tests stop a run mid-flight."""
+    return TuningRequest(
+        SMALL,
+        V100,
+        max_measurements=budget,
+        seed=seed,
+        pruned=False,
+        tuner="simulated_annealing",
+        deadline=deadline,
+    )
+
+
+def _trials(result):
+    """Bit-comparable view of a result's trial list."""
+    return [(t.index, t.config.as_dict(), t.time_seconds, t.gflops) for t in result.trials]
+
+
+# -- wire codecs ---------------------------------------------------------- #
+class TestWireCodecs:
+    def test_request_round_trip(self):
+        request = _request(seed=3, budget=7, deadline=9.5)
+        wire = json.loads(json.dumps(request_to_wire(request)))
+        assert request_from_wire(wire) == request
+        assert request_from_wire(wire).deadline == 9.5
+
+    def test_request_id_excludes_deadline(self):
+        # deadline is compare=False scheduling metadata: same key, so a
+        # retried submit with a refreshed deadline coalesces, not duplicates.
+        assert request_id(_request(deadline=None)) == request_id(_request(deadline=5.0))
+        assert request_id(_request(seed=0)) != request_id(_request(seed=1))
+
+    def test_result_round_trip_preserves_invalid_trials(self):
+        result = _request(budget=6).tune_direct()
+        # Rewrite one trial as invalid (infinite time, the no-JSON-Infinity case).
+        result.trials[0] = dataclasses.replace(result.trials[0], time_seconds=float("inf"))
+        wire = json.loads(json.dumps(result_to_wire(result)))
+        restored = result_from_wire(wire)
+        assert _trials(restored) == _trials(result)
+        assert restored.trials[0].time_seconds == float("inf")
+
+
+# -- the journal ---------------------------------------------------------- #
+class TestRequestJournal:
+    def _journal(self, tmp_path, **kwargs):
+        return RequestJournal(tmp_path / "requests.log", **kwargs)
+
+    def test_lifecycle_round_trip(self, tmp_path):
+        journal = self._journal(tmp_path)
+        wire = request_to_wire(_request())
+        assert journal.accept("r1", wire)
+        assert not journal.accept("r1", wire)  # idempotent resubmit
+        journal.mark_running("r1")
+        journal.complete("r1", {"tuner": "x"})
+        journal.close()
+        recovered = self._journal(tmp_path)
+        entry = recovered.get("r1")
+        assert entry.status == "done"
+        assert entry.result == {"tuner": "x"}
+        assert entry.request == json.loads(json.dumps(wire))
+
+    def test_terminal_state_is_sticky(self, tmp_path):
+        journal = self._journal(tmp_path)
+        journal.accept("r1", {})
+        journal.fail("r1", {"code": "TIMEOUT", "message": "late"})
+        # Stale events after a terminal state are no-ops, never errors.
+        assert not journal.mark_running("r1")
+        assert not journal.complete("r1", {"tuner": "x"})
+        assert journal.get("r1").status == "failed"
+
+    def test_transition_on_unknown_rid_raises(self, tmp_path):
+        journal = self._journal(tmp_path)
+        with pytest.raises(TuningDatabaseError):
+            journal.mark_running("ghost")
+
+    def test_torn_trailing_line_is_tolerated_and_truncated(self, tmp_path):
+        journal = self._journal(tmp_path)
+        journal.accept("r1", {})
+        journal.accept("r2", {})
+        journal.close()
+        path = journal.path
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"event": "done", "rid": "r2", "res')  # mid-append SIGKILL
+        recovered = self._journal(tmp_path)
+        assert recovered.get("r2").status == "accepted"  # torn event lost
+        assert len(recovered) == 2
+        # The partial line is truncated away so later appends stay clean.
+        recovered.complete("r2", {"tuner": "x"})
+        recovered.close()
+        again = self._journal(tmp_path)
+        assert again.get("r2").status == "done"
+
+    def test_corrupt_middle_line_raises(self, tmp_path):
+        journal = self._journal(tmp_path)
+        journal.accept("r1", {})
+        journal.close()
+        with open(journal.path, "r", encoding="utf-8") as fh:
+            lines = fh.readlines()
+        lines.insert(1, "NOT JSON\n")
+        with open(journal.path, "w", encoding="utf-8") as fh:
+            fh.writelines(lines)
+        with pytest.raises(TuningDatabaseError):
+            self._journal(tmp_path)
+
+    def test_snapshot_compacts_and_recovers(self, tmp_path):
+        journal = self._journal(tmp_path)
+        for i in range(10):
+            journal.accept(f"r{i}", {"i": i})
+            journal.complete(f"r{i}", {"tuner": "x"})
+        journal.snapshot()
+        assert os.path.exists(journal.snapshot_path)
+        # Post-snapshot the log is header-only: zero tail lines to replay.
+        with open(journal.path, "r", encoding="utf-8") as fh:
+            assert len(fh.readlines()) == 1
+        journal.close()
+        recovered = self._journal(tmp_path)
+        assert len(recovered) == 10
+        assert all(e.status == "done" for e in recovered.states().values())
+
+    def test_auto_snapshot_at_threshold(self, tmp_path):
+        journal = self._journal(tmp_path, snapshot_min_entries=6)
+        for i in range(5):
+            journal.accept(f"r{i}", {})
+            journal.complete(f"r{i}", {"tuner": "x"})
+        assert os.path.exists(journal.snapshot_path)
+
+    def test_replay_twice_equals_replay_once(self, tmp_path):
+        journal = self._journal(tmp_path)
+        journal.accept("r1", {})
+        journal.mark_running("r1")
+        journal.accept("r2", {})
+        journal.complete("r1", {"tuner": "x"})
+        once = {rid: e.to_dict() for rid, e in journal.states().items()}
+        journal.recover()
+        journal.recover()
+        twice = {rid: e.to_dict() for rid, e in journal.states().items()}
+        assert once == twice
+
+    def test_snapshot_plus_overdelivered_tail_converges(self, tmp_path):
+        # Crash between snapshot install and log reset leaves new snapshot +
+        # old log; replaying that over-delivered tail must be harmless.
+        journal = self._journal(tmp_path)
+        journal.accept("r1", {})
+        journal.complete("r1", {"tuner": "x"})
+        with open(journal.path, "r", encoding="utf-8") as fh:
+            old_log = fh.read()
+        journal.snapshot()
+        journal.close()
+        with open(journal.path, "w", encoding="utf-8") as fh:
+            fh.write(old_log)  # the un-reset pre-snapshot log
+        recovered = self._journal(tmp_path)
+        assert recovered.get("r1").status == "done"
+        assert len(recovered) == 1
+
+    def test_closed_journal_refuses_events(self, tmp_path):
+        journal = self._journal(tmp_path)
+        journal.close()
+        with pytest.raises(TuningDatabaseError):
+            journal.accept("r1", {})
+
+
+# -- protocol over FakeTransport ------------------------------------------ #
+class TestProtocol:
+    def test_submit_status_result(self, tmp_path):
+        daemon = TuningDaemon(tmp_path / "j.log")
+        client = DaemonClient(FakeTransport(daemon))
+        assert client.ping()
+        request = _request(budget=8)
+        rid = client.submit(request)
+        assert rid == request_id(request)
+        result = client.result(rid)
+        assert client.status(rid)["state"] == "done"
+        assert _trials(result) == _trials(request.tune_direct())
+        assert daemon.stats.completed == 1
+
+    def test_describe_reports_shape(self, tmp_path):
+        daemon = TuningDaemon(tmp_path / "j.log", max_active=3)
+        client = DaemonClient(FakeTransport(daemon))
+        info = client.describe()
+        assert info["kind"] == "TuningDaemon"
+        assert info["admission"]["max_active"] == 3
+        assert info["journal"]["entries"] == 0
+
+    def test_unknown_rid_is_typed(self, tmp_path):
+        daemon = TuningDaemon(tmp_path / "j.log")
+        client = DaemonClient(FakeTransport(daemon))
+        with pytest.raises(UnknownRequest):
+            client.status("nope")
+
+    def test_malformed_ops_get_typed_replies(self, tmp_path):
+        daemon = TuningDaemon(tmp_path / "j.log")
+        for op in ({"op": "frobnicate"}, {"op": "submit", "request": {}}, {}):
+            reply = daemon.handle(op)
+            assert reply["ok"] is False
+            assert reply["error"]["code"] == "BAD_REQUEST"
+
+    def test_submit_rejects_nonpositive_timeout(self, tmp_path):
+        daemon = TuningDaemon(tmp_path / "j.log")
+        reply = daemon.handle(
+            {"op": "submit", "request": request_to_wire(_request()), "timeout": 0.0}
+        )
+        assert reply["ok"] is False
+        assert reply["error"]["code"] == "BAD_REQUEST"
+
+
+# -- admission control ---------------------------------------------------- #
+class TestAdmission:
+    def test_queue_depth_overload_is_immediate(self, tmp_path):
+        daemon = TuningDaemon(tmp_path / "j.log", max_active=1)
+        daemon.submit(_sa_request(seed=0))
+        with pytest.raises(Overloaded) as info:
+            daemon.submit(_sa_request(seed=1))
+        assert info.value.retry_after > 0
+        assert daemon.stats.rejected_overload == 1
+
+    def test_token_bucket_refills_from_the_clock(self, tmp_path):
+        clock = FakeClock()
+        daemon = TuningDaemon(
+            tmp_path / "j.log", clock=clock, rate_limit=1.0, burst=1
+        )
+        daemon.submit(_request(seed=0))
+        with pytest.raises(Overloaded):
+            daemon.submit(_request(seed=1))
+        clock.advance(1.0)  # one token back
+        daemon.submit(_request(seed=1))
+        assert daemon.stats.accepted == 2
+
+    def test_expired_deadline_rejected_up_front(self, tmp_path):
+        clock = FakeClock()
+        clock.advance(100.0)
+        daemon = TuningDaemon(tmp_path / "j.log", clock=clock)
+        with pytest.raises(DeadlineExpired):
+            daemon.submit(_request(deadline=5.0))
+        assert daemon.stats.rejected_deadline == 1
+        assert len(daemon.journal) == 0  # never admitted, never journaled
+
+    def test_draining_daemon_rejects_submits(self, tmp_path):
+        daemon = TuningDaemon(tmp_path / "j.log")
+        rid = daemon.submit(_request(seed=0))
+        daemon.drain()
+        with pytest.raises(DaemonDraining):
+            daemon.submit(_request(seed=1))
+        # ...but keeps serving results for promises already made.
+        assert daemon.status(rid)["state"] == "done"
+
+    def test_idempotent_resubmit_coalesces(self, tmp_path):
+        daemon = TuningDaemon(tmp_path / "j.log")
+        rid = daemon.submit(_request(seed=0))
+        assert daemon.submit(_request(seed=0)) == rid
+        assert daemon.stats.accepted == 1
+        assert len(daemon.journal) == 1
+
+
+# -- timeouts ------------------------------------------------------------- #
+class TestTimeouts:
+    def test_timeout_cancels_and_journals_failed(self, tmp_path):
+        clock = FakeClock()
+        daemon = TuningDaemon(tmp_path / "j.log", clock=clock)
+        rid = daemon.submit(_sa_request(budget=500), timeout=5.0)
+        daemon.tick()
+        clock.advance(10.0)
+        daemon.tick()
+        assert daemon.stats.timeouts == 1
+        entry = daemon.journal.get(rid)
+        assert entry.status == "failed"
+        assert entry.error["code"] == "TIMEOUT"
+        with pytest.raises(RequestTimeout):
+            daemon.result(rid)
+        assert daemon.queue_depth == 0  # the run was cancelled, not leaked
+
+    def test_default_timeout_applies_to_bare_submits(self, tmp_path):
+        clock = FakeClock()
+        daemon = TuningDaemon(tmp_path / "j.log", clock=clock, default_timeout=2.0)
+        daemon.submit(_sa_request(budget=500))
+        clock.advance(3.0)
+        daemon.tick()
+        assert daemon.stats.timeouts == 1
+
+    def test_fast_request_beats_its_timeout(self, tmp_path):
+        clock = FakeClock()
+        daemon = TuningDaemon(tmp_path / "j.log", clock=clock)
+        rid = daemon.submit(_request(budget=6), timeout=100.0)
+        daemon.run_until_idle()
+        assert daemon.journal.get(rid).status == "done"
+        assert daemon.stats.timeouts == 0
+
+
+# -- crash recovery ------------------------------------------------------- #
+class TestCrashRecovery:
+    def test_done_results_reserve_with_zero_measurements(self, tmp_path):
+        request = _request(budget=10)
+        daemon = TuningDaemon(tmp_path / "j.log")
+        rid = daemon.submit(request)
+        daemon.run_until_idle()
+        reference = _trials(result_from_wire(daemon.result(rid)))
+        daemon.kill()
+
+        restarted = TuningDaemon(tmp_path / "j.log")
+        assert restarted.stats.recovered == 1
+        assert restarted.stats.replayed == 0
+        served = _trials(result_from_wire(restarted.result(rid)))
+        assert served == reference  # bit-identical re-serve
+        assert restarted.service.stats.measurements == 0  # zero re-measurement
+
+    def test_sigkill_mid_request_replays_to_the_same_result(self, tmp_path):
+        request = _sa_request(budget=20)
+        daemon = TuningDaemon(tmp_path / "j.log")
+        rid = daemon.submit(request)
+        daemon.tick()
+        daemon.tick()  # partial progress, then SIGKILL
+        daemon.kill()
+
+        restarted = TuningDaemon(tmp_path / "j.log")
+        assert restarted.stats.replayed == 1
+        restarted.run_until_idle()
+        replayed = result_from_wire(restarted.result(rid))
+        assert _trials(replayed) == _trials(request.tune_direct())
+
+    def test_sigkill_mid_drain_recovers(self, tmp_path):
+        daemon = TuningDaemon(tmp_path / "j.log")
+        done_rid = daemon.submit(_request(seed=0, budget=8))
+        daemon.run_until_idle()
+        inflight = _sa_request(seed=1, budget=20)
+        inflight_rid = daemon.submit(inflight)
+        # Drain starts (admissions stop) but the process dies before the
+        # in-flight work finishes: the journal tail is all that survives.
+        with daemon._lock:
+            daemon._draining = True
+        daemon.tick()
+        daemon.kill()
+
+        restarted = TuningDaemon(tmp_path / "j.log")
+        assert restarted.stats.replayed == 1
+        restarted.run_until_idle()
+        assert restarted.journal.get(done_rid).status == "done"
+        assert _trials(result_from_wire(restarted.result(inflight_rid))) == _trials(
+            inflight.tune_direct()
+        )
+
+    def test_restart_after_torn_journal_line(self, tmp_path):
+        daemon = TuningDaemon(tmp_path / "j.log")
+        rid = daemon.submit(_request(budget=8))
+        daemon.run_until_idle()
+        daemon.kill()
+        with open(str(tmp_path / "j.log"), "a", encoding="utf-8") as fh:
+            fh.write('{"event": "accepted", "rid": "torn-')  # died mid-append
+        restarted = TuningDaemon(tmp_path / "j.log")
+        assert restarted.journal.get(rid).status == "done"
+        assert len(restarted.journal) == 1  # the torn accept never happened
+
+    def test_restart_twice_equals_restart_once(self, tmp_path):
+        daemon = TuningDaemon(tmp_path / "j.log")
+        daemon.submit(_sa_request(budget=20))
+        daemon.tick()
+        daemon.kill()
+        first = TuningDaemon(tmp_path / "j.log")
+        first.kill()  # crash again before making progress
+        second = TuningDaemon(tmp_path / "j.log")
+        assert second.stats.replayed == 1
+        second.run_until_idle()
+        states = [e.status for e in second.journal.states().values()]
+        assert states == ["done"]
+
+    def test_client_survives_a_daemon_restart(self, tmp_path):
+        request = _request(budget=8)
+        daemon = TuningDaemon(tmp_path / "j.log")
+        transport = FakeTransport(daemon)
+        client = DaemonClient(transport, sleep=lambda _: None)
+        rid = client.submit(request)
+        daemon.run_until_idle()
+        reference = _trials(client.result(rid))
+        transport.kill()
+        daemon.kill()
+        with pytest.raises(ConnectionError):
+            client.status(rid)
+        transport.revive(TuningDaemon(tmp_path / "j.log"))
+        # The retried submit is idempotent and the result re-serves.
+        assert client.submit(request) == rid
+        assert _trials(client.result(rid)) == reference
+
+
+# -- client retry discipline ---------------------------------------------- #
+class TestClientRetry:
+    def test_overload_backs_off_and_succeeds(self, tmp_path):
+        clock = FakeClock()
+        daemon = TuningDaemon(
+            tmp_path / "j.log", clock=clock, rate_limit=1.0, burst=1
+        )
+        # Backoff sleeps advance the fake clock, refilling the bucket.
+        client = DaemonClient(FakeTransport(daemon), sleep=clock.advance)
+        client.submit(_request(seed=0))
+        client.submit(_request(seed=1))  # rejected, backs off, retried
+        assert client.retries > 0
+        assert daemon.stats.accepted == 2
+        assert daemon.stats.rejected_overload > 0
+
+    def test_overload_never_hangs_when_retries_exhaust(self, tmp_path):
+        daemon = TuningDaemon(tmp_path / "j.log", max_active=1)
+        client = DaemonClient(
+            FakeTransport(daemon), max_attempts=3, sleep=lambda _: None
+        )
+        client.submit(_sa_request(seed=0))
+        with pytest.raises(Overloaded):
+            client.submit(_sa_request(seed=1))
+        assert client.retries == 2  # bounded: max_attempts - 1
+
+    def test_transient_transport_faults_are_retried(self, tmp_path):
+        daemon = TuningDaemon(tmp_path / "j.log")
+        transport = FakeTransport(daemon)
+        client = DaemonClient(transport, sleep=lambda _: None)
+        transport.fail_next(2)
+        assert client.ping()
+        assert client.retries == 2
+
+    def test_backoff_is_deterministic_and_floored_by_hint(self):
+        client = DaemonClient(FakeTransport(None), jitter_seed=7)
+        twin = DaemonClient(FakeTransport(None), jitter_seed=7)
+        delays = [client._backoff_delay(a, None) for a in range(5)]
+        assert delays == [twin._backoff_delay(a, None) for a in range(5)]
+        assert all(d > 0 for d in delays)
+        assert client._backoff_delay(0, 10.0) >= 10.0  # server hint floors
+
+    def test_nonretryable_error_raises_immediately(self, tmp_path):
+        clock = FakeClock()
+        clock.advance(100.0)
+        daemon = TuningDaemon(tmp_path / "j.log", clock=clock)
+        transport = FakeTransport(daemon)
+        client = DaemonClient(transport, sleep=lambda _: None)
+        calls_before = transport.calls
+        with pytest.raises(DeadlineExpired):
+            client.submit(_request(deadline=5.0))
+        assert transport.calls == calls_before + 1  # no retry
+
+
+# -- telemetry ------------------------------------------------------------ #
+class TestTelemetry:
+    def test_daemon_metric_names(self, tmp_path):
+        obs = Observability(enabled=True, clock=MonotonicClock())
+        daemon = TuningDaemon(tmp_path / "j.log", obs=obs)
+        daemon.submit(_request(budget=6))
+        daemon.run_until_idle()
+        counters = daemon.metrics_snapshot().counters
+        assert counters["daemon.accepted"] == 1
+        assert counters["daemon.completed"] == 1
+        # Gauge snapshots report the high-water mark (deepest queue seen).
+        assert daemon.metrics_snapshot().gauges["daemon.queue_depth"] == 1
+        assert daemon.queue_depth == 0
+        histos = obs.registry.snapshot().histograms
+        assert histos["daemon.request_latency_seconds"].total == 1
+
+    def test_stats_describe_is_stable(self, tmp_path):
+        daemon = TuningDaemon(tmp_path / "j.log")
+        daemon.submit(_request(budget=6))
+        daemon.run_until_idle()
+        assert daemon.stats.describe() == (
+            "DaemonStats[1 accepted (0 rejected), 1 done / 0 failed "
+            "(0 timeouts), 0 replayed of 0 recovered]"
+        )
+
+
+# -- stress (non-blocking CI job) ----------------------------------------- #
+@pytest.mark.slow
+class TestDaemonStress:
+    def test_concurrent_clients_with_a_daemon_kill(self, tmp_path):
+        """Socket server, concurrent clients, one SIGKILL + restart.
+
+        Every client must end with the bit-identical direct-tuning result
+        for its request — despite racing submits, polls, transport faults
+        from the kill window, and the restart replay."""
+        path = str(tmp_path / "daemon.sock")
+        journal = tmp_path / "j.log"
+        requests = [_request(seed=seed, budget=10) for seed in range(6)]
+        references = [_trials(r.tune_direct()) for r in requests]
+
+        daemon = TuningDaemon(journal)
+        server = DaemonSocketServer(daemon, path).start()
+        results = {}
+        errors = []
+
+        def worker(index, request):
+            client = DaemonClient(
+                SocketTransport(path, timeout=10.0),
+                max_attempts=60,
+                backoff=0.01,
+                backoff_cap=0.2,
+                jitter_seed=index,
+            )
+            try:
+                results[index] = _trials(client.submit_and_wait(request))
+            except Exception as exc:  # surfaced after join
+                errors.append((index, exc))
+
+        threads = [
+            threading.Thread(target=worker, args=(i, r), daemon=True)
+            for i, r in enumerate(requests)
+        ]
+        for thread in threads:
+            thread.start()
+        # Kill the daemon while clients are mid-flight, then restart it on
+        # the same journal: clients retry through the outage and land on
+        # the recovered daemon.
+        threads[0].join(timeout=30.0)  # let at least one finish first
+        server.stop()
+        daemon.kill()
+        restarted = TuningDaemon(journal)
+        server = DaemonSocketServer(restarted, path + ".2").start()
+        # Clients still target the old path; re-bind it to the new daemon.
+        server2 = DaemonSocketServer(restarted, path)
+        os.unlink(path)
+        server2.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        server.stop()
+        server2.stop()
+        assert not errors, errors
+        assert results == {i: ref for i, ref in enumerate(references)}
