@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint reprolint stress bench bench-batched bench-service bench-explorer bench-store bench-daemon compare-bench
+.PHONY: test lint reprolint stress daemonize-smoke bench bench-batched bench-service bench-explorer bench-store bench-daemon compare-bench
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -24,6 +24,12 @@ reprolint:
 # them in a non-blocking job).
 stress:
 	$(PYTHON) -m pytest -m slow -q
+
+# Full daemonised-wrapper lifecycle against a real process: double-fork
+# start, a tuning submit over the unix socket via DaemonClient, SIGTERM,
+# clean drain and pidfile removal (runs in the non-blocking stress CI job).
+daemonize-smoke:
+	$(PYTHON) -m pytest tests/test_daemonize.py -m slow -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/bench_*.py -q -s

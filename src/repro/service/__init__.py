@@ -68,6 +68,7 @@ algorithms side by side, packing their measurement batches together::
 
 from .coalescer import InFlightRun, RequestCoalescer
 from .daemon import DaemonStats, TuningDaemon
+from .daemonize import PidfileError, daemonize, serve_forever
 from .errors import (
     BadRequest,
     DaemonDraining,
@@ -120,6 +121,7 @@ __all__ = [
     "InFlightRun",
     "NotReady",
     "Overloaded",
+    "PidfileError",
     "PoolStats",
     "RequestCancelled",
     "RequestCoalescer",
@@ -138,8 +140,10 @@ __all__ = [
     "TuningWorkerPool",
     "UniformPolicy",
     "UnknownRequest",
+    "daemonize",
     "error_from_wire",
     "make_policy",
+    "serve_forever",
     "request_from_wire",
     "request_id",
     "request_to_wire",

@@ -1,8 +1,11 @@
 """The always-on tuning daemon: durable, admission-controlled, crash-safe.
 
-:class:`TuningDaemon` wraps a :class:`~repro.service.scheduler.TuningService`
-(the scheduling/coalescing/batching engine) with the deployment-shape
-machinery a long-lived server needs:
+:class:`TuningDaemon` wraps a tuning **backend** — the in-process
+:class:`~repro.service.scheduler.TuningService` (the scheduling/coalescing/
+batching engine, the default) or the sharded streaming
+:class:`~repro.service.pool.TuningWorkerPool` in its long-lived serving mode
+(``backend="pool"``) — with the deployment-shape machinery a long-lived
+server needs:
 
 * **Durable promises** — every accepted request is written to a
   :class:`~repro.service.journal.RequestJournal` *before* it is
@@ -32,13 +35,26 @@ socket server or the deterministic in-process ``FakeTransport`` (see
 :class:`~repro.obs.Clock` — ``FakeClock`` in tests, ``MonotonicClock`` at
 real edges — never from wall-clock reads.
 
+**Backend selection contract**: the journal fault model is identical under
+either backend — accepted-before-ack, terminal entries re-serve
+bit-identically with zero re-measurement, in-flight entries resubmit
+idempotently on restart — because the journal sits *above* the backend and
+both backends answer a submit with the same
+:class:`~repro.service.futures.TuningFuture` surface.  The pool backend adds
+the PR 5 worker fault model underneath: a SIGKILLed *worker* degrades to an
+in-parent shard runner (durable shard logs salvaged, streamed records never
+re-tuned) while the daemon itself stays up and keeps serving.  Every backend
+crossing is counted in the ``daemon.backend.*`` metrics (``submits`` /
+``steps`` / ``cancels``), folded with the backend's own fleet telemetry in
+:meth:`TuningDaemon.fleet_snapshot`.
+
 Telemetry follows the service's split: the counters behind
 :attr:`TuningDaemon.stats` live on an always-on private registry
 (``daemon.accepted`` / ``rejected_overload`` / ``rejected_deadline`` /
 ``rejected_draining`` / ``recovered`` / ``replayed`` / ``completed`` /
 ``failed`` / ``timeouts`` and the ``daemon.queue_depth`` gauge); the
 ``obs`` bundle adds the ``daemon.request_latency_seconds`` histogram and
-everything the wrapped service exports.
+everything the wrapped backend exports.
 """
 
 from __future__ import annotations
@@ -80,6 +96,7 @@ from .journal import (
     result_to_wire,
 )
 from .policy import SchedulingPolicy
+from .pool import TuningWorkerPool
 from .request import TuningRequest
 from .scheduler import TuningService
 
@@ -133,12 +150,20 @@ class TuningDaemon:
     bucket depth.  ``max_active`` bounds in-flight (accepted, unfinished)
     requests.  ``default_timeout`` applies to submits that do not carry
     their own ``timeout``.
+
+    ``backend`` picks the engine behind the journal: ``"service"`` (default)
+    is one in-process :class:`TuningService`; ``"pool"`` builds a
+    :class:`~repro.service.pool.TuningWorkerPool` and runs it in serving
+    mode over the daemon's shared database; a ready-made
+    ``TuningWorkerPool`` instance is adopted as-is (the daemon starts and
+    owns its serving session — configure workers/durability on the pool).
     """
 
     def __init__(
         self,
         journal_path: Union[str, os.PathLike],
         *,
+        backend: Union[str, TuningWorkerPool] = "service",
         database: Optional[TuningDatabase] = None,
         policy: Union[str, SchedulingPolicy, None] = None,
         obs: Optional[Observability] = None,
@@ -156,9 +181,24 @@ class TuningDaemon:
             raise ValueError("rate_limit must be >= 0 and burst >= 1")
         self.obs = obs if obs is not None else NULL_OBS
         self.database = database if database is not None else TuningDatabase()
-        self.service = TuningService(
-            database=self.database, policy=policy, obs=self.obs
-        )
+        self.service: Optional[TuningService] = None
+        self.pool: Optional[TuningWorkerPool] = None
+        if isinstance(backend, TuningWorkerPool):
+            self.pool = backend
+        elif backend == "pool":
+            self.pool = TuningWorkerPool(policy=policy, obs=self.obs)
+        elif backend == "service":
+            self.service = TuningService(
+                database=self.database, policy=policy, obs=self.obs
+            )
+        else:
+            raise ValueError(
+                f"backend must be 'service', 'pool' or a TuningWorkerPool, "
+                f"got {backend!r}"
+            )
+        self.backend_kind = "pool" if self.pool is not None else "service"
+        if self.pool is not None:
+            self.pool.start(database=self.database)
         self.journal = RequestJournal(
             journal_path,
             fsync_appends=fsync_journal,
@@ -182,6 +222,10 @@ class TuningDaemon:
         self._c_failed = acc.counter("failed")
         self._c_timeouts = acc.counter("timeouts")
         self._g_queue_depth = acc.gauge("queue_depth")
+        bk = self._metrics.scope("daemon.backend")
+        self._c_b_submits = bk.counter("submits")
+        self._c_b_steps = bk.counter("steps")
+        self._c_b_cancels = bk.counter("cancels")
         self._h_latency = self.obs.registry.histogram(
             "daemon.request_latency_seconds", LATENCY_BOUNDS
         )
@@ -219,6 +263,66 @@ class TuningDaemon:
         histogram, service/db instruments) snapshot via ``self.obs``."""
         return self._metrics.snapshot()
 
+    def fleet_snapshot(self) -> MetricsSnapshot:
+        """One merged snapshot of the whole serving stack: the daemon's
+        always-on counters (including ``daemon.backend.*``) folded with the
+        backend's fleet telemetry — :meth:`TuningWorkerPool.fleet_snapshot`
+        for the pool backend (which already carries every shard's metrics
+        and the shared ``obs`` registry), or the service's registry plus the
+        ``obs`` extras for the in-process backend."""
+        snapshot = self._metrics.snapshot()
+        with self._lock:
+            if self.pool is not None:
+                # The pool snapshot already merges self.obs — merging it
+                # again here would double-count every shared instrument.
+                return snapshot.merged(self.pool.fleet_snapshot())
+            return snapshot.merged(self.service.metrics_snapshot()).merged(
+                self.obs.snapshot()
+            )
+
+    # -- backend bridge -------------------------------------------------- #
+    def _backend_submit(self, request: TuningRequest) -> TuningFuture:
+        """(lock held) One submit through whichever backend is configured.
+
+        The pool's serving-mode :meth:`~TuningWorkerPool.submit` does not
+        re-check deadlines (the daemon owns admission), so the recovery
+        replay path gets the same up-front ``DEADLINE_EXPIRED`` the service
+        backend raises natively."""
+        self._c_b_submits.inc()
+        if self.pool is not None:
+            now = self._clock.now()
+            if request.deadline is not None and request.deadline < now:
+                raise DeadlineExpired(
+                    f"deadline {request.deadline} already passed at submit "
+                    f"(now {now}); rejected up front, not admitted"
+                )
+            return self.pool.submit(request)
+        return self.service.submit(request)
+
+    def _backend_step(self) -> bool:
+        """(lock held) Advance the backend one scheduling round."""
+        self._c_b_steps.inc()
+        if self.pool is not None:
+            return self.pool.step()
+        return self.service.step()
+
+    def _backend_cancel(
+        self, rid: str, request: TuningRequest, exc: BaseException
+    ) -> bool:
+        """(lock held) Cancel ``rid``'s run without stranding coalesced
+        twins: the service backend detaches only this daemon's future
+        (``future=``), the pool backend fails every parent future for the
+        request — under the daemon those are one and the same, because
+        identical requests share a rid and never re-enter the backend."""
+        cancelled = (
+            self.pool.cancel(request, exc)
+            if self.pool is not None
+            else self.service.cancel(request, exc, future=self._futures.get(rid))
+        )
+        if cancelled:
+            self._c_b_cancels.inc()
+        return cancelled
+
     @property
     def queue_depth(self) -> int:
         """In-flight (accepted, unfinished) requests."""
@@ -236,7 +340,7 @@ class TuningDaemon:
 
         Terminal entries stay journal-served (their results re-serve with
         zero measurements); in-flight entries — promises made before the
-        crash — are resubmitted to the service.  The shared database makes
+        crash — are resubmitted to the backend.  The shared database makes
         the replay idempotent: a run that had already stored its record
         before the crash is answered from the database at resubmit, and one
         that had not converges on the same record via keep-better.
@@ -255,7 +359,7 @@ class TuningDaemon:
                 continue
             self.journal.mark_running(entry.rid)
             try:
-                future = self.service.submit(request)
+                future = self._backend_submit(request)
             except RequestError as err:
                 self.journal.fail(entry.rid, err.to_wire())
                 self._c_failed.inc()
@@ -364,7 +468,21 @@ class TuningDaemon:
             if known is not None:
                 # Idempotent resubmit: the journal already holds this
                 # promise (retried submit, or a restart re-serve) — no
-                # re-admission, no re-measurement, same rid.
+                # re-admission, no re-measurement, same rid.  ``deadline``
+                # is deliberately excluded from the rid digest (see
+                # journal.request_id), so a retry with a fresh deadline or
+                # timeout still lands here — but the retry's ``timeout``
+                # must not be silently dropped: the effective expiry is the
+                # *min* of the journaled promise's expiry and the retry's.
+                # A promise can only ever tighten by being asked again,
+                # never get laxer (a retried shorter timeout wins; a longer
+                # one cannot resurrect an almost-expired run).
+                if timeout is not None and not known.terminal and rid in self._futures:
+                    retried = self._clock.now() + float(timeout)
+                    current = self._expiry.get(rid)
+                    self._expiry[rid] = (
+                        retried if current is None else min(current, retried)
+                    )
                 return rid
             if self._draining:
                 self._c_rejected_draining.inc()
@@ -392,7 +510,7 @@ class TuningDaemon:
             # configured) before the submit is acknowledged.
             self.journal.accept(rid, request_to_wire(request))
             try:
-                future = self.service.submit(request)
+                future = self._backend_submit(request)
             except RequestError as err:
                 self.journal.fail(rid, err.to_wire())
                 self._c_failed.inc()
@@ -420,14 +538,20 @@ class TuningDaemon:
 
         Refills from the injected clock, so a null clock (no real time)
         with ``rate_limit=0`` — the default — never throttles, and tests
-        drive refill deterministically by advancing a ``FakeClock``."""
+        drive refill deterministically by advancing a ``FakeClock``.
+
+        The refill delta is clamped at zero: a clock that steps backwards
+        (a restart handed a different clock epoch, a misbehaving injected
+        clock) must never *subtract* tokens, and the refill watermark keeps
+        the max-seen reading so the backwards excursion is not re-credited
+        as elapsed time when the clock recovers."""
         if self.rate_limit <= 0.0:
             return True
         self._tokens = min(
             float(self.burst),
-            self._tokens + (now - self._last_refill) * self.rate_limit,
+            self._tokens + max(0.0, now - self._last_refill) * self.rate_limit,
         )
-        self._last_refill = now
+        self._last_refill = max(self._last_refill, now)
         if self._tokens >= 1.0:
             self._tokens -= 1.0
             return True
@@ -449,7 +573,7 @@ class TuningDaemon:
         while in-flight work remains."""
         with self._lock:
             self._expire_timeouts_locked()
-            progressed = self.service.step()
+            progressed = self._backend_step()
             self._finalize_done_locked()
             self._g_queue_depth.set(len(self._futures))
             return progressed or bool(self._futures)
@@ -478,7 +602,7 @@ class TuningDaemon:
             if future is None or future.done():
                 continue
             timeout_err = RequestTimeout(f"request {rid} timed out at {now}")
-            if self.service.cancel(self._requests[rid], timeout_err):
+            if self._backend_cancel(rid, self._requests[rid], timeout_err):
                 self._c_timeouts.inc()
 
     def _finalize_done_locked(self) -> None:
@@ -511,13 +635,16 @@ class TuningDaemon:
 
     # -- lifecycle ------------------------------------------------------- #
     def drain(self) -> Dict[str, object]:
-        """Graceful drain: stop admissions, finish in-flight work, snapshot
-        the journal, flush the database.  Returns a summary; the daemon
-        keeps serving ``status``/``result`` ops afterwards."""
+        """Graceful drain: stop admissions, finish in-flight work, stop the
+        pool backend's serving fleet (workers drain, compact and report),
+        snapshot the journal, flush the database.  Returns a summary; the
+        daemon keeps serving ``status``/``result`` ops afterwards."""
         with self._lock:
             self._draining = True
         ticks = self.run_until_idle()
         with self._lock:
+            if self.pool is not None:
+                self.pool.stop()
             self.journal.snapshot()
             if self.database.path is not None:
                 self.database.save()
@@ -536,8 +663,12 @@ class TuningDaemon:
         self.close()
 
     def close(self) -> None:
-        """Release file handles without draining (idempotent)."""
+        """Release file handles without draining (idempotent).  The pool
+        backend is terminated SIGKILL-style — no worker drain, no shard
+        compaction — so a killed and a closed daemon recover identically."""
         with self._lock:
+            if self.pool is not None:
+                self.pool.terminate()
             self.journal.close()
             self.database.close()
 
@@ -557,7 +688,12 @@ class TuningDaemon:
                 },
                 "stats": dataclasses.asdict(self.stats),
                 "journal": self.journal.describe(),
-                "service": self.service.describe(),
+                "backend": self.backend_kind,
+                **(
+                    {"pool": self.pool.describe()}
+                    if self.pool is not None
+                    else {"service": self.service.describe()}
+                ),
             }
 
 

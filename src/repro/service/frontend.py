@@ -150,20 +150,27 @@ class SocketTransport:
 
 
 def _read_line(sock: socket.socket) -> bytes:
+    """Read one newline-terminated wire line; raise ``ConnectionError``
+    for every truncated shape (no data, mid-line close, oversized line) so
+    the client retry loop treats them all as transient transport faults —
+    a half-delivered reply must never surface as a JSON decode error."""
     chunks = []
     total = 0
     while True:
         chunk = sock.recv(65536)
         if not chunk:
-            break
+            if chunks:
+                raise ConnectionError(
+                    f"connection closed mid-line after {total} bytes "
+                    "(reply truncated)"
+                )
+            raise ConnectionError("connection closed before a reply line arrived")
         chunks.append(chunk)
         total += len(chunk)
         if chunk.endswith(b"\n"):
             break
         if total > _MAX_LINE_BYTES:
             raise ConnectionError("wire line exceeds the size limit")
-    if not chunks:
-        raise ConnectionError("connection closed before a reply line arrived")
     return b"".join(chunks)
 
 
@@ -177,10 +184,21 @@ class DaemonSocketServer:
     sleep in the pump loop is pacing between ticks, not a timing source.
     """
 
-    def __init__(self, daemon, path: str, *, idle_sleep: float = 0.002) -> None:
+    def __init__(
+        self,
+        daemon,
+        path: str,
+        *,
+        idle_sleep: float = 0.002,
+        max_line_bytes: int = _MAX_LINE_BYTES,
+    ) -> None:
         self.daemon = daemon
         self.path = path
         self._idle_sleep = idle_sleep
+        #: per-connection buffer cap: a client that streams bytes without
+        #: ever sending a newline is answered BAD_REQUEST and disconnected
+        #: instead of growing the buffer unboundedly.
+        self.max_line_bytes = int(max_line_bytes)
         self._stop = threading.Event()
         self._listener: Optional[socket.socket] = None
         self._threads = []
@@ -225,6 +243,15 @@ class DaemonSocketServer:
             thread.start()
 
     def _serve_connection(self, conn: socket.socket) -> None:
+        """One client's read-dispatch-reply loop.
+
+        Robust against misbehaving clients by construction: a mid-line
+        disconnect just drops the partial buffer with the connection, an
+        op line over ``max_line_bytes`` gets a BAD_REQUEST reply and a
+        disconnect, and an undecodable line gets a BAD_REQUEST reply with
+        the connection kept — none of these can take the thread down, so
+        the accept loop keeps serving every other connection.
+        """
         with conn:
             buffer = b""
             while not self._stop.is_set():
@@ -235,6 +262,22 @@ class DaemonSocketServer:
                 if not chunk:
                     return
                 buffer += chunk
+                if len(buffer) > self.max_line_bytes and b"\n" not in buffer:
+                    reply = {
+                        "ok": False,
+                        "error": {
+                            "code": "BAD_REQUEST",
+                            "message": (
+                                f"wire line exceeds {self.max_line_bytes} "
+                                "bytes; disconnecting"
+                            ),
+                        },
+                    }
+                    try:
+                        conn.sendall(encode_line(reply))
+                    except OSError:
+                        pass
+                    return
                 while b"\n" in buffer:
                     line, buffer = buffer.split(b"\n", 1)
                     try:

@@ -136,6 +136,14 @@ def request_id(request: TuningRequest) -> str:
     when they share a request id at the daemon — a client retrying a submit
     (same request, any deadline) lands on the same journal entry instead of
     duplicating work.
+
+    The exclusion is deliberate, not an oversight: ``deadline`` (and the
+    daemon-level ``timeout``, which never reaches the wire form at all)
+    describe *when* an answer stops being useful, not *which* answer is
+    being asked for — two submits differing only in urgency want the same
+    measurements.  Retry urgency is honoured separately: the daemon's
+    idempotent-resubmit path takes the min of the journaled expiry and the
+    retry's timeout (see :meth:`TuningDaemon.submit`).
     """
     wire = request_to_wire(request)
     del wire["deadline"]

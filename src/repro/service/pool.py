@@ -48,10 +48,29 @@ envelopes") are dropped and counted, never applied.  When no worker
 processes can be created at all — restricted sandboxes, missing semaphores —
 the pool degrades to a deterministic in-process serial interleaving of the
 shards with the same streaming semantics, producing the same results.
+
+**Serving mode** (the daemon's deployment shape): besides the batch entry
+point :meth:`TuningWorkerPool.tune`, the pool has a long-lived
+submit/drain-incremental mode — :meth:`~TuningWorkerPool.start` brings up
+the shard fleet with empty backlogs, :meth:`~TuningWorkerPool.submit`
+routes one request at a time to its shard and returns a per-request
+:class:`~repro.service.futures.TuningFuture` immediately, and
+:meth:`~TuningWorkerPool.step` pumps the fleet one round (drain streamed
+records and per-request completions, advance in-parent shards, detect dead
+workers).  Serving-mode shard assignment is a stable hash of the request's
+idempotency digest (:func:`~repro.service.journal.request_id` — the
+coalescing key minus ``deadline``), so identical rids always land in the
+same shard and coalesce there, across submits and restarts; Python's
+per-process salted ``hash()`` could guarantee neither.  The fault model is
+the batch one, made incremental: a SIGKILLed serving worker fails over to
+an in-parent runner against the shared database (durable shard logs are
+salvaged first), unresolved tickets re-enqueue there, and the pool — and
+whatever daemon sits above it — keeps serving throughout.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
 import os
 import queue
@@ -75,6 +94,9 @@ from ..obs import (
     MonotonicClock,
     Observability,
 )
+from .errors import RequestCancelled, RequestError, RequestFailed, error_from_wire
+from .futures import TuningFuture
+from .journal import request_id
 from .policy import SchedulingPolicy, make_policy
 from .request import TuningRequest
 from .scheduler import ServiceStats, TuningService
@@ -86,6 +108,12 @@ _POLL_SECONDS = 0.2
 #: empty polls after noticing a dead worker before declaring its shard lost
 #: (a worker may exit healthily with its "done" message still in the pipe).
 _DEATH_GRACE_POLLS = 3
+#: serving worker's idle pacing between loop iterations (pacing only).
+_SERVE_IDLE_SLEEP = 0.005
+#: serving parent's bounded wait on the results queue when a step would
+#: otherwise report no progress while workers still owe completions — keeps
+#: a drain loop above (the daemon's run_until_idle) paced instead of hot.
+_SERVE_PARENT_WAIT = 0.005
 
 
 @dataclass
@@ -132,6 +160,18 @@ class PoolStats:
             f"{self.worker_failures} worker failures / "
             f"{self.records_recovered} records recovered]"
         )
+
+
+def _shard_for_request(request: TuningRequest, num_shards: int) -> int:
+    """Serving-mode shard assignment: a stable hash of the coalescing key.
+
+    Hashes the daemon's idempotency digest (:func:`request_id` — canonical
+    wire form minus ``deadline``), so identical rids always map to the same
+    shard and coalesce inside that shard's service, across submits,
+    restarts and processes.  Python's builtin ``hash()`` is salted per
+    process and would guarantee none of that.
+    """
+    return int(request_id(request)[:8], 16) % num_shards
 
 
 def _decode_envelope(wire: object) -> Optional[RecordEnvelope]:
@@ -201,6 +241,17 @@ class _ShardRunner:
         self.futures: Dict[int, object] = {}
         self._num_requests = len(self.pending)
         self._checkpoint = self.service.database.revision
+
+    def enqueue(self, position: int, request: TuningRequest) -> None:
+        """Append one request to the backlog (serving mode).
+
+        ``position`` is the caller's ticket — serving-mode positions are
+        caller-assigned and need not be contiguous; :meth:`results` (which
+        assumes the batch mode's dense ``0..n-1`` numbering) is not used on
+        serving runners.
+        """
+        self.pending.append((position, request))
+        self._num_requests += 1
 
     def sync(self, records: Sequence[TuningRecord]) -> int:
         """Inject cross-shard records; returns how many improved the shard."""
@@ -385,6 +436,115 @@ def _stream_shard(
         runner.drain_store()
 
 
+def _serve_shard(
+    shard_index: int,
+    policy: Optional[SchedulingPolicy],
+    admit_window: int,
+    submit_queue,
+    sync_queue,
+    results_queue,
+    obs_enabled: bool = False,
+    store_path: Optional[str] = None,
+) -> None:
+    """Long-lived serving worker entry point (module-level: pickles everywhere).
+
+    The incremental sibling of :func:`_stream_shard`: the backlog arrives
+    one request at a time over ``submit_queue`` as ``("submit", ticket,
+    request)`` messages instead of up front, and every settled ticket is
+    reported individually as ``("done_one", shard, ticket, outcome)`` where
+    ``outcome`` is ``("ok", result)`` or ``("err", error_wire)`` — typed
+    errors travel as their wire dicts so the parent re-raises the same
+    class.  Records stream exactly as in batch mode.  A ``("stop",)``
+    sentinel finishes in-flight work, ships a final ``("bye", ...)`` report
+    (stats, metrics, full-database safety net) and exits gracefully; any
+    crash becomes an ``("error", ...)`` message and the parent fails the
+    shard over.
+    """
+    try:
+        obs = Observability(
+            enabled=obs_enabled, clock=MonotonicClock() if obs_enabled else None
+        )
+        runner = _ShardRunner(
+            [],
+            policy=policy,
+            admit_window=admit_window,
+            obs=obs,
+            store_path=store_path,
+        )
+        poisoned = 0
+        stopping = False
+        while True:
+            submits = _drain(submit_queue)
+            for message in submits:
+                if message == ("stop",):
+                    stopping = True
+                elif (
+                    isinstance(message, tuple)
+                    and len(message) == 3
+                    and message[0] == "submit"
+                    and isinstance(message[1], int)
+                    and isinstance(message[2], TuningRequest)
+                ):
+                    runner.enqueue(message[1], message[2])
+                else:
+                    poisoned += 1
+            incoming: List[TuningRecord] = []
+            for wire in _drain(sync_queue):
+                envelope = _decode_envelope(wire)
+                if envelope is None:
+                    poisoned += 1
+                else:
+                    incoming.append(envelope.record)
+            runner.sync(incoming)
+            progressed = runner.step()
+            for record in runner.take_new_records():
+                envelope = RecordEnvelope(
+                    record=record,
+                    origin=shard_index,
+                    revision=runner.service.database.revision,
+                )
+                results_queue.put(("record", shard_index, envelope.to_wire()))
+            for ticket, future in list(runner.futures.items()):
+                if not future.done():
+                    continue
+                del runner.futures[ticket]
+                try:
+                    result = future.result(timeout=0)
+                except RequestError as err:
+                    outcome = ("err", err.to_wire())
+                except Exception as exc:
+                    outcome = ("err", RequestFailed(str(exc)).to_wire())
+                else:
+                    outcome = ("ok", result)
+                results_queue.put(("done_one", shard_index, ticket, outcome))
+            if stopping and not progressed:
+                break
+            if not progressed and not submits:
+                # Pacing while idle, not a timing source.
+                time.sleep(_SERVE_IDLE_SLEEP)
+        results_queue.put(
+            (
+                "bye",
+                shard_index,
+                {
+                    "stats": runner.service.stats,
+                    "metrics": runner.service.metrics_snapshot()
+                    .merged(obs.snapshot())
+                    .to_wire(),
+                    "records": [r.to_dict() for r in runner.service.database.records()],
+                    "poisoned": poisoned,
+                },
+            )
+        )
+    except BaseException as exc:  # pragma: no cover - exercised via kill tests
+        try:
+            results_queue.put(("error", shard_index, f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+    else:
+        runner.drain_store()
+
+
 class TuningWorkerPool:
     """Shard tuning workloads across processes, streaming records between them.
 
@@ -461,6 +621,23 @@ class TuningWorkerPool:
         self._o_workers_done = reg.counter("pool.workers.done")
         self._o_workers_failed = reg.counter("pool.workers.failed")
         self._o_sync_depth = reg.gauge("pool.sync.queue_depth")
+        # Long-lived serving mode state (inert until start()).  The pool is
+        # not thread-safe; the daemon above serialises every call under its
+        # own lock, and direct users must do the same.
+        self._serving = False
+        self._serve_shards = 0
+        self._serve_exchange: Optional[TuningDatabase] = None
+        self._serve_futures: Dict[int, TuningFuture] = {}
+        self._serve_tickets: Dict[int, Tuple[int, TuningRequest]] = {}
+        self._next_ticket = 0
+        self._serve_runners: Dict[int, _ShardRunner] = {}
+        self._serve_inboxes: Dict[int, List[TuningRecord]] = {}
+        self._serve_workers: Dict[int, object] = {}
+        self._serve_submit_queues: Dict[int, object] = {}
+        self._serve_sync_queues: Dict[int, object] = {}
+        self._serve_results_queue = None
+        self._serve_dead_polls: Dict[int, int] = {}
+        self._serve_byes: Dict[int, bool] = {}
         self._reset_accounting(streaming=False)
 
     def _reset_accounting(self, streaming: bool) -> None:
@@ -487,9 +664,15 @@ class TuningWorkerPool:
 
     @property
     def stats(self) -> PoolStats:
-        """One consistent accounting snapshot (see :class:`PoolStats`)."""
+        """One consistent accounting snapshot (see :class:`PoolStats`).
+
+        While serving, in-parent shard runners' service accounting is added
+        live (their stats are absorbed into the counters only at
+        :meth:`stop`); process workers report theirs in their graceful
+        ``bye``, so process-mode aggregates trail until the shard retires.
+        """
         c = self._metrics.snapshot().counters
-        return PoolStats(
+        stats = PoolStats(
             requests=c.get("pool.requests", 0),
             pre_served=c.get("pool.pre_served", 0),
             shards=c.get("pool.shards", 0),
@@ -505,6 +688,14 @@ class TuningWorkerPool:
             database_hits=c.get("pool.database_hits", 0),
             coalesced=c.get("pool.coalesced", 0),
         )
+        if self._serving:
+            for runner in self._serve_runners.values():
+                live = runner.service.stats
+                stats.measurements += live.measurements
+                stats.tuning_runs += live.tuning_runs
+                stats.database_hits += live.database_hits
+                stats.coalesced += live.coalesced
+        return stats
 
     def _absorb(self, service_stats: ServiceStats) -> None:
         """Fold one shard service's accounting into the pool totals."""
@@ -523,12 +714,14 @@ class TuningWorkerPool:
         extras, and every shard's shipped/absorbed telemetry (``service.*``
         plus worker-side extras), merged with the associative snapshot-merge
         semantics — so the totals are independent of shard report order.
+        While serving, live in-parent runners contribute their current
+        accounting the same way (absorbed permanently at :meth:`stop`).
         """
-        return (
-            self._metrics.snapshot()
-            .merged(self._shard_metrics)
-            .merged(self.obs.snapshot())
-        )
+        snapshot = self._metrics.snapshot().merged(self._shard_metrics)
+        if self._serving:
+            for runner in self._serve_runners.values():
+                snapshot = snapshot.merged(runner.service.metrics_snapshot())
+        return snapshot.merged(self.obs.snapshot())
 
     # ------------------------------------------------------------------ #
     def _shard(
@@ -606,6 +799,11 @@ class TuningWorkerPool:
         the workload finishes it holds every worker's records (the final
         merge is a keep-better no-op for anything already streamed).
         """
+        if self._serving:
+            raise RuntimeError(
+                "pool is in serving mode; use submit()/step(), or stop() "
+                "serving before running a batch workload"
+            )
         requests = list(requests)
         self._reset_accounting(streaming=self.streaming)
         if not requests:
@@ -964,3 +1162,586 @@ class TuningWorkerPool:
             self._merge_shard_metrics(runner.service.metrics_snapshot())
             shard_results[i] = runner.results()
         return shard_results
+
+    # -- long-lived serving mode ----------------------------------------- #
+    @property
+    def serving(self) -> bool:
+        return self._serving
+
+    def start(self, database: Optional[TuningDatabase] = None) -> None:
+        """Enter serving mode: bring up the shard fleet with empty backlogs.
+
+        ``database`` plays the batch ``tune(database=...)`` role for the
+        whole serving session: pruned submits it covers are answered in the
+        parent with zero measurements, streamed records fold into it
+        immediately, and the graceful :meth:`stop` leaves it holding every
+        shard's records.  The daemon passes its shared database here.
+
+        Mode selection mirrors :meth:`tune`: processes when available (and
+        more than one shard), else the deterministic in-process serial
+        interleaving; ``use_processes`` forces either.  A stopped or
+        terminated pool may ``start()`` again — durable shards
+        (``store_dir``) then recover their logs instead of re-tuning.
+        """
+        if self._serving:
+            raise RuntimeError("pool is already serving; stop() it first")
+        self._reset_accounting(streaming=True)
+        self._serve_exchange = database if database is not None else TuningDatabase()
+        self._serve_shards = max(1, self.num_workers)
+        self._serve_futures = {}
+        self._serve_tickets = {}
+        self._next_ticket = 0
+        self._serve_runners = {}
+        self._serve_inboxes = {}
+        self._serve_workers = {}
+        self._serve_submit_queues = {}
+        self._serve_sync_queues = {}
+        self._serve_results_queue = None
+        self._serve_dead_polls = {}
+        self._serve_byes = {}
+        self._serving = True
+        self._c_shards.inc(self._serve_shards)
+        started = False
+        if self._serve_shards > 1 and self.use_processes is not False:
+            try:
+                self._start_serving_processes()
+                started = True
+                self.used_processes = True
+            except (OSError, PermissionError, ImportError):
+                if not self.allow_serial_fallback or self.use_processes is True:
+                    self._serving = False
+                    raise
+        if not started:
+            for i in range(self._serve_shards):
+                self._serve_runners[i] = _ShardRunner(
+                    [],
+                    policy=self.policy,
+                    admit_window=self.admit_window,
+                    obs=self.obs,
+                    store_path=self._shard_store_path(i),
+                )
+                self._serve_inboxes[i] = []
+            self.used_processes = False
+        self._stats_mode = "processes" if self.used_processes else "serial"
+
+    def _start_serving_processes(self) -> None:
+        ctx = self._context()
+        self._serve_results_queue = ctx.Queue()
+        for i in range(self._serve_shards):
+            self._serve_submit_queues[i] = ctx.Queue()
+            self._serve_sync_queues[i] = ctx.Queue()
+        try:
+            for i in range(self._serve_shards):
+                process = ctx.Process(
+                    target=_serve_shard,
+                    args=(
+                        i,
+                        self.policy,
+                        self.admit_window,
+                        self._serve_submit_queues[i],
+                        self._serve_sync_queues[i],
+                        self._serve_results_queue,
+                        self.obs.enabled,
+                        self._shard_store_path(i),
+                    ),
+                    daemon=True,
+                )
+                process.start()
+                self._o_workers_started.inc()
+                self._serve_workers[i] = process
+        except BaseException:
+            for process in self._serve_workers.values():
+                process.terminate()
+            self._serve_workers.clear()
+            self._close_serve_queues()
+            raise
+
+    def submit(self, request: TuningRequest) -> TuningFuture:
+        """Serving-mode submit: returns a per-request future immediately.
+
+        Pruned requests the shared database already covers are answered on
+        the spot (``from_database``, zero measurements) exactly like
+        :meth:`TuningService.submit`; everything else is routed to its
+        rid-stable shard (:func:`_shard_for_request`), where identical
+        requests coalesce.  The future settles as :meth:`step` pumps the
+        fleet.
+        """
+        if not self._serving:
+            raise RuntimeError("pool is not serving; call start() first")
+        future = TuningFuture(request)
+        self._c_requests.inc()
+        if request.pruned:
+            record = self._serve_exchange.lookup(
+                request.params,
+                request.spec,
+                request.algorithm,
+                budget=request.max_measurements,
+                noise=request.noise,
+                noise_seed=request.noise_seed,
+            )
+            if record is not None:
+                self._c_pre_served.inc()
+                future.from_database = True
+                future._set_result(record.as_result())
+                return future
+        ticket = self._next_ticket
+        self._next_ticket += 1
+        shard = _shard_for_request(request, self._serve_shards)
+        self._serve_futures[ticket] = future
+        self._serve_tickets[ticket] = (shard, request)
+        runner = self._serve_runners.get(shard)
+        if runner is not None:
+            runner.enqueue(ticket, request)
+        else:
+            self._serve_submit_queues[shard].put(("submit", ticket, request))
+        return future
+
+    def step(self) -> bool:
+        """Pump the serving fleet one round; True while work is in flight.
+
+        Drains streamed records and per-request completions from process
+        workers (failing dead ones over), advances every in-parent runner
+        one scheduling round, and exchanges records between all shards.
+        When process workers still owe completions and nothing else
+        progressed, blocks briefly on the results queue
+        (``_SERVE_PARENT_WAIT``) so a drain loop above polls paced instead
+        of hot.
+        """
+        if not self._serving:
+            return False
+        progressed = False
+        if self._serve_results_queue is not None:
+            messages = _drain(self._serve_results_queue)
+            for message in messages:
+                if self._handle_serve_message(message):
+                    progressed = True
+            if not messages:
+                self._note_serving_deaths()
+        for shard in sorted(self._serve_runners):
+            runner = self._serve_runners[shard]
+            inbox = self._serve_inboxes.get(shard) or []
+            if inbox:
+                self._serve_inboxes[shard] = []
+                self._o_sync_depth.set(len(inbox))
+            runner.sync(inbox)
+            if runner.step():
+                progressed = True
+            shares_exchange = runner.service.database is self._serve_exchange
+            for record in runner.take_new_records():
+                self._c_records_streamed.inc()
+                self._o_envelopes.inc()
+                self._serve_broadcast(
+                    record, origin=shard, already_applied=shares_exchange
+                )
+            for ticket, (ticket_shard, _) in list(self._serve_tickets.items()):
+                if ticket_shard != shard:
+                    continue
+                service_future = runner.futures.get(ticket)
+                if service_future is not None and service_future.done():
+                    del runner.futures[ticket]
+                    if self._settle_serving(ticket, service_future=service_future):
+                        progressed = True
+        if (
+            not progressed
+            and self._serve_futures
+            and self._serve_results_queue is not None
+            and any(
+                s not in self._serve_runners and s not in self._serve_byes
+                for s in self._serve_workers
+            )
+        ):
+            # Paced wait for worker completions instead of a hot no-progress
+            # return (the sleep half is pacing, not a timing source).
+            try:
+                message = self._serve_results_queue.get(timeout=_SERVE_PARENT_WAIT)
+            except queue.Empty:
+                pass
+            except Exception:
+                self._c_poisoned.inc()
+                self._note_serving_deaths()
+                time.sleep(_SERVE_PARENT_WAIT)
+            else:
+                if self._handle_serve_message(message):
+                    progressed = True
+        return progressed or bool(self._serve_futures)
+
+    def _handle_serve_message(self, message: object) -> bool:
+        """Dispatch one serving results-queue message; True when it settled
+        a ticket or advanced the exchange (the poisoned-envelope rules of
+        :meth:`_handle_message` apply)."""
+        if not (isinstance(message, tuple) and len(message) in (3, 4)):
+            self._c_poisoned.inc()
+            return False
+        tag, shard = message[0], message[1]
+        if (
+            not isinstance(shard, int)
+            or isinstance(shard, bool)
+            or not 0 <= shard < self._serve_shards
+        ):
+            self._c_poisoned.inc()
+            return False
+        if tag == "record" and len(message) == 3:
+            envelope = _decode_envelope(message[2])
+            if envelope is None:
+                self._c_poisoned.inc()
+                return False
+            self._c_records_streamed.inc()
+            self._o_envelopes.inc()
+            self._serve_broadcast(envelope.record, origin=shard)
+            return True
+        if tag == "done_one" and len(message) == 4:
+            ticket = message[2]
+            if not isinstance(ticket, int) or isinstance(ticket, bool):
+                self._c_poisoned.inc()
+                return False
+            return self._settle_serving(ticket, outcome=message[3])
+        if tag == "bye" and len(message) == 3:
+            return self._retire_serving_worker(shard, message[2])
+        if tag == "error" and len(message) == 3:
+            self._failover_serving_shard(shard)
+            return True
+        self._c_poisoned.inc()
+        return False
+
+    def _serve_broadcast(
+        self, record: TuningRecord, origin: int, already_applied: bool = False
+    ) -> None:
+        """Fold one shard's record into the exchange and, when it improved
+        it, forward the surviving record to every other shard.
+
+        ``already_applied`` marks records from failed-over runners whose
+        database *is* the exchange (their stores are already folded); the
+        broadcast still runs so other shards serve from them.  Forwarding
+        to in-parent runners goes through their inboxes — the next
+        :meth:`_ShardRunner.sync` injects and advances the checkpoint, so
+        nothing echoes.
+        """
+        if already_applied:
+            winner = record
+        else:
+            applied = self._serve_exchange.apply([record])
+            if not applied:
+                return
+            winner = applied[0]
+        self._c_records_applied.inc()
+        wire = None
+        for j, sync_queue in self._serve_sync_queues.items():
+            if j == origin or j in self._serve_runners or j in self._serve_byes:
+                continue
+            if wire is None:
+                wire = RecordEnvelope(
+                    record=winner, origin=origin, revision=self._serve_exchange.revision
+                ).to_wire()
+            try:
+                sync_queue.put(wire)
+            except Exception:  # pragma: no cover - defensive (closed queue)
+                pass
+        for j, inbox in self._serve_inboxes.items():
+            if j != origin:
+                inbox.append(winner)
+
+    def _settle_serving(
+        self, ticket: int, outcome: object = None, service_future=None
+    ) -> bool:
+        """Answer one ticket's parent future from a worker report
+        (``outcome``) or an in-parent service future.  Late reports for
+        cancelled or already-failed-over tickets are discarded."""
+        future = self._serve_futures.pop(ticket, None)
+        self._serve_tickets.pop(ticket, None)
+        if future is None or future.done():
+            return False
+        if service_future is not None:
+            try:
+                result = service_future.result(timeout=0)
+            except BaseException as exc:
+                future._set_exception(exc)
+            else:
+                future.from_database = service_future.from_database
+                future.coalesced = service_future.coalesced
+                future._set_result(result)
+            return True
+        if isinstance(outcome, tuple) and len(outcome) == 2:
+            kind, payload = outcome
+            if kind == "ok" and isinstance(payload, TuningResult):
+                future._set_result(payload)
+                return True
+            if kind == "err" and isinstance(payload, dict):
+                future._set_exception(error_from_wire(payload))
+                return True
+        self._c_poisoned.inc()
+        future._set_exception(RequestFailed("malformed completion report"))
+        return True
+
+    def _retire_serving_worker(self, shard: int, payload: object) -> bool:
+        """Fold a graceful worker's final ``bye`` report (stats, metrics,
+        full-database safety net) and mark its shard retired."""
+        if shard in self._serve_byes or shard not in self._serve_workers:
+            self._c_poisoned.inc()
+            return False
+        self._serve_byes[shard] = True
+        self._o_workers_done.inc()
+        if not isinstance(payload, dict):
+            self._c_poisoned.inc()
+            return True
+        try:
+            self._serve_exchange.apply(
+                TuningRecord.from_dict(d) for d in payload.get("records", [])
+            )
+        except Exception:
+            self._c_poisoned.inc()
+        stats = payload.get("stats")
+        if isinstance(stats, ServiceStats):
+            self._absorb(stats)
+        wire = payload.get("metrics")
+        if isinstance(wire, dict):
+            try:
+                self._merge_shard_metrics(MetricsSnapshot.from_wire(wire))
+            except Exception:
+                self._c_poisoned.inc()
+        self._c_poisoned.inc(int(payload.get("poisoned", 0)))
+        return True
+
+    def _note_serving_deaths(self) -> None:
+        """Failover check: a worker gone without a ``bye`` (after the grace
+        polls that let a final message finish travelling the pipe) degrades
+        its shard to an in-parent runner."""
+        for shard, process in list(self._serve_workers.items()):
+            if (
+                shard in self._serve_byes
+                or shard in self._serve_runners
+                or process.is_alive()
+            ):
+                continue
+            self._serve_dead_polls[shard] = self._serve_dead_polls.get(shard, 0) + 1
+            if self._serve_dead_polls[shard] >= _DEATH_GRACE_POLLS:
+                self._failover_serving_shard(shard)
+
+    def _failover_serving_shard(self, shard: int) -> None:
+        """A serving worker died: degrade per the batch fault model, made
+        incremental — salvage its durable log into the exchange, then hand
+        its unresolved tickets (and any future submits routed to it) to an
+        in-parent runner against the exchange.  Records the worker streamed
+        or persisted before dying are served, not re-tuned; the pool (and
+        the daemon above) keeps serving throughout."""
+        if shard in self._serve_runners:
+            return
+        process = self._serve_workers.pop(shard, None)
+        if process is not None:
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+            process.join(timeout=1.0)
+        self._c_worker_failures.inc()
+        self._o_workers_failed.inc()
+        self._recover_shard_store(shard, self._serve_exchange)
+        runner = _ShardRunner(
+            [],
+            policy=self.policy,
+            admit_window=self.admit_window,
+            database=self._serve_exchange,
+            obs=self.obs,
+        )
+        for ticket in sorted(
+            t for t, (s, _) in self._serve_tickets.items() if s == shard
+        ):
+            future = self._serve_futures.get(ticket)
+            if future is None or future.done():
+                continue
+            runner.enqueue(ticket, self._serve_tickets[ticket][1])
+        self._serve_runners[shard] = runner
+        self._serve_inboxes[shard] = []
+
+    def cancel(
+        self, request: TuningRequest, exc: Optional[BaseException] = None
+    ) -> bool:
+        """Serving-mode cancel: answer every unresolved future for
+        ``request`` with ``exc`` (default
+        :class:`~repro.service.errors.RequestCancelled`).
+
+        In-parent shards cancel the underlying run through
+        :meth:`TuningService.cancel`; for a process shard the cancel is
+        parent-side — the worker may finish the run anyway, and its late
+        report is discarded (:meth:`_settle_serving`).  Returns True when
+        at least one future was answered.
+        """
+        if not self._serving:
+            return False
+        error = (
+            exc
+            if exc is not None
+            else RequestCancelled(f"cancelled: {request.describe()}")
+        )
+        cancelled = False
+        for ticket, (shard, ticketed) in list(self._serve_tickets.items()):
+            if ticketed != request:
+                continue
+            future = self._serve_futures.get(ticket)
+            runner = self._serve_runners.get(shard)
+            if runner is not None:
+                runner.pending = deque(
+                    (p, r) for p, r in runner.pending if p != ticket
+                )
+                runner.futures.pop(ticket, None)
+                runner.service.cancel(request, error)
+            if future is not None and not future.done():
+                future._set_exception(error)
+                cancelled = True
+            self._serve_futures.pop(ticket, None)
+            self._serve_tickets.pop(ticket, None)
+        return cancelled
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Leave serving mode gracefully.
+
+        Process workers get a ``("stop",)`` sentinel, finish their in-flight
+        work, compact their durable stores and report ``bye`` (folded into
+        the pool's accounting and the exchange); workers that die instead
+        fail over.  In-parent runners drain their backlogs, compact and are
+        absorbed.  Any future still unresolved afterwards is answered with
+        :class:`~repro.service.errors.RequestCancelled` — drain first (pump
+        :meth:`step` until idle, as the daemon's drain does) for a clean
+        stop.  Idempotent; a stopped pool may :meth:`start` again.
+        """
+        if not self._serving:
+            return
+        for shard, submit_queue in self._serve_submit_queues.items():
+            if (
+                shard in self._serve_workers
+                and shard not in self._serve_runners
+                and shard not in self._serve_byes
+            ):
+                try:
+                    submit_queue.put(("stop",))
+                except Exception:  # pragma: no cover - defensive
+                    pass
+
+        def outstanding() -> List[int]:
+            return [
+                s
+                for s in self._serve_workers
+                if s not in self._serve_byes and s not in self._serve_runners
+            ]
+
+        attempts = max(1, int(timeout / _POLL_SECONDS))
+        while outstanding() and attempts > 0:
+            try:
+                message = self._serve_results_queue.get(timeout=_POLL_SECONDS)
+            except queue.Empty:
+                self._note_serving_deaths()
+                attempts -= 1
+            except Exception:
+                self._c_poisoned.inc()
+                self._note_serving_deaths()
+                attempts -= 1
+                time.sleep(_POLL_SECONDS)
+            else:
+                self._handle_serve_message(message)
+        for shard in outstanding():
+            self._failover_serving_shard(shard)
+        # Drain failed-over / in-parent shards to completion.
+        while True:
+            progressed = False
+            for shard in sorted(self._serve_runners):
+                runner = self._serve_runners[shard]
+                inbox = self._serve_inboxes.get(shard) or []
+                if inbox:
+                    self._serve_inboxes[shard] = []
+                runner.sync(inbox)
+                if runner.step():
+                    progressed = True
+                shares = runner.service.database is self._serve_exchange
+                for record in runner.take_new_records():
+                    self._c_records_streamed.inc()
+                    self._o_envelopes.inc()
+                    self._serve_broadcast(record, origin=shard, already_applied=shares)
+                for ticket, (ticket_shard, _) in list(self._serve_tickets.items()):
+                    if ticket_shard != shard:
+                        continue
+                    service_future = runner.futures.get(ticket)
+                    if service_future is not None and service_future.done():
+                        del runner.futures[ticket]
+                        self._settle_serving(ticket, service_future=service_future)
+            if not progressed:
+                break
+        for runner in self._serve_runners.values():
+            if runner.service.database is not self._serve_exchange:
+                self._serve_exchange.apply(runner.service.database)
+                runner.drain_store()
+            self._absorb(runner.service.stats)
+            self._merge_shard_metrics(runner.service.metrics_snapshot())
+        for future in list(self._serve_futures.values()):
+            if not future.done():
+                future._set_exception(
+                    RequestCancelled("pool stopped while request in flight")
+                )
+        self._finish_serving()
+
+    def terminate(self) -> None:
+        """SIGKILL-style exit from serving mode: no drain, no sentinel, no
+        compaction — workers are terminated, shard databases just close, and
+        unresolved futures fail.  A later :meth:`start` of a durable pool
+        recovers the shard logs; everything else recovers through whatever
+        journal sits above (the daemon's fault model)."""
+        if not self._serving:
+            return
+        for process in self._serve_workers.values():
+            if process.is_alive():
+                process.terminate()
+        for process in self._serve_workers.values():
+            process.join(timeout=1.0)
+        for runner in self._serve_runners.values():
+            if runner.service.database is self._serve_exchange:
+                continue  # shared exchange outlives the pool (daemon owns it)
+            try:
+                runner.service.database.close()
+            except Exception:  # pragma: no cover - defensive
+                pass
+        for future in list(self._serve_futures.values()):
+            if not future.done():
+                future._set_exception(RequestCancelled("pool terminated"))
+        self._finish_serving()
+
+    def _finish_serving(self) -> None:
+        """Common serving teardown: settle bookkeeping, close queues."""
+        for process in self._serve_workers.values():
+            process.join(timeout=1.0)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+                process.join(timeout=1.0)
+        self._close_serve_queues()
+        self._serve_futures.clear()
+        self._serve_tickets.clear()
+        self._serve_runners.clear()
+        self._serve_inboxes.clear()
+        self._serve_workers.clear()
+        self._serve_dead_polls.clear()
+        self._serve_byes.clear()
+        self._serving = False
+
+    def _close_serve_queues(self) -> None:
+        queues = list(self._serve_submit_queues.values())
+        queues.extend(self._serve_sync_queues.values())
+        if self._serve_results_queue is not None:
+            queues.append(self._serve_results_queue)
+        for q in queues:
+            try:
+                q.close()
+                q.cancel_join_thread()
+            except Exception:  # pragma: no cover - defensive
+                pass
+        self._serve_submit_queues = {}
+        self._serve_sync_queues = {}
+        self._serve_results_queue = None
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-native status snapshot (folded into the daemon's
+        ``describe`` op when the pool backs it)."""
+        return {
+            "kind": "TuningWorkerPool",
+            "serving": self._serving,
+            "mode": self._stats_mode,
+            "num_workers": self.num_workers,
+            "streaming": self.streaming,
+            "admit_window": self.admit_window,
+            "in_flight": len(self._serve_futures),
+            "stats": dataclasses.asdict(self.stats),
+        }

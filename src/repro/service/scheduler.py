@@ -406,27 +406,59 @@ class TuningService:
             return True
 
     def cancel(
-        self, request: TuningRequest, exc: Optional[BaseException] = None
+        self,
+        request: TuningRequest,
+        exc: Optional[BaseException] = None,
+        *,
+        future: Optional[TuningFuture] = None,
     ) -> bool:
-        """Cancel the in-flight run for ``request``, answering its futures.
+        """Cancel ``request``'s in-flight run — or just one waiter on it.
 
-        Every future attached to the run (the primary and any coalesced
-        duplicates) receives ``exc`` — default
-        :class:`~repro.service.errors.RequestCancelled` — and the run's
-        measurements-so-far are accounted exactly like a failed run.  The
-        daemon's per-request timeouts are built on this.  Returns False
-        when no matching run is active (already finished, served from the
-        database at submit, or never submitted).
+        Without ``future`` the whole run is cancelled: every future attached
+        to it (the primary and any coalesced duplicates) receives ``exc`` —
+        default :class:`~repro.service.errors.RequestCancelled` — and the
+        run's measurements-so-far are accounted exactly like a failed run.
+
+        With ``future`` (the cancelling submitter's own future) only *that*
+        waiter is detached and answered with ``exc`` while other undone
+        waiters remain — their deadlines have not expired just because one
+        submitter's did, so the run keeps going for them.  The run is failed
+        outright only when the cancelling future is its last surviving
+        waiter.  The daemon's per-request timeouts pass their future here;
+        the daemon is its run's only submitter (identical requests share a
+        rid), so for it the two shapes coincide.
+
+        Returns False when nothing was cancelled: no matching active run,
+        or ``future`` was given but is already answered or detached.
         """
         with self._lock:
             for run in self._active:
                 if run.request == request:
-                    self._fail(
-                        run,
+                    error = (
                         exc
                         if exc is not None
-                        else RequestCancelled(f"cancelled: {request.describe()}"),
+                        else RequestCancelled(f"cancelled: {request.describe()}")
                     )
+                    if future is not None:
+                        entry = self.coalescer.get(request)
+                        if (
+                            entry is None
+                            or future not in entry.futures
+                            or future.done()
+                        ):
+                            return False
+                        survivors = [
+                            f
+                            for f in entry.futures
+                            if f is not future and not f.done()
+                        ]
+                        if survivors:
+                            # Detach just this waiter; the run (and every
+                            # other waiter's future) is untouched.
+                            entry.futures.remove(future)
+                            future._set_exception(error)
+                            return True
+                    self._fail(run, error)
                     return True
             return False
 

@@ -1,0 +1,176 @@
+"""The daemonised process wrapper: pidfile discipline, lifecycle, smoke.
+
+The fast tests drive :func:`repro.service.daemonize.serve_forever` in a
+thread with an injected ``stop_event`` (no forking, no signals); the
+``slow``-marked smoke test runs the real CLI — double-fork/setsid
+detachment, a submit over the unix socket, SIGTERM, clean drain and
+pidfile removal — exactly what ``make daemonize-smoke`` gates.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.conv import ConvParams
+from repro.gpusim import V100
+from repro.service import (
+    DaemonClient,
+    PidfileError,
+    SocketTransport,
+    TuningRequest,
+    serve_forever,
+)
+from repro.service.daemonize import _check_pidfile
+
+SMALL = ConvParams.square(8, 16, 32, kernel=3, stride=1, padding=1)
+
+
+def _request(seed=0, budget=6):
+    return TuningRequest(
+        SMALL, V100, max_measurements=budget, seed=seed, pruned=True, tuner="random"
+    )
+
+
+def _wait_for(predicate, timeout=20.0, interval=0.05):
+    deadline_polls = max(1, int(timeout / interval))
+    for _ in range(deadline_polls):
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+class _Wrapper:
+    """serve_forever in a thread, shutdown via the injected stop event."""
+
+    def __init__(self, tmp_path, **kwargs):
+        self.journal = str(tmp_path / "daemon.journal")
+        self.socket = str(tmp_path / "daemon.sock")
+        self.pidfile = str(tmp_path / "daemon.pid")
+        self.stop_event = threading.Event()
+        self.exit_code = None
+
+        def run():
+            self.exit_code = serve_forever(
+                self.journal,
+                self.socket,
+                self.pidfile,
+                stop_event=self.stop_event,
+                **kwargs,
+            )
+
+        self.thread = threading.Thread(target=run, daemon=True)
+
+    def __enter__(self):
+        self.thread.start()
+        assert _wait_for(lambda: os.path.exists(self.socket)), "socket never bound"
+        return self
+
+    def __exit__(self, *exc):
+        self.stop_event.set()
+        self.thread.join(timeout=30)
+
+
+class TestServeForever:
+    def test_lifecycle_pool_backend(self, tmp_path, capsys):
+        with _Wrapper(tmp_path, backend="pool-serial", workers=2) as wrapper:
+            assert os.path.exists(wrapper.pidfile)
+            with open(wrapper.pidfile) as handle:
+                assert int(handle.read().strip()) == os.getpid()
+            client = DaemonClient(SocketTransport(wrapper.socket))
+            assert client.ping()
+            result = client.submit_and_wait(_request())
+            assert result.num_measurements == 6
+        assert wrapper.exit_code == 0
+        # Clean shutdown removed both the pidfile and the socket.
+        assert not os.path.exists(wrapper.pidfile)
+        assert not os.path.exists(wrapper.socket)
+
+    def test_live_pidfile_refuses_start(self, tmp_path):
+        with _Wrapper(tmp_path, backend="service") as wrapper:
+            with pytest.raises(PidfileError):
+                serve_forever(
+                    wrapper.journal,
+                    str(tmp_path / "other.sock"),
+                    wrapper.pidfile,  # names this live process
+                    stop_event=threading.Event(),
+                )
+        assert wrapper.exit_code == 0
+
+    def test_stale_pidfile_is_replaced(self, tmp_path):
+        pidfile = str(tmp_path / "stale.pid")
+        with open(pidfile, "w") as handle:
+            handle.write("999999999\n")  # beyond pid_max: guaranteed dead
+        _check_pidfile(pidfile)
+        assert not os.path.exists(pidfile)
+
+    def test_garbled_pidfile_is_replaced(self, tmp_path):
+        pidfile = str(tmp_path / "garbled.pid")
+        with open(pidfile, "w") as handle:
+            handle.write("not a pid\n")
+        _check_pidfile(pidfile)
+        assert not os.path.exists(pidfile)
+
+
+@pytest.mark.slow
+class TestDaemonizeSmoke:
+    def test_daemonize_cli_sigterm_drains_cleanly(self, tmp_path):
+        """The `make daemonize-smoke` scenario, end to end: launch the CLI
+        (double-fork detach), tune over the socket, SIGTERM the pid from
+        the pidfile, and assert a clean drain — pidfile and socket gone,
+        the drain summary in the log."""
+        journal = str(tmp_path / "d.journal")
+        sock = str(tmp_path / "d.sock")
+        pidfile = str(tmp_path / "d.pid")
+        log = str(tmp_path / "d.log")
+        import repro
+
+        src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        launcher = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.service.daemonize",
+                "--journal",
+                journal,
+                "--socket",
+                sock,
+                "--pidfile",
+                pidfile,
+                "--log",
+                log,
+                "--backend",
+                "pool-serial",
+                "--workers",
+                "2",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=60,
+            env=env,
+        )
+        assert launcher.returncode == 0, launcher.stderr
+        assert _wait_for(lambda: os.path.exists(sock)), "daemon socket never bound"
+        assert os.path.exists(pidfile)
+        with open(pidfile) as handle:
+            pid = int(handle.read().strip())
+        assert pid > 0  # the detached grandchild, not the exited launcher
+        client = DaemonClient(SocketTransport(sock))
+        assert client.ping()
+        result = client.submit_and_wait(_request(seed=3))
+        assert result.num_measurements == 6
+        os.kill(pid, signal.SIGTERM)
+        assert _wait_for(
+            lambda: not os.path.exists(pidfile)
+        ), "pidfile survived SIGTERM"
+        assert _wait_for(lambda: not os.path.exists(sock))
+        with open(log) as handle:
+            text = handle.read()
+        assert "drained cleanly" in text

@@ -58,3 +58,7 @@ def test_tuning_daemon_demo_example():
     assert "re-served result bit-identical: True" in out
     assert "measurements taken by the restarted daemon: 0" in out
     assert "backoff -> success" in out
+    assert "pool result bit-identical to service backend: True" in out
+    # The real double-fork act only runs with --daemonize (not under test
+    # runners); the default run must announce the skip, not attempt it.
+    assert "daemonized process wrapper (skipped" in out

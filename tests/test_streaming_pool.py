@@ -720,3 +720,154 @@ class TestSubmitStress:
             assert result.best_config == reference.best_config
         assert service.num_active == 0
         assert len(service.coalescer) == 0
+
+
+# -- long-lived serving mode ----------------------------------------------- #
+def _pump(pool, limit=200_000):
+    """Drive pool.step() to quiescence (bounded; fails loudly if wedged)."""
+    for _ in range(limit):
+        if not pool.step():
+            return
+    raise AssertionError("serving pool never went idle")
+
+
+class TestServingMode:
+    """The pool's submit/drain-incremental mode (what backs the daemon)."""
+
+    def test_serial_serving_is_bit_identical_and_coalesces(self):
+        pool = TuningWorkerPool(num_workers=3, use_processes=False)
+        pool.start()
+        assert pool.serving
+        requests = [_request(A, seed=1), _request(B, seed=1), _request(A, seed=2)]
+        futures = [pool.submit(r) for r in requests]
+        duplicate = pool.submit(_request(A, seed=1))  # same rid as futures[0]
+        _pump(pool)
+        for request, future in zip(requests, futures):
+            assert _trajectory(future.result()) == _trajectory(request.tune_direct())
+        # The duplicate coalesced inside its shard: one run, two answers.
+        assert duplicate.done()
+        assert pool.stats.coalesced == 1
+        assert pool.stats.tuning_runs == 3
+        pool.stop()
+        assert not pool.serving
+
+    def test_shard_assignment_is_rid_stable(self):
+        # Equal requests always land in the same shard — across deadline
+        # variants (excluded from the rid) and across pool instances (no
+        # dependence on Python's per-process salted hash()).
+        for shards in (1, 2, 3, 7):
+            a = pool_module._shard_for_request(_request(A, seed=1), shards)
+            b = pool_module._shard_for_request(_request(A, seed=1, deadline=9.0), shards)
+            assert a == b
+            assert 0 <= a < shards
+
+    def test_tune_refuses_while_serving_and_submit_refuses_before_start(self):
+        pool = TuningWorkerPool(num_workers=1, use_processes=False)
+        with pytest.raises(RuntimeError):
+            pool.submit(_request())
+        pool.start()
+        with pytest.raises(RuntimeError):
+            pool.tune([_request()])
+        with pytest.raises(RuntimeError):
+            pool.start()
+        pool.stop()
+        # A stopped pool is reusable: batch mode works again.
+        assert pool.tune([_request(budget=6)])[0].num_measurements > 0
+
+    def test_serving_records_pre_serve_after_restart(self):
+        db = TuningDatabase()
+        pool = TuningWorkerPool(num_workers=2, use_processes=False)
+        pool.start(database=db)
+        first = pool.submit(_request(A, seed=1))
+        _pump(pool)
+        pool.stop()
+        assert len(db) == 1
+        pool.start(database=db)
+        again = pool.submit(_request(A, seed=1))
+        _pump(pool)
+        pool.stop()
+        assert again.from_database
+        assert again.result().best_time == first.result().best_time
+        assert pool.stats.measurements == 0  # second session: zero re-measurement
+
+    def test_stop_drains_the_backlog(self):
+        pool = TuningWorkerPool(num_workers=1, use_processes=False)
+        pool.start()
+        request = _request(A, seed=1, budget=24)
+        future = pool.submit(request)
+        # No pumping: stop() drains the backlog itself, so the future
+        # resolves with the real (bit-identical) result, not a cancellation.
+        pool.stop()
+        assert future.done()
+        assert _trajectory(future.result()) == _trajectory(request.tune_direct())
+
+    def test_cancel_answers_every_waiter_and_unqueues(self):
+        pool = TuningWorkerPool(num_workers=1, use_processes=False)
+        pool.start()
+        request = _request(A, seed=1, budget=200)
+        future = pool.submit(request)
+        survivor = pool.submit(_request(B, seed=1, budget=6))
+        assert pool.cancel(request)
+        assert future.done()
+        with pytest.raises(Exception):
+            future.result()
+        _pump(pool)
+        assert survivor.done()
+        assert _trajectory(survivor.result()) == _trajectory(
+            _request(B, seed=1, budget=6).tune_direct()
+        )
+        pool.stop()
+
+    def test_terminate_fails_futures_and_pool_restarts(self):
+        pool = TuningWorkerPool(num_workers=1, use_processes=False)
+        pool.start()
+        future = pool.submit(_request(A, seed=1, budget=200))
+        pool.terminate()
+        assert future.done()
+        assert not pool.serving
+        pool.start()
+        pool.stop()
+
+    def test_process_serving_matches_serial(self):
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("process serving comparison needs fork")
+        requests = [_request(A, seed=1), _request(B, seed=1), _request(C, seed=2)]
+        serial_pool = TuningWorkerPool(num_workers=2, use_processes=False)
+        serial_pool.start()
+        serial = [serial_pool.submit(r) for r in requests]
+        _pump(serial_pool)
+        serial_pool.stop()
+
+        proc_pool = TuningWorkerPool(
+            num_workers=2, start_method="fork", use_processes=True
+        )
+        proc_pool.start()
+        assert proc_pool.used_processes
+        procs = [proc_pool.submit(r) for r in requests]
+        _pump(proc_pool)
+        proc_pool.stop()
+        for s, p in zip(serial, procs):
+            assert _trajectory(s.result()) == _trajectory(p.result())
+
+    def test_serving_worker_sigkill_fails_over(self):
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("worker-kill fault injection needs fork")
+        db = TuningDatabase()
+        pool = TuningWorkerPool(
+            num_workers=2, start_method="fork", use_processes=True
+        )
+        pool.start(database=db)
+        futures = [
+            pool.submit(_request(A, seed=1, budget=40)),
+            pool.submit(_request(B, seed=1, budget=40)),
+        ]
+        victim_shard = pool._serve_tickets[0][0]
+        os.kill(pool._serve_workers[victim_shard].pid, signal.SIGKILL)
+        _pump(pool)
+        for request, future in zip([_request(A, seed=1, budget=40), _request(B, seed=1, budget=40)], futures):
+            result = future.result()
+            if not result.from_cache:
+                assert _trajectory(result) == _trajectory(request.tune_direct())
+        pool.stop()
+        assert pool.stats.worker_failures == 1
+        assert len(db) == 2  # both problems landed despite the kill

@@ -22,7 +22,9 @@ marked ``slow`` and runs in the non-blocking stress CI job.
 import dataclasses
 import json
 import os
+import socket
 import threading
+import time
 
 import pytest
 
@@ -30,6 +32,7 @@ from repro.conv import ConvParams
 from repro.core.autotune.store import TuningDatabaseError
 from repro.gpusim import V100
 from repro.obs import FakeClock, MonotonicClock, Observability
+from repro.service import frontend
 from repro.service import (
     DaemonClient,
     DaemonDraining,
@@ -42,6 +45,7 @@ from repro.service import (
     SocketTransport,
     TuningDaemon,
     TuningRequest,
+    TuningWorkerPool,
     UnknownRequest,
     request_from_wire,
     request_id,
@@ -82,6 +86,16 @@ def _sa_request(seed=0, budget=50, deadline=None):
 def _trials(result):
     """Bit-comparable view of a result's trial list."""
     return [(t.index, t.config.as_dict(), t.time_seconds, t.gflops) for t in result.trials]
+
+
+class _WarpingClock(FakeClock):
+    """A deliberately non-monotonic FakeClock: ``FakeClock.advance`` keeps
+    its monotonic contract (negative advances raise), so backwards clock
+    excursions — restarts with a different epoch, misbehaving injected
+    clocks — are modelled by warping the reading directly."""
+
+    def step_back(self, seconds: float) -> None:
+        self._now -= float(seconds)
 
 
 # -- wire codecs ---------------------------------------------------------- #
@@ -318,6 +332,58 @@ class TestAdmission:
         assert daemon.stats.accepted == 1
         assert len(daemon.journal) == 1
 
+    def test_backwards_clock_never_subtracts_tokens(self, tmp_path):
+        """Regression: the token refill used the raw clock delta, so a
+        clock stepping backwards (restart with a different epoch) would
+        *subtract* tokens.  The delta is clamped at zero and the refill
+        watermark keeps the max-seen reading, so a backwards excursion is
+        also never re-credited as fresh elapsed time on recovery."""
+        clock = _WarpingClock()
+        daemon = TuningDaemon(
+            tmp_path / "j.log", clock=clock, rate_limit=1.0, burst=2
+        )
+        daemon.submit(_request(seed=0))
+        daemon.submit(_request(seed=1))  # burst exhausted
+        clock.step_back(50.0)
+        with pytest.raises(Overloaded):
+            daemon.submit(_request(seed=2))  # going backwards earns nothing
+        clock.advance(50.0)  # back at the watermark: still zero net elapsed
+        with pytest.raises(Overloaded):
+            daemon.submit(_request(seed=3))
+        clock.advance(1.0)  # one real second past the watermark: one token
+        daemon.submit(_request(seed=4))
+        assert daemon.stats.accepted == 3
+
+    def test_token_bucket_under_nonmonotonic_clock_property(self, tmp_path):
+        """Property: over any warp sequence, accepts never exceed burst +
+        net forward progress * rate — the bucket behaves as if it had only
+        seen the monotonic envelope of the clock."""
+        import random as _random
+
+        rng = _random.Random(1234)
+        clock = _WarpingClock()
+        daemon = TuningDaemon(
+            tmp_path / "j.log",
+            clock=clock,
+            rate_limit=1.0,
+            burst=3,
+            max_active=10_000,
+        )
+        accepted, high_water = 0, 0.0
+        for seed in range(200):
+            warp = rng.uniform(-2.0, 2.0)
+            if warp >= 0:
+                clock.advance(warp)
+            else:
+                clock.step_back(-warp)
+            high_water = max(high_water, clock.now())
+            try:
+                daemon.submit(_request(seed=seed))
+                accepted += 1
+            except Overloaded:
+                pass
+            assert accepted <= 3 + high_water * 1.0 + 1e-9
+
 
 # -- timeouts ------------------------------------------------------------- #
 class TestTimeouts:
@@ -351,6 +417,47 @@ class TestTimeouts:
         daemon.run_until_idle()
         assert daemon.journal.get(rid).status == "done"
         assert daemon.stats.timeouts == 0
+
+    def test_retry_with_shorter_timeout_tightens_expiry(self, tmp_path):
+        """Regression: the idempotent-resubmit path used to drop the
+        retry's ``timeout`` on the floor, so a retried submit asking for a
+        shorter timeout kept the original (laxer) expiry.  The effective
+        expiry is the min of the journaled promise's and the retry's."""
+        clock = FakeClock()
+        daemon = TuningDaemon(tmp_path / "j.log", clock=clock)
+        rid = daemon.submit(_sa_request(budget=500), timeout=100.0)
+        assert daemon.submit(_sa_request(budget=500), timeout=1.0) == rid
+        daemon.tick()
+        clock.advance(5.0)  # past the retry's 1s, far from the original 100s
+        daemon.tick()
+        assert daemon.stats.timeouts == 1
+        assert daemon.journal.get(rid).error["code"] == "TIMEOUT"
+
+    def test_retry_with_longer_timeout_cannot_relax_expiry(self, tmp_path):
+        """The dual: a promise only ever tightens by being asked again — a
+        retried longer timeout must not resurrect an almost-expired run."""
+        clock = FakeClock()
+        daemon = TuningDaemon(tmp_path / "j.log", clock=clock)
+        rid = daemon.submit(_sa_request(budget=500), timeout=10.0)
+        assert daemon.submit(_sa_request(budget=500), timeout=1000.0) == rid
+        daemon.tick()
+        clock.advance(50.0)  # past the original 10s, well inside 1000s
+        daemon.tick()
+        assert daemon.stats.timeouts == 1
+        assert daemon.journal.get(rid).status == "failed"
+
+    def test_retry_timeout_on_untimed_promise_arms_expiry(self, tmp_path):
+        """A first submit without a timeout followed by a retry with one:
+        min(None, retry) = the retry's expiry."""
+        clock = FakeClock()
+        daemon = TuningDaemon(tmp_path / "j.log", clock=clock)
+        rid = daemon.submit(_sa_request(budget=500))
+        assert daemon.submit(_sa_request(budget=500), timeout=2.0) == rid
+        daemon.tick()
+        clock.advance(3.0)
+        daemon.tick()
+        assert daemon.stats.timeouts == 1
+        assert daemon.journal.get(rid).status == "failed"
 
 
 # -- crash recovery ------------------------------------------------------- #
@@ -524,6 +631,266 @@ class TestTelemetry:
             "DaemonStats[1 accepted (0 rejected), 1 done / 0 failed "
             "(0 timeouts), 0 replayed of 0 recovered]"
         )
+
+
+# -- pool backend ---------------------------------------------------------- #
+def _serial_pool(workers=2):
+    return TuningWorkerPool(num_workers=workers, use_processes=False)
+
+
+class TestPoolBackend:
+    """`TuningDaemon(backend=...)`: the same journal fault model over the
+    sharded serving pool (deterministic in-process shards here; the
+    process-fleet variants live in the pool's own test file)."""
+
+    def test_pool_backend_is_bit_identical_to_service(self, tmp_path):
+        requests = [_request(seed=seed, budget=8) for seed in range(4)]
+        service_daemon = TuningDaemon(tmp_path / "svc.log")
+        svc_rids = [service_daemon.submit(r) for r in requests]
+        service_daemon.run_until_idle()
+        svc = [service_daemon.result(rid) for rid in svc_rids]
+        svc_measured = service_daemon.service.stats.measurements
+        service_daemon.close()
+
+        pool = _serial_pool()
+        pool_daemon = TuningDaemon(tmp_path / "pool.log", backend=pool)
+        pool_rids = [pool_daemon.submit(r) for r in requests]
+        pool_daemon.run_until_idle()
+        assert pool_rids == svc_rids  # same rids: the digest ignores backends
+        # Same results (wire-identical) for the same measurement spend.
+        assert [pool_daemon.result(rid) for rid in pool_rids] == svc
+        assert pool.stats.measurements == svc_measured
+        pool_daemon.drain()
+        pool_daemon.close()
+
+    def test_restart_reserves_with_zero_measurement(self, tmp_path):
+        first = TuningDaemon(tmp_path / "j.log", backend=_serial_pool())
+        rid = first.submit(_request(seed=5, budget=8))
+        first.run_until_idle()
+        reference = first.result(rid)
+        first.kill()
+        restarted_pool = _serial_pool()
+        restarted = TuningDaemon(tmp_path / "j.log", backend=restarted_pool)
+        assert restarted.result(rid) == reference
+        assert restarted_pool.stats.measurements == 0
+        restarted.close()
+
+    def test_inflight_resubmits_into_the_pool_on_restart(self, tmp_path):
+        first = TuningDaemon(tmp_path / "j.log", backend=_serial_pool())
+        rid = first.submit(_request(seed=6, budget=8))
+        first.kill()  # SIGKILL before any tick: the promise is in flight
+        restarted = TuningDaemon(tmp_path / "j.log", backend=_serial_pool())
+        assert restarted.stats.replayed == 1
+        restarted.run_until_idle()
+        reference = TuningDaemon(tmp_path / "ref.log")
+        ref_rid = reference.submit(_request(seed=6, budget=8))
+        reference.run_until_idle()
+        assert restarted.result(rid) == reference.result(ref_rid)
+        restarted.close()
+        reference.close()
+
+    def test_timeout_cancels_through_the_pool(self, tmp_path):
+        clock = FakeClock()
+        daemon = TuningDaemon(
+            tmp_path / "j.log", backend=_serial_pool(), clock=clock
+        )
+        rid = daemon.submit(_sa_request(budget=500), timeout=5.0)
+        daemon.tick()
+        clock.advance(10.0)
+        daemon.tick()
+        assert daemon.stats.timeouts == 1
+        assert daemon.journal.get(rid).error["code"] == "TIMEOUT"
+        assert daemon.metrics_snapshot().counters["daemon.backend.cancels"] == 1
+        daemon.close()
+
+    def test_backend_metrics_and_describe(self, tmp_path):
+        daemon = TuningDaemon(tmp_path / "j.log", backend="pool")
+        daemon.submit(_request(budget=6))
+        daemon.run_until_idle()
+        counters = daemon.fleet_snapshot().counters
+        assert counters["daemon.backend.submits"] == 1
+        assert counters["daemon.backend.steps"] >= 1
+        assert counters["pool.requests"] == 1  # the pool's half, one snapshot
+        description = daemon.describe()
+        assert description["backend"] == "pool"
+        assert description["pool"]["serving"]
+        assert "service" not in description
+        daemon.drain()
+        assert not daemon.pool.serving  # drain stopped the fleet
+        daemon.close()
+
+    def test_service_backend_describe_is_unchanged(self, tmp_path):
+        daemon = TuningDaemon(tmp_path / "j.log")
+        description = daemon.describe()
+        assert description["backend"] == "service"
+        assert description["service"]["kind"] == "TuningService"
+        daemon.close()
+
+    def test_invalid_backend_is_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="backend"):
+            TuningDaemon(tmp_path / "j.log", backend="bogus")
+
+
+# -- transport robustness -------------------------------------------------- #
+def _sendall_then_close(path, payload):
+    """One raw client interaction: send bytes, read best-effort, close."""
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.settimeout(5.0)
+    reply = b""
+    try:
+        sock.connect(path)
+        if payload:
+            sock.sendall(payload)
+        try:
+            reply = sock.recv(65536)
+        except (OSError, socket.timeout):
+            pass
+    finally:
+        sock.close()
+    return reply
+
+
+class TestReadLine:
+    """frontend._read_line against every truncated reply shape: all of them
+    must surface as ConnectionError (retryable transport fault), never as a
+    JSON decode error escaping to the caller."""
+
+    def _pair(self):
+        server, client = socket.socketpair()
+        server.settimeout(5.0)
+        client.settimeout(5.0)
+        return server, client
+
+    def test_whole_line_round_trips(self):
+        server, client = self._pair()
+        try:
+            server.sendall(b'{"ok": true}\n')
+            assert frontend._read_line(client) == b'{"ok": true}\n'
+        finally:
+            server.close()
+            client.close()
+
+    def test_midline_disconnect_raises_connection_error(self):
+        server, client = self._pair()
+        try:
+            server.sendall(b'{"ok": tr')  # partial line...
+            server.close()  # ...then the peer dies
+            with pytest.raises(ConnectionError, match="mid-line"):
+                frontend._read_line(client)
+        finally:
+            client.close()
+
+    def test_immediate_close_raises_connection_error(self):
+        server, client = self._pair()
+        server.close()
+        try:
+            with pytest.raises(ConnectionError, match="before a reply"):
+                frontend._read_line(client)
+        finally:
+            client.close()
+
+    def test_slow_two_chunk_line_is_reassembled(self):
+        server, client = self._pair()
+        try:
+            received = {}
+            reader = threading.Thread(
+                target=lambda: received.update(line=frontend._read_line(client)),
+                daemon=True,
+            )
+            reader.start()
+            server.sendall(b'{"ok": ')
+            time.sleep(0.05)  # pacing: let the reader see a partial buffer
+            server.sendall(b"true}\n")
+            reader.join(timeout=5.0)
+            assert received["line"] == b'{"ok": true}\n'
+        finally:
+            server.close()
+            client.close()
+
+
+class TestSocketServerRobustness:
+    """DaemonSocketServer vs misbehaving clients: the connection thread may
+    drop the client, but the server must keep serving everyone else."""
+
+    def _serving(self, tmp_path, **kwargs):
+        path = str(tmp_path / "robust.sock")
+        daemon = TuningDaemon(tmp_path / "robust.journal")
+        server = DaemonSocketServer(daemon, path, **kwargs).start()
+        return path, daemon, server
+
+    def _assert_still_serving(self, path):
+        client = DaemonClient(SocketTransport(path, timeout=5.0))
+        assert client.ping()
+
+    def test_partial_line_then_disconnect(self, tmp_path):
+        path, daemon, server = self._serving(tmp_path)
+        try:
+            reply = _sendall_then_close(path, b'{"op": "pi')  # no newline
+            assert reply == b""  # no line, no reply — just a dropped buffer
+            self._assert_still_serving(path)
+        finally:
+            server.stop()
+            daemon.close()
+
+    def test_empty_write_then_disconnect(self, tmp_path):
+        path, daemon, server = self._serving(tmp_path)
+        try:
+            _sendall_then_close(path, b"")
+            self._assert_still_serving(path)
+        finally:
+            server.stop()
+            daemon.close()
+
+    def test_oversized_line_gets_bad_request_and_disconnect(self, tmp_path):
+        path, daemon, server = self._serving(tmp_path, max_line_bytes=1024)
+        try:
+            reply = _sendall_then_close(path, b"x" * 4096)  # no newline ever
+            assert b"BAD_REQUEST" in reply
+            assert b"exceeds" in reply
+            self._assert_still_serving(path)
+        finally:
+            server.stop()
+            daemon.close()
+
+    def test_undecodable_line_keeps_the_connection(self, tmp_path):
+        path, daemon, server = self._serving(tmp_path)
+        try:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(5.0)
+            try:
+                sock.connect(path)
+                sock.sendall(b"not json at all\n")
+                bad = frontend._read_line(sock)
+                assert b"BAD_REQUEST" in bad
+                # Same connection still serves well-formed ops.
+                sock.sendall(frontend.encode_line({"op": "ping"}))
+                good = frontend._read_line(sock)
+                assert b'"pong"' in good
+            finally:
+                sock.close()
+            self._assert_still_serving(path)
+        finally:
+            server.stop()
+            daemon.close()
+
+    def test_slow_client_split_op_is_served(self, tmp_path):
+        path, daemon, server = self._serving(tmp_path)
+        try:
+            wire = frontend.encode_line({"op": "ping"})
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(5.0)
+            try:
+                sock.connect(path)
+                sock.sendall(wire[: len(wire) // 2])
+                time.sleep(0.05)  # pacing: land as two separate recvs
+                sock.sendall(wire[len(wire) // 2 :])
+                reply = frontend._read_line(sock)
+                assert b'"pong"' in reply
+            finally:
+                sock.close()
+        finally:
+            server.stop()
+            daemon.close()
 
 
 # -- stress (non-blocking CI job) ----------------------------------------- #
